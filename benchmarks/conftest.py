@@ -1,0 +1,37 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark file regenerates one experiment table (E1-E7, see
+EXPERIMENTS.md).  Benchmarks print the table once per session (pytest's
+``-s`` flag shows it; without it the tables still end up in the captured
+output of the benchmark run).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.workloads import scaling_workloads, standard_workloads, workload_by_name
+
+
+@pytest.fixture(scope="session")
+def bench_workloads():
+    """Medium workload set shared by the benchmark harness."""
+    return standard_workloads(n=256, seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_bench_workloads():
+    """Smaller workloads for the expensive (CONGEST) benchmarks."""
+    return standard_workloads(n=96, seed=0)
+
+
+@pytest.fixture(scope="session")
+def scaling_bench_workloads():
+    """A scaling family for E2 / E7."""
+    return scaling_workloads(sizes=[128, 256, 512])
+
+
+@pytest.fixture(scope="session")
+def single_random_workload():
+    """One representative random graph for per-call timing benchmarks."""
+    return workload_by_name("erdos-renyi", 256, seed=0)

@@ -1,0 +1,27 @@
+"""Benchmark / table E8 — ablation of the paper's two key design choices."""
+
+from __future__ import annotations
+
+from repro.experiments.ablation_experiment import (
+    format_ablation_table,
+    run_ablation_experiment,
+)
+from repro.experiments.workloads import standard_workloads
+
+
+def test_bench_e8_ablation_table(benchmark):
+    """Build all three variants on every workload and print E8."""
+    workloads = standard_workloads(n=192, seed=0)
+    rows = benchmark.pedantic(
+        run_ablation_experiment,
+        kwargs={"workloads": workloads, "kappa": 8},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_ablation_table(rows))
+    # The paper's construction must stay within the bound on every workload;
+    # the no-buffer (EP01-style) variant must never beat it.
+    for row in rows:
+        assert row.ours_within
+        assert row.no_buffer >= row.ours

@@ -1,0 +1,41 @@
+"""Benchmark / table E13 — the application layer built on the emulator.
+
+Regenerates the E13 table of EXPERIMENTS.md: distance-oracle, routing,
+streaming and decremental numbers per workload.
+"""
+
+from __future__ import annotations
+
+from repro.applications.distance_oracle import EmulatorDistanceOracle
+from repro.experiments.applications_experiment import (
+    format_applications_table,
+    run_applications_experiment,
+)
+
+
+def test_bench_e13_applications_table(benchmark, small_bench_workloads):
+    """Exercise every application on every workload and print the E13 table."""
+    rows = benchmark.pedantic(
+        run_applications_experiment,
+        kwargs={"workloads": small_bench_workloads},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_applications_table(rows))
+    # Oracle answers never undershoot by construction, so mean stretch >= 1.
+    assert all(r.oracle_mean_stretch >= 1.0 - 1e-9 for r in rows)
+    # The pass-per-phase streaming construction uses one pass per phase.
+    assert all(r.streaming_passes >= 1 for r in rows)
+
+
+def test_bench_e13_oracle_queries(benchmark, single_random_workload):
+    """Time a batch of 500 oracle queries after a single preprocessing pass."""
+    graph = single_random_workload.graph
+    oracle = EmulatorDistanceOracle(graph, eps=0.1)
+    n = graph.num_vertices
+    pairs = [(i % n, (i * 7 + 13) % n) for i in range(500)]
+    pairs = [(u, v) for u, v in pairs if u != v]
+
+    answers = benchmark(oracle.query_batch, pairs)
+    assert len(answers) == len(pairs)

@@ -1,0 +1,32 @@
+"""Benchmark / table E4 — emulator size vs EP01 / TZ06 / EN17a baselines."""
+
+from __future__ import annotations
+
+from repro.baselines.thorup_zwick import build_thorup_zwick_emulator
+from repro.experiments.baselines_experiment import (
+    format_baselines_table,
+    run_baselines_experiment,
+)
+
+
+def test_bench_e4_baselines_table(benchmark, bench_workloads):
+    """Build ours + the three baselines on every workload and print E4."""
+    rows = benchmark.pedantic(
+        run_baselines_experiment,
+        kwargs={"workloads": bench_workloads, "kappa": 8},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_baselines_table(rows))
+    # The paper's construction must respect its bound and essentially always
+    # be the sparsest of the four.
+    for row in rows:
+        assert row.ours <= row.bound + 1e-9
+        assert row.ours <= row.elkin_peleg
+
+
+def test_bench_e4_thorup_zwick_cost(benchmark, single_random_workload):
+    """Time the TZ06 baseline construction for reference."""
+    result = benchmark(build_thorup_zwick_emulator, single_random_workload.graph, 8, 7)
+    assert result.num_edges > 0

@@ -1,0 +1,35 @@
+"""Benchmark / table+figure E9 — the (eps, kappa) vs beta trade-off.
+
+Regenerates the E9 table and ASCII figure of EXPERIMENTS.md and benchmarks
+the cost of one full parameter sweep.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.beta_tradeoff_experiment import (
+    format_beta_tradeoff_figure,
+    format_beta_tradeoff_table,
+    run_beta_tradeoff_experiment,
+)
+from repro.experiments.workloads import workload_by_name
+
+
+def test_bench_e9_beta_tradeoff(benchmark):
+    """Sweep eps x kappa on a random workload and print the table and figure."""
+    workload = workload_by_name("erdos-renyi", 192, seed=0)
+    rows = benchmark.pedantic(
+        run_beta_tradeoff_experiment,
+        kwargs={"workload": workload},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_beta_tradeoff_table(rows))
+    print()
+    print(format_beta_tradeoff_figure(rows))
+    assert all(r.valid for r in rows)
+    # The beta bound must be monotone increasing in kappa for fixed eps …
+    for eps in {r.eps for r in rows}:
+        per_eps = sorted((r.kappa, r.beta_bound) for r in rows if r.eps == eps)
+        betas = [b for _, b in per_eps]
+        assert betas == sorted(betas)

@@ -1,0 +1,36 @@
+"""Benchmark / table E5 — the distributed CONGEST construction."""
+
+from __future__ import annotations
+
+from repro.distributed.emulator_congest import build_emulator_congest
+from repro.experiments.congest_experiment import format_congest_table, run_congest_experiment
+from repro.experiments.workloads import standard_workloads
+
+
+def test_bench_e5_congest_table(benchmark):
+    """Run the CONGEST construction across workloads/rhos and print E5."""
+    workloads = standard_workloads(n=64, seed=0)
+    rows = benchmark.pedantic(
+        run_congest_experiment,
+        kwargs={"workloads": workloads, "kappa": 4, "rhos": (0.3, 0.45)},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_congest_table(rows))
+    for row in rows:
+        assert row.size_ratio <= 1.0 + 1e-9
+        assert row.both_endpoints_know
+
+
+def test_bench_e5_single_congest_build(benchmark, small_bench_workloads):
+    """Time one CONGEST construction on a 96-vertex workload."""
+    graph = small_bench_workloads[0].graph
+    result = benchmark.pedantic(
+        build_emulator_congest,
+        args=(graph,),
+        kwargs={"eps": 0.01, "kappa": 4, "rho": 0.45},
+        iterations=1,
+        rounds=3,
+    )
+    assert result.both_endpoints_know_all_edges()

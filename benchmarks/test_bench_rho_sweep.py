@@ -1,0 +1,31 @@
+"""Benchmark / table+figure E12 — rho sweep of the CONGEST construction.
+
+Regenerates the E12 table and figure of EXPERIMENTS.md: rounds and additive
+error as the locality parameter rho varies.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.rho_sweep_experiment import (
+    format_rho_sweep_figure,
+    format_rho_sweep_table,
+    run_rho_sweep_experiment,
+)
+from repro.experiments.workloads import workload_by_name
+
+
+def test_bench_e12_rho_sweep(benchmark):
+    """Sweep rho on a 96-vertex random graph and print table plus figure."""
+    workload = workload_by_name("erdos-renyi", 96, seed=0)
+    rows = benchmark.pedantic(
+        run_rho_sweep_experiment,
+        kwargs={"workload": workload, "rhos": (0.3, 0.4, 0.45)},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_rho_sweep_table(rows))
+    print()
+    print(format_rho_sweep_figure(rows))
+    assert all(r.within_size_bound for r in rows)
+    assert all(r.endpoints_know for r in rows)

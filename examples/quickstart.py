@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: build and validate an ultra-sparse near-additive emulator.
+
+Builds the paper's emulator (Algorithm 1) for a sparse random graph, checks
+the size bound ``n^(1 + 1/kappa)`` and the ``(1 + eps, beta)`` stretch
+guarantee, and prints a short summary.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import build_emulator, generators, size_bound, verify_emulator
+from repro.analysis.metrics import stretch_distribution
+
+
+def main() -> None:
+    # 1. An input graph: a connected sparse random graph on 400 vertices.
+    graph = generators.connected_erdos_renyi(400, p=0.015, seed=42)
+    print(f"input graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+    # 2. Build the emulator.  kappa controls sparsity: at most n^(1 + 1/kappa)
+    #    edges; eps controls the distance thresholds (the final multiplicative
+    #    stretch is 1 + 34 * eps * ell).
+    kappa = 4
+    result = build_emulator(graph, eps=0.1, kappa=kappa)
+    bound = size_bound(graph.num_vertices, kappa)
+    print(f"emulator: {result.num_edges} edges "
+          f"(bound n^(1+1/{kappa}) = {bound:.1f}, ratio {result.num_edges / bound:.3f})")
+    print(f"guaranteed stretch: (1 + eps') = {result.alpha:.2f}, beta = {result.beta:.1f}")
+
+    # 3. Validate the stretch guarantee on sampled vertex pairs.
+    report = verify_emulator(graph, result.emulator, result.alpha, result.beta,
+                             sample_pairs=500)
+    print(f"checked {report.pairs_checked} pairs: valid = {report.valid}")
+    print(f"worst measured multiplicative stretch: {report.max_multiplicative_stretch:.3f}")
+    print(f"worst measured additive error:        {report.max_additive_error:.1f}")
+
+    # 4. A finer look at the stretch distribution.
+    dist = stretch_distribution(graph, result.emulator, sample_pairs=500)
+    print(f"mean multiplicative stretch: {dist['mean_multiplicative']:.3f}, "
+          f"95th-percentile additive error: {dist['p95_additive']:.1f}")
+
+    # 5. How the edges were paid for (the charging argument of the size proof).
+    ledger = result.ledger
+    print(f"edge charges: {ledger.interconnection_count()} interconnection, "
+          f"{ledger.superclustering_count()} superclustering, across "
+          f"{len(result.phase_stats)} phases")
+
+
+if __name__ == "__main__":
+    main()

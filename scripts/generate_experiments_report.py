@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Regenerate the measured tables embedded in EXPERIMENTS.md.
+
+Runs experiments E1-E13 at the same workload sizes the benchmark harness uses
+and writes the rendered tables to ``experiments_report.txt`` (and optionally
+refreshes the measured sections of EXPERIMENTS.md by hand).
+
+Usage::
+
+    python scripts/generate_experiments_report.py [--quick] [--output FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.runner import available_experiments, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="use smaller workloads")
+    parser.add_argument("--output", default="experiments_report.txt",
+                        help="file to write the rendered tables to")
+    parser.add_argument("--only", choices=available_experiments(), default=None,
+                        help="run a single experiment")
+    args = parser.parse_args(argv)
+
+    experiment_ids = [args.only] if args.only else available_experiments()
+    sections = []
+    for experiment_id in experiment_ids:
+        start = time.perf_counter()
+        table = run_experiment(experiment_id, quick=args.quick)
+        elapsed = time.perf_counter() - start
+        sections.append(f"{table}\n[{experiment_id} completed in {elapsed:.1f}s]\n")
+        print(f"{experiment_id} done in {elapsed:.1f}s", file=sys.stderr)
+
+    report = "\n".join(sections)
+    Path(args.output).write_text(report, encoding="utf-8")
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Ultra-Sparse Near-Additive Emulators — reference implementation.
+
+A reproduction of *"Ultra-Sparse Near-Additive Emulators"* (Michael Elkin and
+Shaked Matar, PODC 2021).  The package provides:
+
+* the paper's centralized construction of ``(1 + eps, beta)``-emulators with
+  at most ``n^(1 + 1/kappa)`` edges (:func:`repro.build_emulator`);
+* the fast, ruling-set based centralized construction of Section 3.3
+  (:func:`repro.build_emulator_fast`);
+* the distributed CONGEST construction of Section 3, executed on a
+  synchronous network simulator (:func:`repro.build_emulator_congest`);
+* the near-additive *spanner* construction of Section 4
+  (:func:`repro.build_near_additive_spanner`,
+  :func:`repro.build_spanner_congest`);
+* baselines (EP01, TZ06, EN17a, EM19, greedy multiplicative spanners),
+  validators, metrics, and the experiment/benchmark harness.
+"""
+
+from repro.graphs import Graph, WeightedGraph, generators
+from repro.core import (
+    CentralizedSchedule,
+    DistributedSchedule,
+    SpannerSchedule,
+    build_emulator,
+    build_emulator_fast,
+    build_near_additive_spanner,
+    size_bound,
+)
+from repro.core.parameters import ultra_sparse_kappa
+from repro.distributed import build_emulator_congest, build_spanner_congest
+from repro.analysis import verify_emulator, verify_spanner
+from repro.hopsets import build_hopset, verify_hopset
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "Graph",
+    "WeightedGraph",
+    "generators",
+    "CentralizedSchedule",
+    "DistributedSchedule",
+    "SpannerSchedule",
+    "size_bound",
+    "ultra_sparse_kappa",
+    "build_emulator",
+    "build_emulator_fast",
+    "build_emulator_congest",
+    "build_near_additive_spanner",
+    "build_spanner_congest",
+    "verify_emulator",
+    "verify_spanner",
+    "build_hopset",
+    "verify_hopset",
+    "__version__",
+]

@@ -1,0 +1,50 @@
+"""Validation, metrics and reporting utilities.
+
+* :mod:`repro.analysis.validation` — checks that a constructed emulator or
+  spanner actually satisfies the ``(1 + eps, beta)`` guarantee (exactly on
+  small graphs, on sampled pairs on larger ones) and never shortens
+  distances.
+* :mod:`repro.analysis.metrics` — size / sparsity / stretch-distribution
+  summaries used by the experiments.
+* :mod:`repro.analysis.sampling` — deterministic pair sampling.
+* :mod:`repro.analysis.reporting` — plain-text tables for the benchmark
+  harness and EXPERIMENTS.md.
+"""
+
+from repro.analysis.validation import (
+    StretchReport,
+    verify_emulator,
+    verify_spanner,
+    verify_no_shortening,
+)
+from repro.analysis.metrics import (
+    SizeReport,
+    size_report,
+    stretch_distribution,
+    sparsity_ratio,
+)
+from repro.analysis.sampling import sample_vertex_pairs
+from repro.analysis.reporting import format_table, format_markdown_table
+from repro.analysis.statistics import Summary, summarize, percentile, loglog_slope, geometric_mean
+from repro.analysis.plotting import ascii_scatter, ascii_multi_series
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "percentile",
+    "loglog_slope",
+    "geometric_mean",
+    "ascii_scatter",
+    "ascii_multi_series",
+    "StretchReport",
+    "verify_emulator",
+    "verify_spanner",
+    "verify_no_shortening",
+    "SizeReport",
+    "size_report",
+    "stretch_distribution",
+    "sparsity_ratio",
+    "sample_vertex_pairs",
+    "format_table",
+    "format_markdown_table",
+]

@@ -1,0 +1,127 @@
+"""Size / sparsity / stretch-distribution metrics for constructed objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.analysis.sampling import sample_vertex_pairs
+from repro.core.parameters import size_bound
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import bfs_distances
+from repro.graphs.weighted_graph import WeightedGraph
+
+__all__ = ["SizeReport", "size_report", "sparsity_ratio", "stretch_distribution"]
+
+
+@dataclass
+class SizeReport:
+    """Comparison of a constructed object's size against the paper's bound.
+
+    Attributes
+    ----------
+    n:
+        Number of vertices.
+    kappa:
+        Sparsity parameter used.
+    num_edges:
+        Edges in the constructed emulator / spanner.
+    bound:
+        The ``n^(1 + 1/kappa)`` bound.
+    extra_over_n:
+        ``num_edges - n``: how far above linear size the object is — the
+        quantity Corollary 2.15 says is ``o(n)`` in the ultra-sparse regime.
+    """
+
+    n: int
+    kappa: float
+    num_edges: int
+    bound: float
+
+    @property
+    def ratio_to_bound(self) -> float:
+        """``num_edges / bound`` — must be at most 1 for the paper's construction."""
+        return self.num_edges / self.bound if self.bound > 0 else float("inf")
+
+    @property
+    def extra_over_n(self) -> int:
+        """Edges beyond ``n`` (negative when the object is a forest-like object)."""
+        return self.num_edges - self.n
+
+    @property
+    def within_bound(self) -> bool:
+        """Whether ``num_edges <= n^(1 + 1/kappa)``."""
+        return self.num_edges <= self.bound + 1e-9
+
+
+def size_report(
+    subject: Union[Graph, WeightedGraph], kappa: float, n: Optional[int] = None
+) -> SizeReport:
+    """Build a :class:`SizeReport` for an emulator or spanner."""
+    if n is None:
+        n = subject.num_vertices
+    return SizeReport(
+        n=n, kappa=kappa, num_edges=subject.num_edges, bound=size_bound(n, kappa)
+    )
+
+
+def sparsity_ratio(subject: Union[Graph, WeightedGraph], graph: Graph) -> float:
+    """``edges(subject) / edges(graph)`` — how much sparser the object is."""
+    if graph.num_edges == 0:
+        return 0.0
+    return subject.num_edges / graph.num_edges
+
+
+def stretch_distribution(
+    graph: Graph,
+    emulator: WeightedGraph,
+    sample_pairs: Optional[int] = None,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Summarize the stretch distribution over (sampled) vertex pairs.
+
+    Returns a dictionary with keys ``pairs``, ``mean_multiplicative``,
+    ``max_multiplicative``, ``mean_additive``, ``max_additive`` and
+    ``p95_additive``.
+    """
+    n = graph.num_vertices
+    if sample_pairs is None:
+        pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    else:
+        pairs = sample_vertex_pairs(graph, sample_pairs, seed=seed)
+    by_source: Dict[int, List[int]] = {}
+    for u, v in pairs:
+        by_source.setdefault(u, []).append(v)
+
+    multiplicative: List[float] = []
+    additive: List[float] = []
+    for source, targets in sorted(by_source.items()):
+        d_g = bfs_distances(graph, source)
+        d_h = emulator.dijkstra(source)
+        for target in targets:
+            if target not in d_g:
+                continue
+            dg = float(d_g[target])
+            dh = float(d_h.get(target, float("inf")))
+            if dg > 0 and dh < float("inf"):
+                multiplicative.append(dh / dg)
+                additive.append(dh - dg)
+    if not multiplicative:
+        return {
+            "pairs": 0,
+            "mean_multiplicative": 1.0,
+            "max_multiplicative": 1.0,
+            "mean_additive": 0.0,
+            "max_additive": 0.0,
+            "p95_additive": 0.0,
+        }
+    additive_sorted = sorted(additive)
+    p95_index = min(len(additive_sorted) - 1, int(0.95 * len(additive_sorted)))
+    return {
+        "pairs": float(len(multiplicative)),
+        "mean_multiplicative": sum(multiplicative) / len(multiplicative),
+        "max_multiplicative": max(multiplicative),
+        "mean_additive": sum(additive) / len(additive),
+        "max_additive": max(additive),
+        "p95_additive": additive_sorted[p95_index],
+    }

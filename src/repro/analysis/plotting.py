@@ -1,0 +1,146 @@
+"""ASCII plots for "figure"-style experiment output.
+
+The reproduction has no plotting dependency, so experiments that are best
+read as a *figure* (scaling curves, trade-off frontiers) render a small ASCII
+scatter / line chart alongside their table.  The charts are deliberately
+coarse — their job is to make the shape (monotone? crossover? plateau?)
+visible in a terminal and in EXPERIMENTS.md code blocks, not to be pretty.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_scatter", "ascii_multi_series"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, cells: int) -> int:
+    """Map ``value`` in ``[low, high]`` to a cell index in ``[0, cells - 1]``."""
+    if high <= low:
+        return 0
+    ratio = (value - low) / (high - low)
+    return min(cells - 1, max(0, int(round(ratio * (cells - 1)))))
+
+
+def ascii_scatter(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+    logx: bool = False,
+    logy: bool = False,
+) -> str:
+    """Render a single-series ASCII scatter plot.
+
+    Parameters
+    ----------
+    xs, ys:
+        The data points (must be the same length and non-empty).
+    width, height:
+        Plot area size in character cells.
+    x_label, y_label, title:
+        Axis labels and optional title.
+    logx, logy:
+        Plot the logarithm of the respective coordinate (points must then be
+        strictly positive on that axis).
+    """
+    return ascii_multi_series(
+        {y_label: list(zip(xs, ys))},
+        width=width,
+        height=height,
+        x_label=x_label,
+        title=title,
+        logx=logx,
+        logy=logy,
+    )
+
+
+def ascii_multi_series(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    title: str = "",
+    logx: bool = False,
+    logy: bool = False,
+) -> str:
+    """Render several series on one ASCII plot, one marker per series.
+
+    ``series`` maps a series name to its ``(x, y)`` points.  The legend below
+    the plot shows which marker belongs to which series.
+    """
+    if not series:
+        raise ValueError("need at least one series to plot")
+    points_by_name: Dict[str, List[Tuple[float, float]]] = {}
+    for name, points in series.items():
+        converted: List[Tuple[float, float]] = []
+        for x, y in points:
+            px = float(x)
+            py = float(y)
+            if logx:
+                if px <= 0:
+                    raise ValueError(f"logx requires positive x, got {px}")
+                px = math.log10(px)
+            if logy:
+                if py <= 0:
+                    raise ValueError(f"logy requires positive y, got {py}")
+                py = math.log10(py)
+            converted.append((px, py))
+        if not converted:
+            raise ValueError(f"series {name!r} has no points")
+        points_by_name[name] = converted
+
+    all_points = [p for pts in points_by_name.values() for p in pts]
+    min_x = min(p[0] for p in all_points)
+    max_x = max(p[0] for p in all_points)
+    min_y = min(p[1] for p in all_points)
+    max_y = max(p[1] for p in all_points)
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, name in enumerate(sorted(points_by_name)):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for px, py in points_by_name[name]:
+            col = _scale(px, min_x, max_x, width)
+            row = height - 1 - _scale(py, min_y, max_y, height)
+            canvas[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_high = f"{max_y:.3g}"
+    y_low = f"{min_y:.3g}"
+    label_width = max(len(y_high), len(y_low))
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            prefix = y_high.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = y_low.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_low = f"{min_x:.3g}"
+    x_high = f"{max_x:.3g}"
+    gap = max(1, width - len(x_low) - len(x_high))
+    lines.append(" " * (label_width + 2) + x_low + " " * gap + x_high)
+    scale_note = []
+    if logx:
+        scale_note.append("x: log10")
+    if logy:
+        scale_note.append("y: log10")
+    footer = f"{x_label}"
+    if scale_note:
+        footer += f"  ({', '.join(scale_note)})"
+    lines.append(" " * (label_width + 2) + footer)
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}" for i, name in enumerate(sorted(points_by_name))
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

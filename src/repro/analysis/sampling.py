@@ -1,0 +1,38 @@
+"""Deterministic vertex-pair sampling for stretch evaluation on larger graphs."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.graphs.graph import Graph
+
+__all__ = ["sample_vertex_pairs"]
+
+
+def sample_vertex_pairs(graph: Graph, num_pairs: int, seed: int = 0) -> List[Tuple[int, int]]:
+    """Sample distinct unordered vertex pairs ``(u, v)`` with ``u < v``.
+
+    The sample is deterministic given ``seed``.  If the graph has fewer than
+    ``num_pairs`` possible pairs, all pairs are returned.
+    """
+    n = graph.num_vertices
+    if n < 2 or num_pairs <= 0:
+        return []
+    total_pairs = n * (n - 1) // 2
+    if num_pairs >= total_pairs:
+        return [(u, v) for u in range(n) for v in range(u + 1, n)]
+    rng = random.Random(seed)
+    chosen = set()
+    pairs: List[Tuple[int, int]] = []
+    while len(pairs) < num_pairs:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        pair = (u, v) if u < v else (v, u)
+        if pair in chosen:
+            continue
+        chosen.add(pair)
+        pairs.append(pair)
+    return pairs

@@ -1,0 +1,112 @@
+"""Small statistics helpers used by the experiment drivers.
+
+The experiment tables report summary statistics (means, percentiles) and —
+for the scaling experiments E2 / E7 — an empirical scaling exponent obtained
+from a least-squares fit on log-log data.  Keeping these here avoids each
+driver re-implementing the same three-line numerics and gives the tests one
+place to pin the behaviour down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["Summary", "summarize", "percentile", "loglog_slope", "geometric_mean"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample.
+
+    Attributes
+    ----------
+    count, mean, minimum, maximum, median, p95, std:
+        The usual suspects.  ``std`` is the population standard deviation
+        (``ddof=0``); experiments only use it for order-of-magnitude context.
+    """
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    median: float
+    p95: float
+    std: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of ``values`` (raises on an empty sample)."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    mean = sum(data) / len(data)
+    variance = sum((v - mean) ** 2 for v in data) / len(data)
+    return Summary(
+        count=len(data),
+        mean=mean,
+        minimum=min(data),
+        maximum=max(data),
+        median=percentile(data, 50.0),
+        p95=percentile(data, 95.0),
+        std=math.sqrt(variance),
+    )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (linear interpolation between order statistics)."""
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must lie in [0, 100], got {q}")
+    data = sorted(float(v) for v in values)
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return data[low]
+    fraction = rank - low
+    interpolated = data[low] * (1.0 - fraction) + data[high] * fraction
+    # Floating-point rounding can push the interpolated value a hair outside
+    # the bracketing order statistics; clamp so callers can rely on
+    # min(values) <= result <= max(values).
+    return min(max(interpolated, data[low]), data[high])
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot take the geometric mean of an empty sample")
+    if any(v <= 0 for v in data):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in data) / len(data))
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares slope and intercept of ``log(y)`` against ``log(x)``.
+
+    Used to estimate empirical scaling exponents: if ``y ≈ c * x^a`` then the
+    returned slope approximates ``a`` and the intercept approximates
+    ``log(c)``.  Requires at least two points with positive coordinates.
+    """
+    points = [
+        (math.log(float(x)), math.log(float(y)))
+        for x, y in zip(xs, ys)
+        if float(x) > 0 and float(y) > 0
+    ]
+    if len(points) < 2:
+        raise ValueError("loglog_slope needs at least two positive (x, y) points")
+    n = len(points)
+    mean_x = sum(p[0] for p in points) / n
+    mean_y = sum(p[1] for p in points) / n
+    covariance = sum((px - mean_x) * (py - mean_y) for px, py in points)
+    variance = sum((px - mean_x) ** 2 for px, _ in points)
+    if variance == 0:
+        raise ValueError("all x values are equal; slope is undefined")
+    slope = covariance / variance
+    intercept = mean_y - slope * mean_x
+    return slope, intercept

@@ -1,0 +1,66 @@
+"""Almost-shortest path lengths via an emulator.
+
+The historical motivation for near-additive emulators (Elkin [Elk01],
+Elkin–Zhang [EZ04]): computing almost-shortest paths from many sources is
+much cheaper on a sparse emulator than on the original graph, at the price of
+a ``(1 + eps, beta)`` approximation.  These helpers package that pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.core.emulator import EmulatorResult, build_emulator
+from repro.core.parameters import CentralizedSchedule, ultra_sparse_kappa
+from repro.graphs.graph import Graph
+
+__all__ = ["almost_shortest_path_lengths", "all_sources_almost_shortest_paths"]
+
+
+def _default_result(graph: Graph, eps: float, kappa: Optional[float]) -> EmulatorResult:
+    if kappa is None:
+        kappa = ultra_sparse_kappa(max(2, graph.num_vertices))
+    schedule = CentralizedSchedule(n=max(1, graph.num_vertices), eps=eps, kappa=kappa)
+    return build_emulator(graph, schedule=schedule)
+
+
+def almost_shortest_path_lengths(
+    graph: Graph,
+    source: int,
+    eps: float = 0.1,
+    kappa: Optional[float] = None,
+    emulator_result: Optional[EmulatorResult] = None,
+) -> Dict[int, float]:
+    """Single-source almost-shortest path lengths.
+
+    Returns ``vertex -> approximate distance`` where every value satisfies
+    ``d_G(source, v) <= value <= (1 + eps') d_G(source, v) + beta`` for the
+    emulator's guarantee ``(1 + eps', beta)``.
+
+    Passing a pre-built ``emulator_result`` amortizes the construction over
+    many calls; otherwise an ultra-sparse emulator is built on the fly.
+    """
+    if source not in graph:
+        raise ValueError(f"source {source} not in graph")
+    result = emulator_result or _default_result(graph, eps, kappa)
+    return result.emulator.dijkstra(source)
+
+
+def all_sources_almost_shortest_paths(
+    graph: Graph,
+    sources: Iterable[int],
+    eps: float = 0.1,
+    kappa: Optional[float] = None,
+) -> Dict[int, Dict[int, float]]:
+    """Almost-shortest path lengths from every vertex in ``sources``.
+
+    The emulator is built once and reused across all sources — the typical
+    S x V approximate-shortest-paths workload.
+    """
+    result = _default_result(graph, eps, kappa)
+    answers: Dict[int, Dict[int, float]] = {}
+    for source in sorted(set(sources)):
+        if source not in graph:
+            raise ValueError(f"source {source} not in graph")
+        answers[source] = result.emulator.dijkstra(source)
+    return answers

@@ -1,0 +1,138 @@
+"""Approximate distance oracle backed by an ultra-sparse emulator.
+
+A classic use of near-additive emulators (see the applications cited in the
+paper's introduction, e.g. [EP15], [ASZ20]): preprocess the graph once into a
+sparse emulator, then answer distance queries by running searches on the
+emulator instead of on the graph.  The answer for a pair ``(u, v)`` satisfies
+
+    d_G(u, v) <= answer <= (1 + eps') d_G(u, v) + beta
+
+where ``(1 + eps', beta)`` is the emulator's stretch guarantee.  In the
+ultra-sparse regime the oracle stores only ``n + o(n)`` weighted edges.
+
+Two query modes are provided:
+
+* :meth:`EmulatorDistanceOracle.query` — on-demand Dijkstra from the source,
+  memoized per source (good when queries cluster on few sources);
+* :meth:`EmulatorDistanceOracle.query_batch` — answer many pairs at once,
+  grouping by source.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.emulator import EmulatorResult, build_emulator
+from repro.core.parameters import CentralizedSchedule, ultra_sparse_kappa
+from repro.graphs.graph import Graph
+
+__all__ = ["EmulatorDistanceOracle"]
+
+
+class EmulatorDistanceOracle:
+    """Preprocess-once, query-many approximate distance oracle.
+
+    Parameters
+    ----------
+    graph:
+        The unweighted input graph.
+    eps:
+        Working epsilon of the emulator schedule.
+    kappa:
+        Sparsity parameter; ``None`` selects the ultra-sparse regime
+        ``kappa = omega(log n)`` automatically.
+    cache_sources:
+        Maximum number of per-source Dijkstra result maps kept in the memo
+        cache (LRU-ish: oldest inserted evicted first).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        eps: float = 0.1,
+        kappa: Optional[float] = None,
+        cache_sources: int = 64,
+    ) -> None:
+        if kappa is None:
+            kappa = ultra_sparse_kappa(max(2, graph.num_vertices))
+        schedule = CentralizedSchedule(n=max(1, graph.num_vertices), eps=eps, kappa=kappa)
+        self._graph = graph
+        self._result: EmulatorResult = build_emulator(graph, schedule=schedule)
+        self._cache: Dict[int, Dict[int, float]] = {}
+        self._cache_order: List[int] = []
+        self._cache_limit = max(1, cache_sources)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def emulator_result(self) -> EmulatorResult:
+        """The underlying emulator construction result."""
+        return self._result
+
+    @property
+    def space_in_edges(self) -> int:
+        """Number of weighted emulator edges stored by the oracle."""
+        return self._result.num_edges
+
+    @property
+    def alpha(self) -> float:
+        """Multiplicative term of the answer guarantee."""
+        return self._result.alpha
+
+    @property
+    def beta(self) -> float:
+        """Additive term of the answer guarantee."""
+        return self._result.beta
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, u: int, v: int) -> float:
+        """Approximate distance between ``u`` and ``v`` (``inf`` if disconnected)."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            return 0.0
+        dist = self._distances_from(u)
+        return dist.get(v, float("inf"))
+
+    def query_batch(self, pairs: Iterable[Tuple[int, int]]) -> List[float]:
+        """Approximate distances for many pairs, grouped by source."""
+        pairs = list(pairs)
+        by_source: Dict[int, List[int]] = {}
+        for u, v in pairs:
+            self._check_vertex(u)
+            self._check_vertex(v)
+            by_source.setdefault(u, [])
+        answers: List[float] = []
+        for u, v in pairs:
+            if u == v:
+                answers.append(0.0)
+            else:
+                answers.append(self._distances_from(u).get(v, float("inf")))
+        return answers
+
+    def single_source(self, source: int) -> Dict[int, float]:
+        """All approximate distances from ``source`` (a copy of the memoized map)."""
+        self._check_vertex(source)
+        return dict(self._distances_from(source))
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _distances_from(self, source: int) -> Dict[int, float]:
+        cached = self._cache.get(source)
+        if cached is not None:
+            return cached
+        dist = self._result.emulator.dijkstra(source)
+        self._cache[source] = dist
+        self._cache_order.append(source)
+        if len(self._cache_order) > self._cache_limit:
+            evicted = self._cache_order.pop(0)
+            self._cache.pop(evicted, None)
+        return dist
+
+    def _check_vertex(self, v: int) -> None:
+        if not (0 <= v < self._graph.num_vertices):
+            raise ValueError(f"vertex {v} out of range [0, {self._graph.num_vertices})")

@@ -1,0 +1,214 @@
+"""Decremental approximate distances with emulator rebuilds.
+
+Hopsets and emulators are the standard tool behind decremental (deletion
+only) approximate shortest-path data structures ([HKN18, BR11, LN20] in the
+paper's bibliography).  The full machinery of those papers is far beyond a
+reproduction's scope; what this module provides is the *pattern* they share,
+implemented honestly with the reproduction's own emulator:
+
+* the oracle maintains an ultra-sparse emulator of the current graph;
+* edge deletions are applied to the graph immediately and the emulator is
+  rebuilt lazily — either when a deleted edge invalidates an emulator edge
+  (its weight could now underestimate a distance) or after a configurable
+  number of deletions;
+* the *upper-bound* half of the guarantee survives deletions for free:
+  distances only grow when edges are deleted, so an emulator distance
+  computed for an older version of the graph still satisfies
+  ``d_H <= alpha * d_G + beta`` for the current graph.  The lower bound
+  (``d_H >= d_G``) is what a stale emulator can violate — answers between
+  rebuilds may undershoot the *current* distance because they are exact with
+  respect to a recent version of the graph.  Forced rebuilds (when a deleted
+  edge directly realized an emulator edge) and periodic rebuilds bound that
+  staleness.
+
+The accounting (`rebuilds`, `deletions`, `amortized_rebuild_ratio`) is what
+experiment E13 reports: how rarely a rebuild is actually needed on workloads
+where deletions are spread across the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.emulator import EmulatorResult, build_emulator
+from repro.core.parameters import CentralizedSchedule, ultra_sparse_kappa
+from repro.graphs.graph import Graph
+
+__all__ = ["DecrementalStats", "DecrementalEmulatorOracle"]
+
+
+@dataclass
+class DecrementalStats:
+    """Operation counters of a :class:`DecrementalEmulatorOracle`.
+
+    Attributes
+    ----------
+    deletions:
+        Number of successful edge deletions applied so far.
+    rebuilds:
+        Number of emulator rebuilds triggered (the initial build counts as
+        rebuild 0 and is not included).
+    forced_rebuilds:
+        Rebuilds forced because the emulator could have become invalid
+        (a deleted graph edge supported an emulator edge's weight).
+    queries:
+        Number of distance queries answered.
+    """
+
+    deletions: int = 0
+    rebuilds: int = 0
+    forced_rebuilds: int = 0
+    queries: int = 0
+
+    @property
+    def amortized_rebuild_ratio(self) -> float:
+        """Rebuilds per deletion (0 when no deletion occurred)."""
+        if self.deletions == 0:
+            return 0.0
+        return self.rebuilds / self.deletions
+
+
+class DecrementalEmulatorOracle:
+    """Deletion-only approximate distance oracle with lazy emulator rebuilds.
+
+    Parameters
+    ----------
+    graph:
+        The initial graph; the oracle takes a private copy, so the caller's
+        graph is never mutated.
+    eps:
+        Working epsilon of the emulator schedule.
+    kappa:
+        Emulator sparsity parameter; ``None`` selects the ultra-sparse
+        regime.
+    rebuild_every:
+        Rebuild the emulator after this many deletions even if no deletion
+        was detected to invalidate it (a safety valve keeping the stretch
+        close to the guarantee).  ``None`` disables periodic rebuilds and
+        rebuilds only when forced.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        eps: float = 0.1,
+        kappa: Optional[float] = None,
+        rebuild_every: Optional[int] = 16,
+    ) -> None:
+        if rebuild_every is not None and rebuild_every < 1:
+            raise ValueError("rebuild_every must be at least 1 (or None)")
+        self._graph = graph.copy()
+        self._eps = eps
+        if kappa is None:
+            kappa = ultra_sparse_kappa(max(2, graph.num_vertices))
+        self._kappa = kappa
+        self._rebuild_every = rebuild_every
+        self._deletions_since_rebuild = 0
+        self.stats = DecrementalStats()
+        self._result = self._build()
+
+    # ------------------------------------------------------------------
+    # Construction and maintenance
+    # ------------------------------------------------------------------
+    def _build(self) -> EmulatorResult:
+        """(Re)build the emulator for the current graph."""
+        schedule = CentralizedSchedule(
+            n=max(1, self._graph.num_vertices), eps=self._eps, kappa=self._kappa
+        )
+        result = build_emulator(self._graph, schedule=schedule)
+        self._deletions_since_rebuild = 0
+        return result
+
+    def _emulator_edge_support(self) -> Set[Tuple[int, int]]:
+        """Graph edges that directly realize a weight-1 emulator edge.
+
+        Deleting one of these edges is the cheap-to-detect case where the
+        emulator might now *underestimate* a distance, which would break the
+        lower-bound half of the guarantee; such deletions force a rebuild.
+        Heavier emulator edges can only become under-estimates as well, but
+        detecting that exactly would require a shortest-path recomputation —
+        the periodic rebuild covers them.
+        """
+        support: Set[Tuple[int, int]] = set()
+        for u, v, w in self._result.emulator.edges():
+            if w <= 1.0 + 1e-9:
+                support.add((u, v) if u < v else (v, u))
+        return support
+
+    def delete_edge(self, u: int, v: int) -> bool:
+        """Delete the graph edge ``(u, v)``.
+
+        Returns ``True`` if the edge existed.  The emulator is rebuilt
+        immediately when the deletion could invalidate it, or when the
+        periodic rebuild threshold is reached.
+        """
+        removed = self._graph.remove_edge(u, v)
+        if not removed:
+            return False
+        self.stats.deletions += 1
+        self._deletions_since_rebuild += 1
+        key = (u, v) if u < v else (v, u)
+        if key in self._emulator_edge_support():
+            self.stats.rebuilds += 1
+            self.stats.forced_rebuilds += 1
+            self._result = self._build()
+        elif (
+            self._rebuild_every is not None
+            and self._deletions_since_rebuild >= self._rebuild_every
+        ):
+            self.stats.rebuilds += 1
+            self._result = self._build()
+        return True
+
+    def delete_edges(self, edges: List[Tuple[int, int]]) -> int:
+        """Delete a batch of edges; returns how many actually existed."""
+        return sum(1 for u, v in edges if self.delete_edge(u, v))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, u: int, v: int) -> float:
+        """Approximate distance in the *current* graph; ``inf`` if disconnected."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        self.stats.queries += 1
+        if u == v:
+            return 0.0
+        return self._result.emulator.dijkstra(u).get(v, float("inf"))
+
+    def single_source(self, source: int) -> Dict[int, float]:
+        """All approximate distances from ``source`` in the current graph."""
+        self._check_vertex(source)
+        self.stats.queries += 1
+        return self._result.emulator.dijkstra(source)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The current (post-deletions) graph — a copy, safe to inspect."""
+        return self._graph.copy()
+
+    @property
+    def emulator_result(self) -> EmulatorResult:
+        """The emulator currently backing queries."""
+        return self._result
+
+    @property
+    def alpha(self) -> float:
+        """Multiplicative term of the current guarantee."""
+        return self._result.alpha
+
+    @property
+    def beta(self) -> float:
+        """Additive term of the current guarantee."""
+        return self._result.beta
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _check_vertex(self, v: int) -> None:
+        if v not in self._graph:
+            raise ValueError(f"vertex {v} out of range [0, {self._graph.num_vertices})")

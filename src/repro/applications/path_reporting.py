@@ -1,0 +1,170 @@
+"""Path-reporting approximate distance oracle.
+
+Distance oracles that can return an actual *path* — not just a length — are
+one of the applications the paper's introduction cites ([EP15]).  An emulator
+makes this slightly subtle: its edges are weighted shortcuts, not graph
+edges, so an emulator shortest path must be expanded back into a walk of the
+original graph before it can be handed to a caller that wants to route along
+real edges.
+
+:class:`PathReportingOracle` does exactly that:
+
+* distances are computed on the ultra-sparse emulator (cheap);
+* every emulator edge ``(u, v, w)`` is expanded, on demand and memoized, into
+  a shortest ``u``–``v`` path of the input graph (its length is exactly ``w``
+  because emulator weights are graph distances);
+* the reported path is therefore a real walk in ``G`` whose length equals the
+  emulator distance, i.e. it satisfies the same ``(alpha, beta)`` guarantee
+  as the emulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import heapq
+
+from repro.core.emulator import EmulatorResult, build_emulator
+from repro.core.parameters import CentralizedSchedule, ultra_sparse_kappa
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import bfs_tree
+from repro.graphs.weighted_graph import WeightedGraph
+
+__all__ = ["PathReportingOracle"]
+
+
+class PathReportingOracle:
+    """Approximate shortest *paths* (as vertex lists) through an emulator.
+
+    Parameters
+    ----------
+    graph:
+        The unweighted input graph.
+    eps:
+        Working epsilon of the emulator schedule.
+    kappa:
+        Emulator sparsity parameter; ``None`` selects the ultra-sparse
+        regime.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        eps: float = 0.1,
+        kappa: Optional[float] = None,
+    ) -> None:
+        if kappa is None:
+            kappa = ultra_sparse_kappa(max(2, graph.num_vertices))
+        schedule = CentralizedSchedule(n=max(1, graph.num_vertices), eps=eps, kappa=kappa)
+        self._graph = graph
+        self._result: EmulatorResult = build_emulator(graph, schedule=schedule)
+        self._expansion_cache: Dict[Tuple[int, int], List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def emulator_result(self) -> EmulatorResult:
+        """The emulator backing the oracle."""
+        return self._result
+
+    @property
+    def alpha(self) -> float:
+        """Multiplicative term of the path-length guarantee."""
+        return self._result.alpha
+
+    @property
+    def beta(self) -> float:
+        """Additive term of the path-length guarantee."""
+        return self._result.beta
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query_path(self, source: int, target: int) -> Optional[List[int]]:
+        """A real graph walk from ``source`` to ``target``.
+
+        The returned list starts at ``source``, ends at ``target``, every
+        consecutive pair is an edge of the input graph, and the number of
+        edges is at most ``alpha * d_G(source, target) + beta``.  Returns
+        ``None`` when the vertices are disconnected.
+        """
+        self._check_vertex(source)
+        self._check_vertex(target)
+        if source == target:
+            return [source]
+        emulator_path = self._emulator_path(source, target)
+        if emulator_path is None:
+            return None
+        walk: List[int] = [source]
+        for u, v in zip(emulator_path, emulator_path[1:]):
+            segment = self._expand_edge(u, v)
+            walk.extend(segment[1:])
+        return walk
+
+    def query_length(self, source: int, target: int) -> float:
+        """Length (number of edges) of :meth:`query_path`; ``inf`` if disconnected."""
+        path = self.query_path(source, target)
+        if path is None:
+            return float("inf")
+        return float(len(path) - 1)
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _emulator_path(self, source: int, target: int) -> Optional[List[int]]:
+        """Shortest path between ``source`` and ``target`` in the emulator."""
+        emulator: WeightedGraph = self._result.emulator
+        dist: Dict[int, float] = {source: 0.0}
+        parent: Dict[int, int] = {source: source}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        settled: Dict[int, float] = {}
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled[u] = d
+            if u == target:
+                break
+            for v, w in emulator.neighbors(u).items():
+                nd = d + w
+                if v not in settled and nd < dist.get(v, float("inf")):
+                    dist[v] = nd
+                    parent[v] = u
+                    heapq.heappush(heap, (nd, v))
+        if target not in settled:
+            return None
+        path = [target]
+        while path[-1] != source:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return path
+
+    def _expand_edge(self, u: int, v: int) -> List[int]:
+        """A shortest ``u``–``v`` path of the input graph (memoized).
+
+        Emulator edge weights equal graph distances, so a BFS from ``u``
+        reaches ``v`` along a path of exactly that length.
+        """
+        key = (u, v) if u < v else (v, u)
+        cached = self._expansion_cache.get(key)
+        if cached is None:
+            parent = bfs_tree(self._graph, key[0])
+            if key[1] not in parent:
+                raise AssertionError(
+                    f"emulator edge ({u}, {v}) connects vertices that are "
+                    "disconnected in the input graph"
+                )
+            path = [key[1]]
+            while path[-1] != key[0]:
+                path.append(parent[path[-1]])
+            path.reverse()
+            cached = path
+            self._expansion_cache[key] = cached
+        if cached[0] == u:
+            return cached
+        return list(reversed(cached))
+
+    def _check_vertex(self, v: int) -> None:
+        if v not in self._graph:
+            raise ValueError(f"vertex {v} out of range [0, {self._graph.num_vertices})")

@@ -1,0 +1,234 @@
+"""Landmark (cluster-center) based approximate routing and distance labels.
+
+One of the classical applications of sparse emulators and spanners surveyed
+in the paper's introduction is compact routing / distance labelling: instead
+of storing all-pairs distances (``Theta(n^2)`` words), every vertex keeps a
+small local table and distances are estimated from the tables alone.
+
+The scheme implemented here uses the emulator's own cluster hierarchy:
+
+* the *landmarks* are the centers of the clusters of the last non-empty
+  partial partition produced by Algorithm 1 (a small set — at most
+  ``deg_ell`` by Lemma 2.3);
+* every vertex ``v`` stores its nearest landmark ``l(v)`` and the exact
+  distance ``d_G(v, l(v))``;
+* landmark-to-landmark distances are taken from the ultra-sparse emulator,
+  so the global table has ``O(|landmarks|^2)`` entries but each entry was
+  computed on a graph with ``n + o(n)`` edges.
+
+A query for ``(u, v)`` returns ``d(u, l(u)) + d_H(l(u), l(v)) + d(v, l(v))``
+— an upper bound on a real path, never an underestimate beyond the emulator
+guarantee, with stretch governed by how well the landmarks cover the graph.
+The point of the experiment built on top of this module (E13) is to show the
+emulator makes the preprocessing cheap, not to compete with specialized
+routing schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.emulator import EmulatorResult, build_emulator
+from repro.core.parameters import CentralizedSchedule, ultra_sparse_kappa
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import bfs_distances, multi_source_bfs
+from repro.graphs.weighted_graph import WeightedGraph
+
+__all__ = ["RoutingTables", "LandmarkRoutingScheme"]
+
+
+@dataclass
+class RoutingTables:
+    """The per-vertex and global state stored by the routing scheme.
+
+    Attributes
+    ----------
+    landmarks:
+        Sorted list of landmark vertices.
+    nearest_landmark:
+        ``vertex -> its nearest landmark`` (ties toward the smallest ID).
+    distance_to_landmark:
+        ``vertex -> d_G(vertex, nearest landmark)``.
+    landmark_distances:
+        ``(landmark, landmark) -> emulator distance`` for ordered pairs with
+        ``first <= second``.
+    """
+
+    landmarks: List[int]
+    nearest_landmark: Dict[int, int]
+    distance_to_landmark: Dict[int, float]
+    landmark_distances: Dict[Tuple[int, int], float]
+
+    @property
+    def words_per_vertex(self) -> float:
+        """Average number of table words stored per vertex (local + amortized global)."""
+        n = max(1, len(self.nearest_landmark))
+        local = 2.0  # nearest landmark id + distance
+        global_share = 2.0 * len(self.landmark_distances) / n
+        return local + global_share
+
+    @property
+    def total_words(self) -> int:
+        """Total words across all tables."""
+        return 2 * len(self.nearest_landmark) + 2 * len(self.landmark_distances)
+
+
+class LandmarkRoutingScheme:
+    """Preprocess a graph into landmark routing tables and answer queries.
+
+    Parameters
+    ----------
+    graph:
+        The unweighted input graph.
+    eps:
+        Working epsilon of the emulator schedule used for the landmark
+        distance table.
+    kappa:
+        Sparsity parameter of the emulator; ``None`` selects the ultra-sparse
+        regime.
+    landmarks:
+        Explicit landmark set; when omitted, the centers of the last
+        non-empty partition of the emulator construction are used (falling
+        back to vertex 0 for graphs where every partition is singleton).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        eps: float = 0.1,
+        kappa: Optional[float] = None,
+        landmarks: Optional[Iterable[int]] = None,
+    ) -> None:
+        if graph.num_vertices == 0:
+            raise ValueError("cannot build a routing scheme on the empty graph")
+        if kappa is None:
+            kappa = ultra_sparse_kappa(max(2, graph.num_vertices))
+        schedule = CentralizedSchedule(n=graph.num_vertices, eps=eps, kappa=kappa)
+        self._graph = graph
+        self._result: EmulatorResult = build_emulator(graph, schedule=schedule)
+        if landmarks is None:
+            landmarks = self._default_landmarks(self._result)
+        self._tables = self._build_tables(graph, self._result.emulator, sorted(set(landmarks)))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _default_landmarks(result: EmulatorResult) -> List[int]:
+        """Centers of the last non-empty partial partition of the construction."""
+        for partition in reversed(result.partitions):
+            centers = sorted(partition.centers())
+            if centers:
+                return centers
+        return [0]
+
+    @staticmethod
+    def _build_tables(
+        graph: Graph, emulator: WeightedGraph, landmarks: List[int]
+    ) -> RoutingTables:
+        """Compute nearest-landmark assignments and landmark-pair distances."""
+        if not landmarks:
+            raise ValueError("landmark set must be non-empty")
+        for landmark in landmarks:
+            if landmark not in graph:
+                raise ValueError(f"landmark {landmark} is not a vertex of the graph")
+        dist, origin = multi_source_bfs(graph, landmarks)
+        nearest = {v: origin[v] for v in dist}
+        distance_to = {v: float(d) for v, d in dist.items()}
+        landmark_distances: Dict[Tuple[int, int], float] = {}
+        for landmark in landmarks:
+            from_landmark = emulator.dijkstra(landmark)
+            for other in landmarks:
+                if other < landmark:
+                    continue
+                key = (landmark, other)
+                if landmark == other:
+                    landmark_distances[key] = 0.0
+                else:
+                    landmark_distances[key] = from_landmark.get(other, float("inf"))
+        return RoutingTables(
+            landmarks=landmarks,
+            nearest_landmark=nearest,
+            distance_to_landmark=distance_to,
+            landmark_distances=landmark_distances,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def tables(self) -> RoutingTables:
+        """The routing tables."""
+        return self._tables
+
+    @property
+    def emulator_result(self) -> EmulatorResult:
+        """The emulator construction the landmark distances were computed on."""
+        return self._result
+
+    @property
+    def num_landmarks(self) -> int:
+        """Number of landmarks."""
+        return len(self._tables.landmarks)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def estimate(self, u: int, v: int) -> float:
+        """Routing estimate of ``d_G(u, v)``; ``inf`` if either vertex is uncovered.
+
+        The estimate goes through the nearest landmarks of both endpoints and
+        is therefore an *upper bound shape* — for vertices very close to each
+        other it can exceed the true distance by up to twice the covering
+        radius of the landmark set.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            return 0.0
+        tables = self._tables
+        lu = tables.nearest_landmark.get(u)
+        lv = tables.nearest_landmark.get(v)
+        if lu is None or lv is None:
+            return float("inf")
+        key = (lu, lv) if lu <= lv else (lv, lu)
+        middle = tables.landmark_distances.get(key, float("inf"))
+        return tables.distance_to_landmark[u] + middle + tables.distance_to_landmark[v]
+
+    def stretch_summary(self, sample_sources: int = 8) -> Dict[str, float]:
+        """Measure the estimate quality against exact distances.
+
+        Runs exact BFS from up to ``sample_sources`` deterministic sources and
+        reports mean / max multiplicative stretch and the additive overhead
+        of the landmark detour, restricted to pairs in the same component.
+        """
+        n = self._graph.num_vertices
+        sources = list(range(0, n, max(1, n // max(1, sample_sources))))[:sample_sources]
+        ratios: List[float] = []
+        additive: List[float] = []
+        for source in sources:
+            exact = bfs_distances(self._graph, source)
+            for target, dg in exact.items():
+                if target <= source or dg == 0:
+                    continue
+                est = self.estimate(source, target)
+                if est == float("inf"):
+                    continue
+                ratios.append(est / dg)
+                additive.append(est - dg)
+        if not ratios:
+            return {"pairs": 0.0, "mean_stretch": 1.0, "max_stretch": 1.0, "max_additive": 0.0}
+        return {
+            "pairs": float(len(ratios)),
+            "mean_stretch": sum(ratios) / len(ratios),
+            "max_stretch": max(ratios),
+            "max_additive": max(additive),
+        }
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _check_vertex(self, v: int) -> None:
+        if v not in self._graph:
+            raise ValueError(f"vertex {v} out of range [0, {self._graph.num_vertices})")

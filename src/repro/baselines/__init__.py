@@ -1,0 +1,38 @@
+"""Baseline constructions the paper compares against.
+
+* :mod:`repro.baselines.elkin_peleg` — an EP01-style emulator (superclusters
+  without the buffer set, plus a ground-partition forest), whose size has a
+  leading constant strictly larger than 1.
+* :mod:`repro.baselines.thorup_zwick` — the TZ06 scale-free randomized
+  emulator (sampling-based superclustering, no distance thresholds).
+* :mod:`repro.baselines.elkin_neiman` — the EN17a randomized linear-size
+  emulator (sampled superclustering with distance thresholds).
+* :mod:`repro.baselines.em19_spanner` — an EM19-style spanner with the
+  un-slowed degree sequence, of size ``O(beta n^(1+1/kappa))``.
+* :mod:`repro.baselines.multiplicative` — classic greedy multiplicative
+  spanners (Althöfer et al.), used as sanity comparators.
+* :mod:`repro.baselines.baswana_sen` — the randomized clustering-based
+  ``(2k - 1)``-multiplicative spanner of Baswana and Sen.
+* :mod:`repro.baselines.additive_spanners` — the purely additive +2 spanner
+  of Aingworth et al. (``O(n^{3/2})`` edges), calibrating the near-additive
+  vs purely-additive sparsity gap.
+"""
+
+from repro.baselines.elkin_peleg import build_elkin_peleg_emulator
+from repro.baselines.thorup_zwick import build_thorup_zwick_emulator
+from repro.baselines.elkin_neiman import build_elkin_neiman_emulator
+from repro.baselines.em19_spanner import build_em19_spanner
+from repro.baselines.multiplicative import greedy_multiplicative_spanner, bfs_tree_spanner
+from repro.baselines.baswana_sen import baswana_sen_spanner
+from repro.baselines.additive_spanners import additive_two_spanner
+
+__all__ = [
+    "build_elkin_peleg_emulator",
+    "build_thorup_zwick_emulator",
+    "build_elkin_neiman_emulator",
+    "build_em19_spanner",
+    "greedy_multiplicative_spanner",
+    "bfs_tree_spanner",
+    "baswana_sen_spanner",
+    "additive_two_spanner",
+]

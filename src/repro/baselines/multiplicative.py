@@ -1,0 +1,80 @@
+"""Classic multiplicative spanners, used as sanity comparators.
+
+* :func:`greedy_multiplicative_spanner` — the greedy ``(2k - 1)``-spanner of
+  Althöfer et al.: scan edges and keep an edge only if the spanner built so
+  far does not already provide a path of length at most ``2k - 1`` between
+  its endpoints.  Guarantees ``O(n^(1 + 1/k))`` edges.
+* :func:`bfs_tree_spanner` — a spanning forest (stretch up to the diameter),
+  the trivially sparsest connected spanner.
+
+These have purely multiplicative stretch, unlike the near-additive objects
+the paper studies, but they calibrate the size numbers in experiment E4's
+report (e.g. an ultra-sparse emulator should not be much denser than a
+spanning forest).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict
+
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import bfs_tree
+
+__all__ = ["greedy_multiplicative_spanner", "bfs_tree_spanner"]
+
+
+def greedy_multiplicative_spanner(graph: Graph, k: int) -> Graph:
+    """Greedy ``(2k - 1)``-multiplicative spanner (Althöfer et al.).
+
+    Parameters
+    ----------
+    graph:
+        The unweighted input graph.
+    k:
+        Stretch parameter; the result is a ``(2k - 1)``-spanner with
+        ``O(n^(1 + 1/k))`` edges.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    stretch = 2 * k - 1
+    spanner = Graph(graph.num_vertices)
+    for u, v in sorted(graph.edges()):
+        if _bounded_distance(spanner, u, v, stretch) > stretch:
+            spanner.add_edge(u, v)
+    return spanner
+
+
+def _bounded_distance(graph: Graph, source: int, target: int, bound: int) -> float:
+    """Distance from ``source`` to ``target`` in ``graph``, or ``inf`` if ``> bound``."""
+    if source == target:
+        return 0
+    dist: Dict[int, int] = {source: 0}
+    queue: deque = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        if du >= bound:
+            continue
+        for w in graph.neighbors(u):
+            if w == target:
+                return du + 1
+            if w not in dist:
+                dist[w] = du + 1
+                queue.append(w)
+    return float("inf")
+
+
+def bfs_tree_spanner(graph: Graph) -> Graph:
+    """A spanning forest of ``graph`` (one BFS tree per connected component)."""
+    spanner = Graph(graph.num_vertices)
+    visited = set()
+    for start in range(graph.num_vertices):
+        if start in visited:
+            continue
+        parent = bfs_tree(graph, start)
+        for v, p in parent.items():
+            visited.add(v)
+            if p != v:
+                spanner.add_edge(v, p)
+    return spanner

@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro`` / ``repro-emulator``.
+
+Sub-commands
+------------
+``build``
+    Build an emulator or spanner for a graph read from an edge-list file (or
+    a generated workload) and write it out as a weighted edge list.
+``verify``
+    Check a previously built emulator against its graph.
+``experiments``
+    Run the experiment suite (E1-E13) and print the result tables.
+``hopset``
+    Build an emulator-derived hopset and report its size and measured
+    hopbound.
+``oracle``
+    Preprocess a graph into an approximate distance oracle and answer a list
+    of ``u:v`` queries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.validation import verify_emulator
+from repro.core.emulator import build_emulator
+from repro.core.fast_centralized import build_emulator_fast
+from repro.core.spanner import build_near_additive_spanner
+from repro.distributed.emulator_congest import build_emulator_congest
+from repro.experiments.runner import available_experiments, run_all, run_experiment
+from repro.experiments.workloads import workload_by_name
+from repro.graphs import io as graph_io
+from repro.graphs.graph import Graph
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-emulator",
+        description="Ultra-sparse near-additive emulators (Elkin & Matar, PODC 2021)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    build = subparsers.add_parser("build", help="build an emulator or spanner")
+    build.add_argument("--input", help="edge-list file (header 'n m', lines 'u v')")
+    build.add_argument("--family", help="generate a workload family instead of reading a file")
+    build.add_argument("--n", type=int, default=256, help="size of the generated workload")
+    build.add_argument("--seed", type=int, default=0, help="workload generator seed")
+    build.add_argument(
+        "--algorithm",
+        choices=["centralized", "fast", "congest", "spanner"],
+        default="centralized",
+        help="which construction to run",
+    )
+    build.add_argument("--eps", type=float, default=0.1, help="epsilon parameter")
+    build.add_argument("--kappa", type=float, default=4.0, help="kappa (sparsity) parameter")
+    build.add_argument("--rho", type=float, default=0.45, help="rho parameter (fast/congest/spanner)")
+    build.add_argument("--output", help="write the result as a (weighted) edge list")
+
+    verify = subparsers.add_parser("verify", help="verify an emulator against its graph")
+    verify.add_argument("--graph", required=True, help="edge-list file of the original graph")
+    verify.add_argument("--emulator", required=True, help="weighted edge-list file of the emulator")
+    verify.add_argument("--alpha", type=float, required=True, help="multiplicative stretch bound")
+    verify.add_argument("--beta", type=float, required=True, help="additive stretch bound")
+    verify.add_argument("--sample-pairs", type=int, default=None,
+                        help="check only this many sampled pairs (default: all pairs)")
+
+    experiments = subparsers.add_parser("experiments", help="run the E1-E13 experiment suite")
+    experiments.add_argument("--only", choices=available_experiments(), default=None,
+                             help="run a single experiment")
+    experiments.add_argument("--full", action="store_true",
+                             help="use the larger (slower) workload sizes")
+
+    hopset = subparsers.add_parser("hopset", help="build an emulator-derived hopset")
+    hopset.add_argument("--input", help="edge-list file (header 'n m', lines 'u v')")
+    hopset.add_argument("--family", help="generate a workload family instead of reading a file")
+    hopset.add_argument("--n", type=int, default=256, help="size of the generated workload")
+    hopset.add_argument("--seed", type=int, default=0, help="workload generator seed")
+    hopset.add_argument("--eps", type=float, default=0.1, help="epsilon parameter")
+    hopset.add_argument("--kappa", type=float, default=None,
+                        help="kappa parameter (default: ultra-sparse omega(log n))")
+    hopset.add_argument("--sample-pairs", type=int, default=200,
+                        help="pairs used when measuring the hopbound")
+    hopset.add_argument("--output", help="write the hopset as a weighted edge list")
+
+    oracle = subparsers.add_parser("oracle", help="answer approximate distance queries")
+    oracle.add_argument("--input", help="edge-list file (header 'n m', lines 'u v')")
+    oracle.add_argument("--family", help="generate a workload family instead of reading a file")
+    oracle.add_argument("--n", type=int, default=256, help="size of the generated workload")
+    oracle.add_argument("--seed", type=int, default=0, help="workload generator seed")
+    oracle.add_argument("--eps", type=float, default=0.1, help="epsilon parameter")
+    oracle.add_argument("--kappa", type=float, default=None,
+                        help="kappa parameter (default: ultra-sparse omega(log n))")
+    oracle.add_argument("--queries", nargs="+", default=[],
+                        help="queries as 'u:v' pairs, e.g. 0:17 3:42")
+    return parser
+
+
+def _load_graph(args: argparse.Namespace) -> Graph:
+    if args.input:
+        return graph_io.read_edge_list(args.input)
+    family = args.family or "erdos-renyi"
+    return workload_by_name(family, args.n, seed=args.seed).graph
+
+
+def _command_build(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    eps = args.eps
+    if args.algorithm == "centralized":
+        result = build_emulator(graph, eps=eps, kappa=args.kappa)
+        subject = result.emulator
+        print(f"emulator: {subject.num_edges} edges "
+              f"(bound {result.size_bound:.1f}, alpha {result.alpha:.3f}, beta {result.beta:.1f})")
+    elif args.algorithm == "fast":
+        result = build_emulator_fast(graph, eps=min(eps, 0.01), kappa=args.kappa, rho=args.rho)
+        subject = result.emulator
+        print(f"emulator (fast): {subject.num_edges} edges (bound {result.size_bound:.1f})")
+    elif args.algorithm == "congest":
+        result = build_emulator_congest(graph, eps=min(eps, 0.01), kappa=args.kappa, rho=args.rho)
+        subject = result.emulator
+        print(f"emulator (CONGEST): {subject.num_edges} edges, {result.rounds} rounds, "
+              f"{result.messages} messages, both-endpoints-know="
+              f"{result.both_endpoints_know_all_edges()}")
+    else:
+        result = build_near_additive_spanner(graph, eps=min(eps, 0.01), kappa=args.kappa,
+                                             rho=args.rho)
+        print(f"spanner: {result.num_edges} edges (subgraph of input: "
+              f"{result.is_subgraph_of(graph)})")
+        if args.output:
+            graph_io.write_edge_list(result.spanner, args.output)
+            print(f"wrote {args.output}")
+        return 0
+    if args.output:
+        graph_io.write_weighted_edge_list(subject, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _command_verify(args: argparse.Namespace) -> int:
+    graph = graph_io.read_edge_list(args.graph)
+    emulator = graph_io.read_weighted_edge_list(args.emulator)
+    report = verify_emulator(graph, emulator, args.alpha, args.beta,
+                             sample_pairs=args.sample_pairs)
+    print(f"pairs checked: {report.pairs_checked}")
+    print(f"max multiplicative stretch: {report.max_multiplicative_stretch:.4f}")
+    print(f"max additive error: {report.max_additive_error:.4f}")
+    print(f"valid: {report.valid}")
+    return 0 if report.valid else 1
+
+
+def _command_hopset(args: argparse.Namespace) -> int:
+    from repro.hopsets.hopset import build_hopset, exact_hopbound
+
+    graph = _load_graph(args)
+    result = build_hopset(graph, eps=args.eps, kappa=args.kappa)
+    hopbound = exact_hopbound(graph, result.hopset, sample_pairs=args.sample_pairs)
+    print(f"hopset: {result.num_edges} edges "
+          f"(alpha {result.alpha:.3f}, beta {result.beta:.1f})")
+    print(f"measured hopbound (exact union distances, {args.sample_pairs} pairs): {hopbound}")
+    if args.output:
+        graph_io.write_weighted_edge_list(result.hopset, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _parse_query(raw: str) -> tuple:
+    parts = raw.split(":")
+    if len(parts) != 2:
+        raise ValueError(f"query {raw!r} is not of the form u:v")
+    return int(parts[0]), int(parts[1])
+
+
+def _command_oracle(args: argparse.Namespace) -> int:
+    from repro.applications.distance_oracle import EmulatorDistanceOracle
+
+    graph = _load_graph(args)
+    try:
+        queries = [_parse_query(raw) for raw in args.queries]
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(2)
+    oracle = EmulatorDistanceOracle(graph, eps=args.eps, kappa=args.kappa)
+    print(f"oracle: {oracle.space_in_edges} stored edges "
+          f"(alpha {oracle.alpha:.3f}, beta {oracle.beta:.1f})")
+    for u, v in queries:
+        print(f"d({u}, {v}) <= {oracle.query(u, v)}")
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    quick = not args.full
+    if args.only:
+        print(run_experiment(args.only, quick=quick))
+        return 0
+    for experiment_id, table in run_all(quick=quick).items():
+        print(table)
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "build":
+        return _command_build(args)
+    if args.command == "verify":
+        return _command_verify(args)
+    if args.command == "experiments":
+        return _command_experiments(args)
+    if args.command == "hopset":
+        return _command_hopset(args)
+    if args.command == "oracle":
+        return _command_oracle(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""CONGEST-model substrate: a synchronous message-passing simulator plus
+the distributed primitives the paper's Section 3 construction relies on.
+
+* :class:`repro.congest.network.SynchronousNetwork` — round-driven simulator
+  over an input graph, enforcing the CONGEST bandwidth constraint (at most
+  one O(1)-word message per directed edge per round) and tracking round and
+  message counts.
+* :mod:`repro.congest.primitives` — distributed BFS / bounded flood /
+  broadcast and convergecast on trees, written against the simulator.
+* :mod:`repro.congest.bellman_ford` — the modified Bellman–Ford exploration
+  of EM19 (Algorithm 2 in the paper) used to detect popular clusters; this
+  runs at stride granularity with explicit bandwidth accounting.
+* :mod:`repro.congest.ruling_sets` — deterministic ruling sets: a greedy
+  centralized construction matching the (sep, rul) interface of Theorem 3.2,
+  and a distributed bitwise construction running on the simulator.
+"""
+
+from repro.congest.message import Message
+from repro.congest.network import BandwidthViolation, SynchronousNetwork
+from repro.congest.primitives import (
+    distributed_bfs,
+    bounded_flood,
+    broadcast_on_tree,
+    convergecast_on_tree,
+)
+from repro.congest.bellman_ford import PopularDetectionResult, detect_popular_clusters
+from repro.congest.ruling_sets import (
+    RulingSetResult,
+    greedy_ruling_set,
+    bitwise_ruling_set,
+    verify_ruling_set,
+)
+from repro.congest.source_detection import (
+    SourceDetectionResult,
+    source_detection,
+    detect_popular_via_source_detection,
+)
+from repro.congest.tracing import NetworkTracer, RoundRecord, TraceSummary
+
+__all__ = [
+    "NetworkTracer",
+    "RoundRecord",
+    "TraceSummary",
+    "Message",
+    "SynchronousNetwork",
+    "BandwidthViolation",
+    "distributed_bfs",
+    "bounded_flood",
+    "broadcast_on_tree",
+    "convergecast_on_tree",
+    "PopularDetectionResult",
+    "detect_popular_clusters",
+    "RulingSetResult",
+    "greedy_ruling_set",
+    "bitwise_ruling_set",
+    "verify_ruling_set",
+    "SourceDetectionResult",
+    "source_detection",
+    "detect_popular_via_source_detection",
+]

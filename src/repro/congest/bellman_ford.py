@@ -1,0 +1,163 @@
+"""Popular-cluster detection — Algorithm 2 (modified Bellman–Ford of EM19).
+
+Each phase of the distributed construction starts by detecting which clusters
+are *popular*, i.e. have at least ``deg_i`` other cluster centers within
+distance ``delta_i``.  Algorithm 2 runs a bandwidth-capped multi-source
+Bellman–Ford exploration: ``delta_i`` strides, each of ``deg_i`` rounds;
+every vertex forwards at most ``deg_i + 1`` of the cluster-center
+announcements it learned in the previous stride.
+
+The cap guarantees (Theorem 3.1):
+
+1. every center that is truly popular learns about at least ``deg_i`` other
+   centers (so the returned set ``W_i`` contains all popular centers), and
+2. every *unpopular* center learns the identity of, and exact distance to,
+   **all** centers within distance ``delta_i``.
+
+The implementation below simulates the exploration at stride granularity —
+one Python iteration per stride, with the per-vertex forwarding cap applied
+exactly — and charges ``delta_i * (deg_i cap)`` rounds to the network, which
+is the round count of the paper's round-by-round execution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.congest.network import SynchronousNetwork
+from repro.graphs.graph import Graph
+
+__all__ = ["PopularDetectionResult", "detect_popular_clusters"]
+
+
+@dataclass
+class PopularDetectionResult:
+    """Output of the popular-cluster detection (Algorithm 2).
+
+    Attributes
+    ----------
+    popular:
+        The set ``W_i`` of centers that learned about at least ``deg``
+        other centers.
+    knowledge:
+        ``center -> {other center -> exact distance}`` for every *queried*
+        center.  For unpopular centers this contains every center within the
+        distance threshold (Theorem 3.1, item 2); for popular centers it
+        contains at least ``deg`` entries.
+    all_learned:
+        ``vertex -> {center -> distance}`` for *every* vertex of the graph —
+        what each processor knows at the end of the exploration.  The
+        interconnection step uses this to check that the second endpoint of
+        every new emulator edge has learned of it.
+    rounds:
+        CONGEST rounds charged for the exploration.
+    messages:
+        Number of (capped) announcements forwarded in total.
+    """
+
+    popular: Set[int]
+    knowledge: Dict[int, Dict[int, int]]
+    all_learned: Dict[int, Dict[int, int]]
+    rounds: int
+    messages: int
+
+
+def detect_popular_clusters(
+    graph: Graph,
+    centers: Iterable[int],
+    degree_threshold: float,
+    distance_threshold: float,
+    net: Optional[SynchronousNetwork] = None,
+) -> PopularDetectionResult:
+    """Run Algorithm 2 from ``centers`` with the given thresholds.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph.
+    centers:
+        The cluster centers ``S_i`` initiating announcements.
+    degree_threshold:
+        ``deg_i`` — a center learning about at least this many other centers
+        is declared popular.  May be fractional (the paper's ``n^(2^i/k)``);
+        the forwarding cap is ``floor(deg_i) + 1``.
+    distance_threshold:
+        ``delta_i`` — number of strides of the exploration.
+    net:
+        Optional network to charge rounds / messages to.
+
+    Notes
+    -----
+    The per-vertex forwarding cap selects announcements with the smallest
+    center IDs, which makes the execution deterministic (the paper allows an
+    arbitrary choice).
+    """
+    center_list = sorted(set(centers))
+    for c in center_list:
+        if c not in graph:
+            raise ValueError(f"center {c} not in graph")
+    cap = int(math.floor(degree_threshold)) + 1
+    num_strides = int(math.floor(distance_threshold))
+
+    # L(v): all announcements (center -> distance) vertex v has learned.
+    learned: Dict[int, Dict[int, int]] = {v: {} for v in graph.vertices()}
+    # Announcements learned during the previous stride, i.e. the ones a
+    # vertex is allowed to forward in the current stride (subject to cap).
+    fresh: Dict[int, List[Tuple[int, int]]] = {v: [] for v in graph.vertices()}
+
+    for c in center_list:
+        learned[c][c] = 0
+        fresh[c].append((c, 0))
+
+    total_messages = 0
+    for _stride in range(1, num_strides + 1):
+        outgoing: Dict[int, List[Tuple[int, int]]] = {}
+        for v in graph.vertices():
+            if not fresh[v]:
+                continue
+            batch = sorted(fresh[v])[:cap]
+            outgoing[v] = batch
+        if not outgoing:
+            # No vertex has anything new to forward: the remaining strides of
+            # the exploration are no-ops, so the simulation can stop early.
+            # The rounds charged below still follow the paper's worst-case
+            # accounting (delta_i strides of deg_i rounds each).
+            break
+        next_fresh: Dict[int, List[Tuple[int, int]]] = {v: [] for v in graph.vertices()}
+        for v in sorted(outgoing):
+            batch = outgoing[v]
+            for u in sorted(graph.neighbors(v)):
+                for center, dist in batch:
+                    total_messages += 1
+                    new_dist = dist + 1
+                    known = learned[u].get(center)
+                    if known is None or new_dist < known:
+                        learned[u][center] = new_dist
+                        next_fresh[u].append((center, new_dist))
+        fresh = next_fresh
+
+    popular: Set[int] = set()
+    knowledge: Dict[int, Dict[int, int]] = {}
+    for c in center_list:
+        others = {
+            other: dist
+            for other, dist in learned[c].items()
+            if other != c and dist <= distance_threshold
+        }
+        knowledge[c] = others
+        if len(others) >= degree_threshold:
+            popular.add(c)
+
+    rounds = num_strides * cap
+    if net is not None:
+        net.charge_rounds(rounds)
+        net.charge_messages(total_messages)
+    return PopularDetectionResult(
+        popular=popular,
+        knowledge=knowledge,
+        all_learned=learned,
+        rounds=rounds,
+        messages=total_messages,
+    )

@@ -1,0 +1,56 @@
+"""Message type for the CONGEST simulator.
+
+A CONGEST message carries O(1) machine words — in our setting, a small tuple
+of integers/floats (vertex IDs, distances, small flags).  The simulator
+enforces a word budget per message so that algorithms cannot cheat by packing
+unbounded payloads into a single message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+__all__ = ["Message", "MAX_WORDS_PER_MESSAGE", "payload_words"]
+
+Word = Union[int, float, str]
+
+#: Maximum number of machine words a single CONGEST message may carry.
+#: The model allows O(1) words; we fix the constant at 4, which is enough
+#: for every message the paper's algorithms send (e.g. an ID, a distance,
+#: a phase index and a tag).
+MAX_WORDS_PER_MESSAGE = 4
+
+
+def payload_words(payload: Tuple[Word, ...]) -> int:
+    """Number of machine words a payload occupies (strings count as 1 word tags)."""
+    return len(payload)
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single CONGEST message in flight.
+
+    Attributes
+    ----------
+    src:
+        Sending vertex.
+    dst:
+        Receiving vertex (must be a graph neighbor of ``src``).
+    payload:
+        Tuple of at most :data:`MAX_WORDS_PER_MESSAGE` words.
+    round_sent:
+        The round in which the message was sent; it is delivered at the
+        start of round ``round_sent + 1``.
+    """
+
+    src: int
+    dst: int
+    payload: Tuple[Word, ...]
+    round_sent: int
+
+    def __post_init__(self) -> None:
+        if payload_words(self.payload) > MAX_WORDS_PER_MESSAGE:
+            raise ValueError(
+                f"CONGEST message payload exceeds {MAX_WORDS_PER_MESSAGE} words: {self.payload!r}"
+            )

@@ -1,0 +1,146 @@
+"""Synchronous CONGEST network simulator.
+
+The simulator is round-driven: algorithms queue messages with
+:meth:`SynchronousNetwork.send` and call :meth:`SynchronousNetwork.deliver`
+to advance to the next round, receiving the messages queued in the previous
+round.  The CONGEST bandwidth constraint is enforced strictly — at most one
+message per *directed* edge per round, each carrying O(1) words — and the
+simulator keeps the round / message counters used by experiment E5.
+
+The simulator also supports *round charging*: higher-level components that
+simulate a sub-protocol at coarser granularity (e.g. the stride-level
+Bellman–Ford of Algorithm 2) can charge the number of rounds that
+sub-protocol would take via :meth:`charge_rounds`, so that the total round
+count reported for a construction reflects the paper's accounting.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from repro.congest.message import MAX_WORDS_PER_MESSAGE, Message, Word
+from repro.graphs.graph import Graph
+
+__all__ = ["BandwidthViolation", "SynchronousNetwork"]
+
+
+class BandwidthViolation(RuntimeError):
+    """Raised when an algorithm exceeds the CONGEST bandwidth constraint."""
+
+
+class SynchronousNetwork:
+    """A synchronous message-passing network over an input graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph.  Processors reside at its vertices and can
+        only exchange messages along its edges.
+    strict:
+        When ``True`` (default) a second message on the same directed edge in
+        the same round raises :class:`BandwidthViolation`.  When ``False``
+        the violation is recorded in :attr:`bandwidth_violations` instead
+        (useful for negative tests).
+    """
+
+    def __init__(self, graph: Graph, strict: bool = True) -> None:
+        self.graph = graph
+        self.strict = strict
+        self.current_round = 0
+        self.total_messages = 0
+        self.charged_rounds = 0
+        self.bandwidth_violations = 0
+        self._outbox: Dict[int, List[Message]] = defaultdict(list)
+        self._used_edges: set = set()
+        self._max_messages_per_round = 0
+        self._messages_this_round = 0
+
+    # ------------------------------------------------------------------
+    # Sending and delivering
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, payload: Tuple[Word, ...]) -> None:
+        """Queue a message from ``src`` to its neighbor ``dst`` for the next round."""
+        if not self.graph.has_edge(src, dst):
+            raise ValueError(f"cannot send along non-edge ({src}, {dst})")
+        if len(payload) > MAX_WORDS_PER_MESSAGE:
+            raise BandwidthViolation(
+                f"payload of {len(payload)} words exceeds the O(1)-word CONGEST limit"
+            )
+        key = (src, dst)
+        if key in self._used_edges:
+            if self.strict:
+                raise BandwidthViolation(
+                    f"two messages on directed edge {key} in round {self.current_round}"
+                )
+            self.bandwidth_violations += 1
+            return
+        self._used_edges.add(key)
+        message = Message(src=src, dst=dst, payload=tuple(payload), round_sent=self.current_round)
+        self._outbox[dst].append(message)
+        self.total_messages += 1
+        self._messages_this_round += 1
+
+    def deliver(self) -> Dict[int, List[Message]]:
+        """Advance one round and return the messages delivered to each vertex."""
+        delivered = dict(self._outbox)
+        self._outbox = defaultdict(list)
+        self._used_edges = set()
+        self._max_messages_per_round = max(self._max_messages_per_round, self._messages_this_round)
+        self._messages_this_round = 0
+        self.current_round += 1
+        return delivered
+
+    def run_rounds(self, num_rounds: int) -> None:
+        """Advance ``num_rounds`` empty rounds (no messages in flight)."""
+        for _ in range(num_rounds):
+            self.deliver()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def charge_rounds(self, num_rounds: float) -> None:
+        """Charge rounds executed by a coarser-grained sub-protocol.
+
+        Components such as the stride-level Bellman–Ford exploration simulate
+        their message flow at stride granularity but still need to contribute
+        the correct number of CONGEST rounds to the global accounting; they
+        call this method with the number of rounds the paper's analysis
+        attributes to them.
+        """
+        if num_rounds < 0:
+            raise ValueError("cannot charge a negative number of rounds")
+        self.charged_rounds += int(round(num_rounds))
+
+    def charge_messages(self, num_messages: int) -> None:
+        """Record messages exchanged by a coarser-grained sub-protocol."""
+        if num_messages < 0:
+            raise ValueError("cannot charge a negative number of messages")
+        self.total_messages += num_messages
+
+    @property
+    def rounds_elapsed(self) -> int:
+        """Total rounds: explicitly simulated rounds plus charged rounds."""
+        return self.current_round + self.charged_rounds
+
+    @property
+    def max_messages_per_round(self) -> int:
+        """The largest number of messages observed in any simulated round."""
+        return self._max_messages_per_round
+
+    def reset_counters(self) -> None:
+        """Reset round / message counters (keeps the graph)."""
+        self.current_round = 0
+        self.total_messages = 0
+        self.charged_rounds = 0
+        self.bandwidth_violations = 0
+        self._outbox = defaultdict(list)
+        self._used_edges = set()
+        self._max_messages_per_round = 0
+        self._messages_this_round = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SynchronousNetwork(n={self.graph.num_vertices}, rounds={self.rounds_elapsed}, "
+            f"messages={self.total_messages})"
+        )

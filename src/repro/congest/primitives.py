@@ -1,0 +1,219 @@
+"""Distributed primitives on the CONGEST simulator.
+
+These are the message-level building blocks used by the Section 3
+construction: multi-source BFS (building ruling forests), bounded floods
+(used by the distributed ruling set), and broadcast / convergecast along
+trees.  Each primitive runs genuinely round-by-round on a
+:class:`repro.congest.network.SynchronousNetwork` and therefore contributes
+its true number of rounds and messages to the network's counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.congest.network import SynchronousNetwork
+
+__all__ = [
+    "BfsForest",
+    "distributed_bfs",
+    "bounded_flood",
+    "broadcast_on_tree",
+    "convergecast_on_tree",
+]
+
+
+@dataclass
+class BfsForest:
+    """Result of a (multi-source) distributed BFS.
+
+    Attributes
+    ----------
+    dist:
+        ``vertex -> hop distance`` to its root, for every reached vertex.
+    parent:
+        ``vertex -> parent`` in the forest (roots map to themselves).
+    root:
+        ``vertex -> root`` of the tree containing the vertex.
+    depth:
+        Exploration depth used.
+    """
+
+    dist: Dict[int, int]
+    parent: Dict[int, int]
+    root: Dict[int, int]
+    depth: int
+
+    def tree_of(self, root: int) -> Set[int]:
+        """The vertex set of the tree rooted at ``root``."""
+        return {v for v, r in self.root.items() if r == root}
+
+    def children(self) -> Dict[int, List[int]]:
+        """Map ``vertex -> sorted list of children`` in the forest."""
+        kids: Dict[int, List[int]] = {v: [] for v in self.parent}
+        for v, p in self.parent.items():
+            if p != v:
+                kids[p].append(v)
+        for v in kids:
+            kids[v].sort()
+        return kids
+
+    def path_to_root(self, vertex: int) -> List[int]:
+        """The forest path from ``vertex`` up to its root (inclusive)."""
+        path = [vertex]
+        while self.parent[path[-1]] != path[-1]:
+            path.append(self.parent[path[-1]])
+        return path
+
+
+def distributed_bfs(
+    net: SynchronousNetwork, roots: Iterable[int], depth: Optional[int] = None
+) -> BfsForest:
+    """Multi-source BFS executed round-by-round on the simulator.
+
+    Each reached vertex adopts the first root notification it receives; ties
+    within a round are broken toward the smaller root ID, then the smaller
+    sender ID, so the result is deterministic and matches the centralized
+    :func:`repro.graphs.shortest_paths.multi_source_bfs`.
+
+    The number of simulated rounds equals the exploration depth (or the
+    eccentricity of the root set if ``depth`` is ``None``).
+    """
+    graph = net.graph
+    root_list = sorted(set(roots))
+    for r in root_list:
+        if r not in graph:
+            raise ValueError(f"root {r} not in graph")
+    dist: Dict[int, int] = {r: 0 for r in root_list}
+    parent: Dict[int, int] = {r: r for r in root_list}
+    root_of: Dict[int, int] = {r: r for r in root_list}
+    frontier: List[int] = list(root_list)
+    level = 0
+    while frontier:
+        if depth is not None and level >= depth:
+            break
+        # Each frontier vertex notifies all of its neighbors: one O(1)-word
+        # message (root id, distance) per incident edge.
+        for u in sorted(frontier):
+            for v in sorted(graph.neighbors(u)):
+                net.send(u, v, (root_of[u], dist[u] + 1))
+        delivered = net.deliver()
+        level += 1
+        next_frontier: List[int] = []
+        for v in sorted(delivered):
+            if v in dist:
+                continue
+            best = min((msg.payload[0], msg.src) for msg in delivered[v])
+            dist[v] = level
+            parent[v] = best[1]
+            root_of[v] = best[0]
+            next_frontier.append(v)
+        frontier = next_frontier
+    reached_depth = max(dist.values()) if dist else 0
+    return BfsForest(dist=dist, parent=parent, root=root_of, depth=reached_depth)
+
+
+def bounded_flood(
+    net: SynchronousNetwork, sources: Iterable[int], depth: int
+) -> Dict[int, int]:
+    """Flood a 'present within distance ``depth``' signal from ``sources``.
+
+    Returns ``vertex -> distance to the closest source`` for every vertex at
+    distance at most ``depth``.  Used by the distributed ruling-set
+    construction to eliminate candidates dominated by already-selected
+    vertices.  Takes exactly ``min(depth, reach)`` simulated rounds.
+    """
+    forest = distributed_bfs(net, sources, depth=depth)
+    return dict(forest.dist)
+
+
+def broadcast_on_tree(
+    net: SynchronousNetwork,
+    forest: BfsForest,
+    root: int,
+    items: List[Tuple],
+) -> Tuple[Dict[int, List[Tuple]], int]:
+    """Pipelined broadcast of ``items`` from ``root`` down its tree.
+
+    Each round, a vertex forwards one not-yet-forwarded item to each child
+    (one message per tree edge per round), so broadcasting ``k`` items down a
+    tree of depth ``d`` takes ``k + d - 1`` rounds (pipelining).
+
+    Returns the items received by every tree vertex and the number of rounds
+    used.
+    """
+    children = forest.children()
+    received: Dict[int, List[Tuple]] = {root: list(items)}
+    if not items:
+        return received, 0
+    # Pipelined round-by-round simulation: each vertex keeps a cursor of how
+    # many of its received items it has already forwarded to its children.
+    forwarded: Dict[int, int] = {root: 0}
+    rounds = 0
+    while True:
+        sends: List[Tuple[int, int, Tuple]] = []
+        for u in sorted(received):
+            cursor = forwarded.get(u, 0)
+            if cursor < len(received[u]):
+                item = received[u][cursor]
+                for child in children.get(u, []):
+                    sends.append((u, child, item))
+                forwarded[u] = cursor + 1
+        if not sends:
+            break
+        for u, child, item in sends:
+            net.send(u, child, item if isinstance(item, tuple) else (item,))
+        delivered = net.deliver()
+        rounds += 1
+        for v, msgs in delivered.items():
+            bucket = received.setdefault(v, [])
+            for msg in msgs:
+                bucket.append(msg.payload)
+    return received, rounds
+
+
+def convergecast_on_tree(
+    net: SynchronousNetwork,
+    forest: BfsForest,
+    root: int,
+    leaf_values: Dict[int, List[Tuple]],
+    per_stride_cap: Optional[int] = None,
+) -> Tuple[List[Tuple], int]:
+    """Convergecast item lists from tree vertices up to ``root``.
+
+    Vertices at depth ``d_max - s`` forward their accumulated items during
+    stride ``s``; a stride costs as many rounds as the largest batch any
+    vertex sends (pipelined along a single tree edge).  When
+    ``per_stride_cap`` is given and a vertex would send more items, the
+    excess items are dropped (the caller is expected to handle capping — the
+    distributed superclustering step uses its own hub-splitting logic
+    instead of this primitive when caps matter).
+
+    Returns the items accumulated at ``root`` and the number of rounds charged.
+    """
+    members = forest.tree_of(root)
+    if not members:
+        return [], 0
+    depth_of = {v: forest.dist[v] for v in members}
+    max_depth = max(depth_of.values())
+    pending: Dict[int, List[Tuple]] = {
+        v: list(leaf_values.get(v, [])) for v in members
+    }
+    rounds = 0
+    for stride in range(max_depth, 0, -1):
+        batch_sizes = []
+        senders = [v for v in members if depth_of[v] == stride]
+        for v in sorted(senders):
+            items = pending.get(v, [])
+            if per_stride_cap is not None and len(items) > per_stride_cap:
+                items = items[:per_stride_cap]
+            batch_sizes.append(len(items))
+            parent = forest.parent[v]
+            pending.setdefault(parent, []).extend(items)
+            pending[v] = []
+            net.charge_messages(len(items))
+        rounds_this_stride = max(batch_sizes) if batch_sizes else 0
+        net.charge_rounds(rounds_this_stride)
+        rounds += rounds_this_stride
+    return pending.get(root, []), rounds

@@ -1,0 +1,215 @@
+"""Deterministic ruling sets.
+
+A ``(sep, rul)``-ruling set for a vertex set ``W`` is a subset ``A ⊆ W`` such
+that (i) every two vertices of ``A`` are at distance at least ``sep`` in the
+graph, and (ii) every vertex of ``W`` has a representative in ``A`` at
+distance at most ``rul``.
+
+The paper uses the Schneider–Elkin–Wattenhofer / Kuhn–Maus–Weidner
+deterministic CONGEST construction (Theorem 3.2): a ``(q+1, cq)``-ruling set
+in ``O(q c n^{1/c})`` rounds.  We provide two constructions behind the same
+interface:
+
+* :func:`greedy_ruling_set` — a centralized greedy sweep in increasing ID
+  order.  It produces a ``(sep, sep - 1)``-ruling set (domination is in fact
+  at most ``sep - 1``, which is stronger than the ``rul`` the paper needs).
+  When used inside the distributed construction, the rounds the paper's
+  Theorem 3.2 would spend are *charged* to the network so that the round
+  accounting still matches the analysis.  This is the default and is the
+  documented substitution in DESIGN.md.
+* :func:`bitwise_ruling_set` — a genuinely distributed deterministic
+  construction based on iterated ID-bit splitting, producing a
+  ``(sep, sep * ceil(log2 n))``-ruling set in ``O(sep log n)`` simulated
+  rounds.  Its domination radius is weaker by a ``log n`` factor, which
+  inflates cluster radii (and hence the stretch constant) but never affects
+  the emulator's size bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.congest.network import SynchronousNetwork
+from repro.congest.primitives import bounded_flood
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import bounded_bfs, multi_source_bfs
+
+__all__ = [
+    "RulingSetResult",
+    "greedy_ruling_set",
+    "bitwise_ruling_set",
+    "verify_ruling_set",
+]
+
+
+@dataclass
+class RulingSetResult:
+    """A ruling set together with the parameters it satisfies.
+
+    Attributes
+    ----------
+    members:
+        The selected subset ``A``.
+    separation:
+        Guaranteed pairwise distance lower bound ``sep``.
+    domination:
+        Guaranteed domination radius ``rul``.
+    rounds:
+        CONGEST rounds used (simulated or charged).
+    """
+
+    members: Set[int]
+    separation: float
+    domination: float
+    rounds: int
+
+
+def greedy_ruling_set(
+    graph: Graph,
+    candidates: Iterable[int],
+    separation: float,
+    net: Optional[SynchronousNetwork] = None,
+    charged_rounds: Optional[float] = None,
+) -> RulingSetResult:
+    """Greedy ``(separation, separation - 1)``-ruling set, in increasing ID order.
+
+    Scans candidates by ID; a candidate is selected if no already-selected
+    vertex lies within distance ``separation - 1`` (so selected vertices are
+    pairwise at distance ``>= separation``).  Every unselected candidate is
+    within ``separation - 1`` of a selected one, giving domination
+    ``separation - 1``.
+
+    Parameters
+    ----------
+    graph, candidates, separation:
+        The ruling-set instance.
+    net:
+        Optional network to charge rounds to.
+    charged_rounds:
+        Number of CONGEST rounds to charge (defaults to the Theorem 3.2 cost
+        ``O(q * c * n^(1/c))`` with ``c = log n``, i.e. ``O(sep * log n)``).
+    """
+    candidate_list = sorted(set(candidates))
+    radius = max(0.0, separation - 1.0)
+    selected: Set[int] = set()
+    # Distance to the nearest selected vertex, maintained incrementally: when
+    # a vertex is selected we run one bounded BFS from it and relax.
+    dist_to_selected: Dict[int, float] = {}
+    for candidate in candidate_list:
+        if dist_to_selected.get(candidate, float("inf")) <= radius:
+            continue
+        selected.add(candidate)
+        for v, d in bounded_bfs(graph, candidate, radius).items():
+            if d < dist_to_selected.get(v, float("inf")):
+                dist_to_selected[v] = d
+    n = max(2, graph.num_vertices)
+    if charged_rounds is None:
+        charged_rounds = separation * math.ceil(math.log2(n))
+    rounds = int(round(charged_rounds))
+    if net is not None:
+        net.charge_rounds(rounds)
+    return RulingSetResult(
+        members=selected, separation=separation, domination=radius, rounds=rounds
+    )
+
+
+def bitwise_ruling_set(
+    graph: Graph,
+    candidates: Iterable[int],
+    separation: float,
+    net: Optional[SynchronousNetwork] = None,
+) -> RulingSetResult:
+    """Deterministic distributed ruling set via iterated ID-bit splitting.
+
+    The classic construction: process ID bits from the highest to the lowest.
+    At each level, candidates whose current bit is 0 take priority; surviving
+    candidates whose bit is 1 drop out if a priority candidate lies within
+    distance ``separation - 1`` (checked with a bounded flood of ``sep - 1``
+    rounds on the simulator when ``net`` is given).  After all ``ceil(log2 n)``
+    levels the surviving set is pairwise ``>= separation`` apart and every
+    candidate is within ``(separation - 1) * ceil(log2 n)`` of a survivor.
+    """
+    candidate_list = sorted(set(candidates))
+    n = max(2, graph.num_vertices)
+    num_bits = max(1, math.ceil(math.log2(n)))
+    radius = max(0.0, separation - 1.0)
+    rounds = 0
+
+    current: Dict[int, Set[int]] = {0: set(candidate_list)}
+    # ``current`` maps a "group key" (the high bits processed so far) to the
+    # surviving candidates of that group; groups are handled independently,
+    # exactly as in the recursive formulation.
+    for bit in range(num_bits - 1, -1, -1):
+        next_groups: Dict[int, Set[int]] = {}
+        for key in sorted(current):
+            group = current[key]
+            zeros = {v for v in group if not (v >> bit) & 1}
+            ones = group - zeros
+            if not zeros or not ones:
+                survivors = zeros or ones
+                next_groups[key] = survivors
+                continue
+            # Ones survive only if no zero is within ``radius``.
+            if net is not None:
+                dist = bounded_flood(net, zeros, int(radius))
+                rounds += int(radius)
+            else:
+                dist, _ = multi_source_bfs(graph, zeros, radius)
+            survivors = set(zeros)
+            for v in ones:
+                if dist.get(v, float("inf")) > radius:
+                    survivors.add(v)
+            next_groups[key] = survivors
+        current = next_groups
+
+    merged: Set[int] = set()
+    # Merge the groups with one more elimination sweep so that the global
+    # separation guarantee holds across groups as well.
+    for key in sorted(current):
+        for v in sorted(current[key]):
+            if all(_far(graph, v, u, radius) for u in merged):
+                merged.add(v)
+    domination = radius * (num_bits + 1) if radius > 0 else 0.0
+    if net is not None:
+        net.charge_rounds(0)  # flood rounds were already simulated above
+    return RulingSetResult(
+        members=merged, separation=separation, domination=max(domination, radius), rounds=rounds
+    )
+
+
+def _far(graph: Graph, u: int, v: int, radius: float) -> bool:
+    """Whether ``d_G(u, v) > radius`` (bounded BFS check)."""
+    if u == v:
+        return False
+    dist = bounded_bfs(graph, u, radius)
+    return v not in dist
+
+
+def verify_ruling_set(
+    graph: Graph,
+    candidates: Iterable[int],
+    members: Iterable[int],
+    separation: float,
+    domination: float,
+) -> bool:
+    """Check both ruling-set properties exhaustively (test helper)."""
+    member_set = set(members)
+    candidate_set = set(candidates)
+    if not member_set <= candidate_set:
+        return False
+    members_sorted = sorted(member_set)
+    for i, u in enumerate(members_sorted):
+        dist_u = bounded_bfs(graph, u, separation)
+        for v in members_sorted[i + 1:]:
+            if v in dist_u and dist_u[v] < separation:
+                return False
+    if member_set:
+        dist, _ = multi_source_bfs(graph, member_set, domination)
+        for w in candidate_set:
+            if w not in dist:
+                return False
+    elif candidate_set:
+        return False
+    return True

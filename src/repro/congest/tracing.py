@@ -1,0 +1,144 @@
+"""Round-by-round tracing for the CONGEST simulator.
+
+The experiment tables only need aggregate round / message counts, but when a
+distributed construction misbehaves (too many rounds, unexpected congestion
+on one vertex) the useful artifact is a *trace*: how many messages crossed
+the network in each simulated round and which vertices carried the load.
+:class:`NetworkTracer` wraps a :class:`~repro.congest.network.SynchronousNetwork`
+and records exactly that, without changing the network's behaviour — the
+distributed builders accept the traced network transparently because the
+tracer forwards every call.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.congest.message import Word
+from repro.congest.network import SynchronousNetwork
+
+__all__ = ["RoundRecord", "TraceSummary", "NetworkTracer"]
+
+
+@dataclass
+class RoundRecord:
+    """What happened during one simulated round.
+
+    Attributes
+    ----------
+    round_index:
+        Index of the round (as reported by the wrapped network when the round
+        was delivered).
+    messages:
+        Number of messages delivered in this round.
+    busiest_vertex:
+        The vertex that *sent* the most messages this round (-1 for an empty
+        round).
+    busiest_vertex_messages:
+        How many messages that vertex sent.
+    """
+
+    round_index: int
+    messages: int
+    busiest_vertex: int
+    busiest_vertex_messages: int
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate view of a recorded trace."""
+
+    simulated_rounds: int
+    charged_rounds: int
+    total_messages: int
+    max_messages_in_a_round: int
+    per_vertex_sent: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def busiest_vertex(self) -> int:
+        """The vertex that sent the most messages over the whole trace (-1 if none)."""
+        if not self.per_vertex_sent:
+            return -1
+        return max(sorted(self.per_vertex_sent), key=self.per_vertex_sent.get)
+
+
+class NetworkTracer:
+    """A transparent, recording wrapper around :class:`SynchronousNetwork`.
+
+    Every attribute not overridden here is forwarded to the wrapped network,
+    so the tracer can be passed anywhere a network is expected.  The recorded
+    trace is available as :attr:`rounds` (a list of :class:`RoundRecord`) and
+    :meth:`summary`.
+    """
+
+    def __init__(self, network: SynchronousNetwork) -> None:
+        self._network = network
+        self.rounds: List[RoundRecord] = []
+        self._sent_this_round: Dict[int, int] = defaultdict(int)
+        self._sent_total: Dict[int, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # Forwarded / instrumented network API
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, payload: Tuple[Word, ...]) -> None:
+        """Queue a message (recorded against ``src``) and forward to the network."""
+        self._network.send(src, dst, payload)
+        self._sent_this_round[src] += 1
+        self._sent_total[src] += 1
+
+    def deliver(self):
+        """Advance one round on the wrapped network and record the round."""
+        round_index = self._network.current_round
+        delivered = self._network.deliver()
+        messages = sum(len(msgs) for msgs in delivered.values())
+        if self._sent_this_round:
+            busiest = max(sorted(self._sent_this_round), key=self._sent_this_round.get)
+            busiest_count = self._sent_this_round[busiest]
+        else:
+            busiest, busiest_count = -1, 0
+        self.rounds.append(
+            RoundRecord(
+                round_index=round_index,
+                messages=messages,
+                busiest_vertex=busiest,
+                busiest_vertex_messages=busiest_count,
+            )
+        )
+        self._sent_this_round = defaultdict(int)
+        return delivered
+
+    def __getattr__(self, name: str):
+        """Forward everything else (graph, counters, charge_rounds, ...)."""
+        return getattr(self._network, name)
+
+    # ------------------------------------------------------------------
+    # Trace access
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> SynchronousNetwork:
+        """The wrapped network."""
+        return self._network
+
+    def summary(self) -> TraceSummary:
+        """Aggregate the recorded rounds into a :class:`TraceSummary`."""
+        return TraceSummary(
+            simulated_rounds=len(self.rounds),
+            charged_rounds=self._network.charged_rounds,
+            total_messages=self._network.total_messages,
+            max_messages_in_a_round=max((r.messages for r in self.rounds), default=0),
+            per_vertex_sent=dict(self._sent_total),
+        )
+
+    def format_trace(self, limit: int = 20) -> str:
+        """Render the first ``limit`` rounds as a small plain-text table."""
+        lines = ["round  messages  busiest vertex  its messages"]
+        for record in self.rounds[:limit]:
+            lines.append(
+                f"{record.round_index:>5}  {record.messages:>8}  "
+                f"{record.busiest_vertex:>14}  {record.busiest_vertex_messages:>12}"
+            )
+        if len(self.rounds) > limit:
+            lines.append(f"... ({len(self.rounds) - limit} more rounds)")
+        return "\n".join(lines)

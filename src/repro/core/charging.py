@@ -1,0 +1,176 @@
+"""Edge-charging ledger — the accounting behind the ``n^(1+1/kappa)`` bound.
+
+The paper's main technical contribution is a charging argument: every edge
+added to the emulator, in *any* phase, is charged to a single vertex, and no
+vertex is overcharged.  Concretely (Section 2.2.1):
+
+* **Interconnection edges** added when an *unpopular* center ``r_C`` is
+  considered are charged to ``r_C``; since ``r_C`` is unpopular it is charged
+  strictly fewer than ``deg_i`` edges in its phase.
+* **Superclustering edges** are charged to the center of the cluster that
+  *joined* a supercluster (one edge per joining cluster); the center the
+  supercluster is built around is charged nothing.
+
+Summing the per-phase bounds with ``deg_i = n^(2^i / kappa)`` telescopes to
+exactly ``n^(1+1/kappa)``.  The ledger below records every charge so that
+tests can verify the structural facts the proof relies on, not only the final
+edge count.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["EdgeKind", "EdgeCharge", "ChargeLedger"]
+
+
+class EdgeKind(enum.Enum):
+    """The two kinds of emulator edges distinguished by the charging argument."""
+
+    INTERCONNECTION = "interconnection"
+    SUPERCLUSTERING = "superclustering"
+
+
+@dataclass(frozen=True)
+class EdgeCharge:
+    """A single charge: one emulator edge attributed to one vertex.
+
+    Attributes
+    ----------
+    edge:
+        The emulator edge ``(u, v)`` with ``u < v``.
+    weight:
+        The weight assigned to the edge (the graph distance between its
+        endpoints).
+    charged_to:
+        The vertex that pays for this edge in the charging argument.
+    phase:
+        The phase in which the edge was added.
+    kind:
+        Interconnection or superclustering.
+    """
+
+    edge: Tuple[int, int]
+    weight: float
+    charged_to: int
+    phase: int
+    kind: EdgeKind
+
+
+class ChargeLedger:
+    """Records every emulator edge together with the vertex it is charged to."""
+
+    def __init__(self) -> None:
+        self._charges: List[EdgeCharge] = []
+
+    def charge(
+        self, u: int, v: int, weight: float, charged_to: int, phase: int, kind: EdgeKind
+    ) -> EdgeCharge:
+        """Record a charge for emulator edge ``(u, v)`` and return it."""
+        edge = (u, v) if u < v else (v, u)
+        record = EdgeCharge(edge=edge, weight=weight, charged_to=charged_to, phase=phase, kind=kind)
+        self._charges.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def charges(self) -> List[EdgeCharge]:
+        """All recorded charges, in insertion order."""
+        return list(self._charges)
+
+    @property
+    def num_charges(self) -> int:
+        """Total number of charges recorded (one per emulator-edge insertion)."""
+        return len(self._charges)
+
+    def charges_by_vertex(self) -> Dict[int, List[EdgeCharge]]:
+        """Map ``vertex -> list of charges`` attributed to that vertex."""
+        by_vertex: Dict[int, List[EdgeCharge]] = defaultdict(list)
+        for charge in self._charges:
+            by_vertex[charge.charged_to].append(charge)
+        return dict(by_vertex)
+
+    def charges_by_phase(self) -> Dict[int, List[EdgeCharge]]:
+        """Map ``phase -> list of charges`` made during that phase."""
+        by_phase: Dict[int, List[EdgeCharge]] = defaultdict(list)
+        for charge in self._charges:
+            by_phase[charge.phase].append(charge)
+        return dict(by_phase)
+
+    def edges_per_phase(self) -> Dict[int, int]:
+        """Number of edges charged in each phase."""
+        return {phase: len(chs) for phase, chs in self.charges_by_phase().items()}
+
+    def interconnection_count(self) -> int:
+        """Total number of interconnection edges."""
+        return sum(1 for c in self._charges if c.kind is EdgeKind.INTERCONNECTION)
+
+    def superclustering_count(self) -> int:
+        """Total number of superclustering edges."""
+        return sum(1 for c in self._charges if c.kind is EdgeKind.SUPERCLUSTERING)
+
+    # ------------------------------------------------------------------
+    # Invariant checks (used by tests)
+    # ------------------------------------------------------------------
+    def verify_interconnection_budget(self, degree_by_phase: Dict[int, float]) -> None:
+        """Check that each vertex's interconnection charges stay below ``deg_i``.
+
+        A vertex charged with interconnection edges in phase ``i`` is the
+        center of an *unpopular* cluster, so it is charged strictly fewer
+        than ``deg_i`` such edges (Section 2.2.1).
+        """
+        per_vertex_phase: Dict[Tuple[int, int], int] = defaultdict(int)
+        for charge in self._charges:
+            if charge.kind is EdgeKind.INTERCONNECTION:
+                per_vertex_phase[(charge.charged_to, charge.phase)] += 1
+        for (vertex, phase), count in per_vertex_phase.items():
+            budget = degree_by_phase[phase]
+            if count >= budget and count > 0:
+                raise AssertionError(
+                    f"vertex {vertex} charged {count} interconnection edges in phase "
+                    f"{phase}, which is not below deg_{phase} = {budget}"
+                )
+
+    def verify_superclustering_budget(self) -> None:
+        """Check that each vertex is charged at most one superclustering edge per phase."""
+        per_vertex_phase: Dict[Tuple[int, int], int] = defaultdict(int)
+        for charge in self._charges:
+            if charge.kind is EdgeKind.SUPERCLUSTERING:
+                per_vertex_phase[(charge.charged_to, charge.phase)] += 1
+        for (vertex, phase), count in per_vertex_phase.items():
+            if count > 1:
+                raise AssertionError(
+                    f"vertex {vertex} charged {count} superclustering edges in phase {phase}"
+                )
+
+    def verify_single_charging_phase(self) -> None:
+        """Check that interconnection charges of a vertex all fall in one phase.
+
+        A cluster center joins ``U_i`` in exactly one phase, after which it is
+        never a cluster center again, so all of its interconnection charges
+        belong to a single phase.
+        """
+        phases_by_vertex: Dict[int, set] = defaultdict(set)
+        for charge in self._charges:
+            if charge.kind is EdgeKind.INTERCONNECTION:
+                phases_by_vertex[charge.charged_to].add(charge.phase)
+        for vertex, phases in phases_by_vertex.items():
+            if len(phases) > 1:
+                raise AssertionError(
+                    f"vertex {vertex} charged interconnection edges in phases {sorted(phases)}"
+                )
+
+    def __len__(self) -> int:
+        return len(self._charges)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChargeLedger(total={len(self._charges)}, "
+            f"interconnection={self.interconnection_count()}, "
+            f"superclustering={self.superclustering_count()})"
+        )

@@ -1,0 +1,31 @@
+"""Distributed CONGEST-model constructions (Sections 3 and 4 of the paper).
+
+* :class:`repro.distributed.emulator_congest.DistributedEmulatorBuilder` —
+  the deterministic CONGEST construction of ultra-sparse near-additive
+  emulators, including the hub-splitting superclustering scheme of Task 3.
+* :class:`repro.distributed.spanner_congest.DistributedSpannerBuilder` —
+  the Section 4 near-additive spanner construction.
+
+Both run against :class:`repro.congest.network.SynchronousNetwork` and
+report CONGEST rounds and message counts.
+"""
+
+from repro.distributed.emulator_congest import (
+    DistributedEmulatorBuilder,
+    DistributedEmulatorResult,
+    build_emulator_congest,
+)
+from repro.distributed.spanner_congest import (
+    DistributedSpannerBuilder,
+    DistributedSpannerResult,
+    build_spanner_congest,
+)
+
+__all__ = [
+    "DistributedEmulatorBuilder",
+    "DistributedEmulatorResult",
+    "build_emulator_congest",
+    "DistributedSpannerBuilder",
+    "DistributedSpannerResult",
+    "build_spanner_congest",
+]

@@ -1,0 +1,137 @@
+"""Experiment drivers reproducing the paper's theorem-level claims.
+
+The paper has no empirical evaluation section (it is a theory paper), so the
+"tables and figures" reproduced here are the quantitative claims of its
+theorems and the comparisons its introduction makes against prior work.  One
+driver per experiment id (see DESIGN.md section 4 and EXPERIMENTS.md):
+
+* E1 — size bound ``|H| <= n^(1+1/kappa)`` (Lemma 2.4 / Corollary 2.14).
+* E2 — ultra-sparse regime ``n + o(n)`` edges (Corollary 2.15).
+* E3 — stretch ``d_H <= (1+eps) d_G + beta`` (Corollary 2.13).
+* E4 — size comparison against EP01 / TZ06 / EN17a baselines.
+* E5 — distributed CONGEST construction: size, rounds, edge knowledge
+  (Corollaries 3.11 / 3.12).
+* E6 — spanner sparsity vs the EM19 baseline (Corollary 4.4).
+* E7 — running-time scaling of the centralized constructions.
+* E8 — ablation: buffer set and degree-sequence design choices.
+* E9 — the (eps, kappa) vs beta trade-off frontier.
+* E10 — emulator edge sets as near-exact hopsets.
+* E11 — popular-cluster detection: Algorithm 2 vs (S,d,k)-source detection.
+* E12 — rho sweep: CONGEST rounds vs additive error.
+* E13 — the application layer (oracle / routing / streaming / decremental).
+
+Each driver returns a list of result rows (dataclasses) and can render the
+table the benchmark harness prints.
+"""
+
+from repro.experiments.workloads import Workload, standard_workloads, scaling_workloads
+from repro.experiments.size_experiment import SizeRow, run_size_experiment, format_size_table
+from repro.experiments.ultrasparse_experiment import (
+    UltraSparseRow,
+    run_ultrasparse_experiment,
+    format_ultrasparse_table,
+)
+from repro.experiments.stretch_experiment import (
+    StretchRow,
+    run_stretch_experiment,
+    format_stretch_table,
+)
+from repro.experiments.baselines_experiment import (
+    BaselineRow,
+    run_baselines_experiment,
+    format_baselines_table,
+)
+from repro.experiments.congest_experiment import (
+    CongestRow,
+    run_congest_experiment,
+    format_congest_table,
+)
+from repro.experiments.spanner_experiment import (
+    SpannerRow,
+    run_spanner_experiment,
+    format_spanner_table,
+)
+from repro.experiments.runtime_experiment import (
+    RuntimeRow,
+    run_runtime_experiment,
+    format_runtime_table,
+)
+from repro.experiments.ablation_experiment import (
+    AblationRow,
+    run_ablation_experiment,
+    format_ablation_table,
+)
+from repro.experiments.beta_tradeoff_experiment import (
+    BetaTradeoffRow,
+    run_beta_tradeoff_experiment,
+    format_beta_tradeoff_table,
+    format_beta_tradeoff_figure,
+)
+from repro.experiments.hopset_experiment import (
+    HopsetRow,
+    run_hopset_experiment,
+    format_hopset_table,
+)
+from repro.experiments.source_detection_experiment import (
+    SourceDetectionRow,
+    run_source_detection_experiment,
+    format_source_detection_table,
+)
+from repro.experiments.rho_sweep_experiment import (
+    RhoSweepRow,
+    run_rho_sweep_experiment,
+    format_rho_sweep_table,
+    format_rho_sweep_figure,
+)
+from repro.experiments.applications_experiment import (
+    ApplicationsRow,
+    run_applications_experiment,
+    format_applications_table,
+)
+
+__all__ = [
+    "AblationRow",
+    "run_ablation_experiment",
+    "format_ablation_table",
+    "BetaTradeoffRow",
+    "run_beta_tradeoff_experiment",
+    "format_beta_tradeoff_table",
+    "format_beta_tradeoff_figure",
+    "HopsetRow",
+    "run_hopset_experiment",
+    "format_hopset_table",
+    "SourceDetectionRow",
+    "run_source_detection_experiment",
+    "format_source_detection_table",
+    "RhoSweepRow",
+    "run_rho_sweep_experiment",
+    "format_rho_sweep_table",
+    "format_rho_sweep_figure",
+    "ApplicationsRow",
+    "run_applications_experiment",
+    "format_applications_table",
+    "Workload",
+    "standard_workloads",
+    "scaling_workloads",
+    "SizeRow",
+    "run_size_experiment",
+    "format_size_table",
+    "UltraSparseRow",
+    "run_ultrasparse_experiment",
+    "format_ultrasparse_table",
+    "StretchRow",
+    "run_stretch_experiment",
+    "format_stretch_table",
+    "BaselineRow",
+    "run_baselines_experiment",
+    "format_baselines_table",
+    "CongestRow",
+    "run_congest_experiment",
+    "format_congest_table",
+    "SpannerRow",
+    "run_spanner_experiment",
+    "format_spanner_table",
+    "RuntimeRow",
+    "run_runtime_experiment",
+    "format_runtime_table",
+]

@@ -1,0 +1,121 @@
+"""Experiment E9 — the (eps, kappa) vs beta trade-off frontier.
+
+The headline formula of the paper, ``beta = O(log kappa / eps)^(log kappa -
+1)``, says the additive error explodes as the emulator gets sparser (larger
+``kappa``) or the multiplicative slack shrinks (smaller ``eps``).  This
+experiment sweeps both parameters on a fixed workload and tabulates:
+
+* the theoretical ``beta`` of the schedule, and
+* the *measured* worst additive error over (sampled) vertex pairs,
+
+so the table shows both the direction of the trade-off (monotone in the
+right direction) and how loose the worst-case formula is on non-adversarial
+graphs.  The accompanying ASCII figure plots measured additive error against
+``kappa`` for each ``eps`` — the "figure" version of the same data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.plotting import ascii_multi_series
+from repro.analysis.reporting import format_table
+from repro.analysis.validation import verify_emulator
+from repro.core.emulator import build_emulator
+from repro.core.parameters import CentralizedSchedule
+from repro.experiments.workloads import Workload, workload_by_name
+
+__all__ = [
+    "BetaTradeoffRow",
+    "run_beta_tradeoff_experiment",
+    "format_beta_tradeoff_table",
+    "format_beta_tradeoff_figure",
+]
+
+
+@dataclass
+class BetaTradeoffRow:
+    """One (eps, kappa) point of the E9 sweep."""
+
+    workload: str
+    n: int
+    eps: float
+    kappa: float
+    ell: int
+    edges: int
+    beta_bound: float
+    alpha_bound: float
+    measured_additive: float
+    measured_multiplicative: float
+    valid: bool
+
+    @property
+    def beta_slack(self) -> float:
+        """How loose the bound is: ``beta_bound / max(1, measured_additive)``."""
+        return self.beta_bound / max(1.0, self.measured_additive)
+
+
+def run_beta_tradeoff_experiment(
+    workload: Optional[Workload] = None,
+    eps_values: Sequence[float] = (0.05, 0.1, 0.2),
+    kappas: Sequence[float] = (2.0, 4.0, 8.0, 16.0),
+    sample_pairs: Optional[int] = 400,
+) -> List[BetaTradeoffRow]:
+    """Run E9: sweep ``eps`` x ``kappa`` on a single workload."""
+    if workload is None:
+        workload = workload_by_name("erdos-renyi", 192, seed=0)
+    rows: List[BetaTradeoffRow] = []
+    for eps in eps_values:
+        for kappa in kappas:
+            schedule = CentralizedSchedule(n=workload.n, eps=eps, kappa=kappa)
+            result = build_emulator(workload.graph, schedule=schedule)
+            pairs = None if workload.n <= 200 else sample_pairs
+            report = verify_emulator(
+                workload.graph, result.emulator, result.alpha, result.beta, sample_pairs=pairs
+            )
+            rows.append(
+                BetaTradeoffRow(
+                    workload=workload.name,
+                    n=workload.n,
+                    eps=eps,
+                    kappa=kappa,
+                    ell=schedule.ell,
+                    edges=result.num_edges,
+                    beta_bound=result.beta,
+                    alpha_bound=result.alpha,
+                    measured_additive=report.max_additive_error,
+                    measured_multiplicative=report.max_multiplicative_stretch,
+                    valid=report.valid,
+                )
+            )
+    return rows
+
+
+def format_beta_tradeoff_table(rows: List[BetaTradeoffRow]) -> str:
+    """Render the E9 table."""
+    return format_table(
+        ["workload", "n", "eps", "kappa", "ell", "edges", "beta (bound)", "add (meas)",
+         "alpha (bound)", "mult (meas)", "bound/meas", "valid"],
+        [
+            [r.workload, r.n, r.eps, r.kappa, r.ell, r.edges, r.beta_bound,
+             r.measured_additive, r.alpha_bound, r.measured_multiplicative,
+             r.beta_slack, "yes" if r.valid else "NO"]
+            for r in rows
+        ],
+        title="E9: additive-error trade-off — beta bound vs measured worst additive error",
+    )
+
+
+def format_beta_tradeoff_figure(rows: List[BetaTradeoffRow]) -> str:
+    """Render the E9 figure: measured additive error vs kappa, one series per eps."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for row in rows:
+        series.setdefault(f"eps={row.eps}", []).append(
+            (row.kappa, max(row.measured_additive, 1e-3))
+        )
+    return ascii_multi_series(
+        series,
+        x_label="kappa",
+        title="E9 figure: measured worst additive error vs kappa (per eps)",
+    )

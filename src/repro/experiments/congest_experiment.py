@@ -1,0 +1,93 @@
+"""Experiment E5 — the distributed CONGEST construction (Corollaries 3.11/3.12).
+
+Checks, per workload and ``rho``:
+
+* the emulator built by the CONGEST algorithm still has at most
+  ``n^(1+1/kappa)`` edges;
+* the number of simulated+charged rounds against the ``O(beta n^rho)``
+  bound (reported as the ratio rounds / (beta * n^rho), which should be a
+  modest constant);
+* that **both endpoints of every emulator edge know the edge** — the
+  property that distinguishes this construction from EN16a / EM19.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.distributed.emulator_congest import build_emulator_congest
+from repro.experiments.workloads import Workload, standard_workloads
+
+__all__ = ["CongestRow", "run_congest_experiment", "format_congest_table"]
+
+
+@dataclass
+class CongestRow:
+    """One row of the E5 table."""
+
+    workload: str
+    n: int
+    kappa: float
+    rho: float
+    edges: int
+    bound: float
+    rounds: int
+    round_bound: float
+    messages: int
+    both_endpoints_know: bool
+
+    @property
+    def size_ratio(self) -> float:
+        """``edges / n^(1+1/kappa)``."""
+        return self.edges / self.bound if self.bound else float("inf")
+
+    @property
+    def round_ratio(self) -> float:
+        """``rounds / (beta * n^rho)`` — a constant if the bound is matched."""
+        return self.rounds / self.round_bound if self.round_bound else float("inf")
+
+
+def run_congest_experiment(
+    workloads: Iterable[Workload] = None,
+    kappa: float = 4.0,
+    eps: float = 0.01,
+    rhos: Sequence[float] = (0.3, 0.45),
+) -> List[CongestRow]:
+    """Run E5 and return one row per (workload, rho)."""
+    if workloads is None:
+        workloads = standard_workloads(n=128)
+    rows: List[CongestRow] = []
+    for workload in workloads:
+        for rho in rhos:
+            result = build_emulator_congest(workload.graph, eps=eps, kappa=kappa, rho=rho)
+            rows.append(
+                CongestRow(
+                    workload=workload.name,
+                    n=workload.n,
+                    kappa=kappa,
+                    rho=rho,
+                    edges=result.num_edges,
+                    bound=result.size_bound,
+                    rounds=result.rounds,
+                    round_bound=result.round_bound,
+                    messages=result.messages,
+                    both_endpoints_know=result.both_endpoints_know_all_edges(),
+                )
+            )
+    return rows
+
+
+def format_congest_table(rows: List[CongestRow]) -> str:
+    """Render the E5 table."""
+    return format_table(
+        ["workload", "n", "rho", "edges", "size ratio", "rounds", "beta*n^rho",
+         "round ratio", "messages", "both know"],
+        [
+            [r.workload, r.n, r.rho, r.edges, r.size_ratio, r.rounds, r.round_bound,
+             r.round_ratio, r.messages, "yes" if r.both_endpoints_know else "NO"]
+            for r in rows
+        ],
+        title="E5: distributed CONGEST construction (Corollary 3.11)",
+    )

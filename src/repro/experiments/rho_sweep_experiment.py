@@ -1,0 +1,120 @@
+"""Experiment E12 — the locality parameter rho: rounds vs additive error.
+
+The distributed construction exposes a knob the centralized one does not:
+``rho`` caps the per-phase degree threshold at ``n^rho``, trading a smaller
+round count (smaller ``rho`` means cheaper phases… up to a point) against a
+larger number of phases and therefore a larger ``beta``
+(``beta = (log(kappa rho) + 1/rho) / (eps rho))^(...)``, Corollary 3.11).
+
+This experiment sweeps ``rho`` on a fixed workload and reports simulated
+rounds, the ``O(beta n^rho)`` round bound, emulator size (which must stay
+below ``n^(1+1/kappa)`` for *every* rho), and the schedule's ``beta`` — the
+figure version plots rounds and beta against rho so the trade-off direction
+is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.plotting import ascii_multi_series
+from repro.analysis.reporting import format_table
+from repro.core.parameters import DistributedSchedule, size_bound
+from repro.distributed.emulator_congest import build_emulator_congest
+from repro.experiments.workloads import Workload, workload_by_name
+
+__all__ = ["RhoSweepRow", "run_rho_sweep_experiment", "format_rho_sweep_table",
+           "format_rho_sweep_figure"]
+
+
+@dataclass
+class RhoSweepRow:
+    """One rho point of the E12 sweep."""
+
+    workload: str
+    n: int
+    kappa: float
+    rho: float
+    num_phases: int
+    edges: int
+    size_bound: float
+    rounds: int
+    round_bound: float
+    messages: int
+    beta: float
+    endpoints_know: bool
+
+    @property
+    def within_size_bound(self) -> bool:
+        """Whether the emulator respects ``n^(1+1/kappa)`` at this rho."""
+        return self.edges <= self.size_bound + 1e-9
+
+    @property
+    def within_round_bound(self) -> bool:
+        """Whether the simulated rounds stay below the ``O(beta n^rho)`` bound."""
+        return self.rounds <= self.round_bound + 1e-9
+
+
+def run_rho_sweep_experiment(
+    workload: Optional[Workload] = None,
+    rhos: Sequence[float] = (0.3, 0.4, 0.45),
+    eps: float = 0.01,
+    kappa: float = 4.0,
+) -> List[RhoSweepRow]:
+    """Run E12: sweep rho for the CONGEST construction on one workload."""
+    if workload is None:
+        workload = workload_by_name("erdos-renyi", 96, seed=0)
+    rows: List[RhoSweepRow] = []
+    for rho in rhos:
+        if rho * kappa < 1.0:
+            continue
+        schedule = DistributedSchedule(n=workload.n, eps=eps, kappa=kappa, rho=rho)
+        result = build_emulator_congest(workload.graph, schedule=schedule)
+        rows.append(
+            RhoSweepRow(
+                workload=workload.name,
+                n=workload.n,
+                kappa=kappa,
+                rho=rho,
+                num_phases=schedule.num_phases,
+                edges=result.num_edges,
+                size_bound=size_bound(workload.n, kappa),
+                rounds=result.rounds,
+                round_bound=result.round_bound,
+                messages=result.messages,
+                beta=schedule.beta,
+                endpoints_know=result.both_endpoints_know_all_edges(),
+            )
+        )
+    return rows
+
+
+def format_rho_sweep_table(rows: List[RhoSweepRow]) -> str:
+    """Render the E12 table."""
+    return format_table(
+        ["workload", "n", "kappa", "rho", "phases", "edges", "size bound", "size ok",
+         "rounds", "round bound", "rounds ok", "messages", "beta", "endpoints know"],
+        [
+            [r.workload, r.n, r.kappa, r.rho, r.num_phases, r.edges, r.size_bound,
+             "yes" if r.within_size_bound else "NO", r.rounds, r.round_bound,
+             "yes" if r.within_round_bound else "NO", r.messages, r.beta,
+             "yes" if r.endpoints_know else "NO"]
+            for r in rows
+        ],
+        title="E12: rho sweep — CONGEST rounds vs additive error (Corollary 3.11)",
+    )
+
+
+def format_rho_sweep_figure(rows: List[RhoSweepRow]) -> str:
+    """Render the E12 figure: rounds and beta against rho (log-scale y)."""
+    series: Dict[str, List[Tuple[float, float]]] = {
+        "rounds": [(r.rho, max(1.0, float(r.rounds))) for r in rows],
+        "beta": [(r.rho, max(1.0, r.beta)) for r in rows],
+    }
+    return ascii_multi_series(
+        series,
+        x_label="rho",
+        title="E12 figure: simulated rounds and schedule beta vs rho",
+        logy=True,
+    )

@@ -1,0 +1,100 @@
+"""Run every experiment and collect the tables (used by the CLI and docs).
+
+``run_all()`` executes E1-E7 with small default workloads (a few seconds of
+wall-clock on a laptop) and returns the rendered tables keyed by experiment
+id; ``python -m repro experiments`` prints them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.experiments.ablation_experiment import format_ablation_table, run_ablation_experiment
+from repro.experiments.applications_experiment import (
+    format_applications_table,
+    run_applications_experiment,
+)
+from repro.experiments.baselines_experiment import format_baselines_table, run_baselines_experiment
+from repro.experiments.beta_tradeoff_experiment import (
+    format_beta_tradeoff_figure,
+    format_beta_tradeoff_table,
+    run_beta_tradeoff_experiment,
+)
+from repro.experiments.congest_experiment import format_congest_table, run_congest_experiment
+from repro.experiments.hopset_experiment import format_hopset_table, run_hopset_experiment
+from repro.experiments.rho_sweep_experiment import (
+    format_rho_sweep_figure,
+    format_rho_sweep_table,
+    run_rho_sweep_experiment,
+)
+from repro.experiments.runtime_experiment import format_runtime_table, run_runtime_experiment
+from repro.experiments.size_experiment import format_size_table, run_size_experiment
+from repro.experiments.source_detection_experiment import (
+    format_source_detection_table,
+    run_source_detection_experiment,
+)
+from repro.experiments.spanner_experiment import format_spanner_table, run_spanner_experiment
+from repro.experiments.stretch_experiment import format_stretch_table, run_stretch_experiment
+from repro.experiments.ultrasparse_experiment import (
+    format_ultrasparse_table,
+    run_ultrasparse_experiment,
+)
+from repro.experiments.workloads import scaling_workloads, standard_workloads, workload_by_name
+
+__all__ = ["run_all", "available_experiments", "run_experiment"]
+
+
+def available_experiments() -> List[str]:
+    """The experiment ids accepted by :func:`run_experiment`."""
+    return ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"]
+
+
+def run_experiment(experiment_id: str, quick: bool = True) -> str:
+    """Run a single experiment by id and return its rendered table."""
+    experiment_id = experiment_id.upper()
+    small = standard_workloads(n=128 if quick else 256)
+    if experiment_id == "E1":
+        return format_size_table(run_size_experiment(small, kappas=(2, 4, 8)))
+    if experiment_id == "E2":
+        sizes = [64, 128, 256] if quick else [128, 256, 512, 1024]
+        return format_ultrasparse_table(
+            run_ultrasparse_experiment(scaling_workloads(sizes=sizes))
+        )
+    if experiment_id == "E3":
+        return format_stretch_table(run_stretch_experiment(small))
+    if experiment_id == "E4":
+        return format_baselines_table(run_baselines_experiment(small))
+    if experiment_id == "E5":
+        tiny = standard_workloads(n=64 if quick else 128)
+        return format_congest_table(run_congest_experiment(tiny, rhos=(0.45,)))
+    if experiment_id == "E6":
+        return format_spanner_table(run_spanner_experiment(small))
+    if experiment_id == "E7":
+        sizes = [64, 128, 256] if quick else [128, 256, 512]
+        return format_runtime_table(run_runtime_experiment(scaling_workloads(sizes=sizes)))
+    if experiment_id == "E8":
+        return format_ablation_table(run_ablation_experiment(standard_workloads(n=96 if quick else 192)))
+    if experiment_id == "E9":
+        workload = workload_by_name("erdos-renyi", 96 if quick else 192, seed=0)
+        rows = run_beta_tradeoff_experiment(workload=workload)
+        return format_beta_tradeoff_table(rows) + "\n\n" + format_beta_tradeoff_figure(rows)
+    if experiment_id == "E10":
+        return format_hopset_table(run_hopset_experiment(standard_workloads(n=64 if quick else 128)))
+    if experiment_id == "E11":
+        return format_source_detection_table(
+            run_source_detection_experiment(standard_workloads(n=64 if quick else 96))
+        )
+    if experiment_id == "E12":
+        workload = workload_by_name("erdos-renyi", 64 if quick else 96, seed=0)
+        rows = run_rho_sweep_experiment(workload=workload)
+        return format_rho_sweep_table(rows) + "\n\n" + format_rho_sweep_figure(rows)
+    if experiment_id == "E13":
+        return format_applications_table(
+            run_applications_experiment(standard_workloads(n=64 if quick else 128))
+        )
+    raise ValueError(f"unknown experiment id {experiment_id!r}")
+
+
+def run_all(quick: bool = True) -> Dict[str, str]:
+    """Run all experiments and return ``{experiment id: rendered table}``."""
+    return {eid: run_experiment(eid, quick=quick) for eid in available_experiments()}

@@ -1,0 +1,89 @@
+"""Experiment E7 — running-time scaling of the centralized constructions.
+
+Section 2.2.3 bounds Algorithm 1 by roughly ``O((|E| + n log n) * sum_i |P_i|)``
+explorations and Section 3.3 gives an ``O(|E| * beta * n^rho)``-flavoured
+simulation.  This experiment measures wall-clock construction time over a
+scaling family and reports time per edge, so that the growth trend (rather
+than absolute numbers, which are interpreter-dependent) can be compared with
+the near-linear-in-``|E|`` behaviour the theory predicts for fixed
+parameters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.analysis.reporting import format_table
+from repro.core.emulator import build_emulator
+from repro.core.fast_centralized import build_emulator_fast
+from repro.experiments.workloads import Workload, scaling_workloads
+
+__all__ = ["RuntimeRow", "run_runtime_experiment", "format_runtime_table"]
+
+
+@dataclass
+class RuntimeRow:
+    """One row of the E7 table."""
+
+    workload: str
+    n: int
+    m: int
+    kappa: float
+    algorithm1_seconds: float
+    fast_seconds: float
+
+    @property
+    def algorithm1_us_per_edge(self) -> float:
+        """Microseconds per input edge, Algorithm 1."""
+        return 1e6 * self.algorithm1_seconds / max(1, self.m)
+
+    @property
+    def fast_us_per_edge(self) -> float:
+        """Microseconds per input edge, Section 3.3 construction."""
+        return 1e6 * self.fast_seconds / max(1, self.m)
+
+
+def run_runtime_experiment(
+    workloads: Iterable[Workload] = None,
+    kappa: float = 4.0,
+    eps: float = 0.1,
+    rho: float = 0.45,
+) -> List[RuntimeRow]:
+    """Run E7 and return one row per workload size."""
+    if workloads is None:
+        workloads = scaling_workloads(sizes=[128, 256, 512])
+    rows: List[RuntimeRow] = []
+    for workload in workloads:
+        start = time.perf_counter()
+        build_emulator(workload.graph, eps=eps, kappa=kappa)
+        algorithm1_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        build_emulator_fast(workload.graph, eps=min(eps, 0.01), kappa=kappa, rho=rho)
+        fast_seconds = time.perf_counter() - start
+        rows.append(
+            RuntimeRow(
+                workload=workload.name,
+                n=workload.n,
+                m=workload.m,
+                kappa=kappa,
+                algorithm1_seconds=algorithm1_seconds,
+                fast_seconds=fast_seconds,
+            )
+        )
+    return rows
+
+
+def format_runtime_table(rows: List[RuntimeRow]) -> str:
+    """Render the E7 table."""
+    return format_table(
+        ["workload", "n", "m", "kappa", "Alg.1 (s)", "Sec.3.3 (s)", "Alg.1 us/edge",
+         "Sec.3.3 us/edge"],
+        [
+            [r.workload, r.n, r.m, r.kappa, r.algorithm1_seconds, r.fast_seconds,
+             r.algorithm1_us_per_edge, r.fast_us_per_edge]
+            for r in rows
+        ],
+        title="E7: centralized construction time scaling",
+    )

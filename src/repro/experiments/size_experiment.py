@@ -1,0 +1,81 @@
+"""Experiment E1 — the size bound ``|H| <= n^(1 + 1/kappa)`` (Lemma 2.4).
+
+For every workload and every ``kappa`` in the sweep, build the emulator with
+Algorithm 1 and compare its edge count to the bound.  The paper's claim is
+that the bound holds with leading constant exactly 1; the table therefore
+reports the ratio ``edges / n^(1+1/kappa)``, which must never exceed 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.core.emulator import build_emulator
+from repro.core.parameters import size_bound
+from repro.experiments.workloads import Workload, standard_workloads
+
+__all__ = ["SizeRow", "run_size_experiment", "format_size_table"]
+
+
+@dataclass
+class SizeRow:
+    """One row of the E1 table."""
+
+    workload: str
+    n: int
+    m: int
+    kappa: float
+    eps: float
+    edges: int
+    bound: float
+
+    @property
+    def ratio(self) -> float:
+        """``edges / bound`` — the paper guarantees this is at most 1."""
+        return self.edges / self.bound if self.bound else float("inf")
+
+    @property
+    def within_bound(self) -> bool:
+        """Whether the measured size respects the bound."""
+        return self.edges <= self.bound + 1e-9
+
+
+def run_size_experiment(
+    workloads: Iterable[Workload] = None,
+    kappas: Sequence[float] = (2, 3, 4, 8, 16),
+    eps: float = 0.1,
+) -> List[SizeRow]:
+    """Run E1 and return one row per (workload, kappa)."""
+    if workloads is None:
+        workloads = standard_workloads(n=256)
+    rows: List[SizeRow] = []
+    for workload in workloads:
+        for kappa in kappas:
+            result = build_emulator(workload.graph, eps=eps, kappa=kappa)
+            rows.append(
+                SizeRow(
+                    workload=workload.name,
+                    n=workload.n,
+                    m=workload.m,
+                    kappa=kappa,
+                    eps=eps,
+                    edges=result.num_edges,
+                    bound=size_bound(workload.n, kappa),
+                )
+            )
+    return rows
+
+
+def format_size_table(rows: List[SizeRow]) -> str:
+    """Render the E1 table."""
+    return format_table(
+        ["workload", "n", "m", "kappa", "edges", "bound n^(1+1/k)", "ratio", "within"],
+        [
+            [r.workload, r.n, r.m, r.kappa, r.edges, r.bound, r.ratio,
+             "yes" if r.within_bound else "NO"]
+            for r in rows
+        ],
+        title="E1: emulator size vs the n^(1+1/kappa) bound (Lemma 2.4)",
+    )

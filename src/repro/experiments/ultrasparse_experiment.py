@@ -1,0 +1,86 @@
+"""Experiment E2 — the ultra-sparse regime (Corollary 2.15).
+
+Setting ``kappa = f(n) * log n`` for any ``f(n) = omega(1)`` gives emulators
+with ``n + o(n)`` edges.  The experiment sweeps increasing graph sizes with
+``kappa = ultra_sparse_kappa(n)`` and reports the *excess over n*
+(``edges - n``) and its ratio to ``n``, which must shrink as ``n`` grows,
+together with the theoretical excess allowance ``n^(1+1/kappa) - n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.analysis.reporting import format_table
+from repro.core.emulator import build_emulator
+from repro.core.parameters import CentralizedSchedule, size_bound, ultra_sparse_kappa
+from repro.experiments.workloads import Workload, scaling_workloads
+
+__all__ = ["UltraSparseRow", "run_ultrasparse_experiment", "format_ultrasparse_table"]
+
+
+@dataclass
+class UltraSparseRow:
+    """One row of the E2 table."""
+
+    workload: str
+    n: int
+    kappa: float
+    edges: int
+    bound: float
+    beta: float
+
+    @property
+    def excess_over_n(self) -> int:
+        """``edges - n`` — the quantity Corollary 2.15 bounds by ``o(n)``."""
+        return self.edges - self.n
+
+    @property
+    def excess_fraction(self) -> float:
+        """``(edges - n) / n``."""
+        return self.excess_over_n / self.n if self.n else 0.0
+
+    @property
+    def allowed_excess(self) -> float:
+        """``n^(1+1/kappa) - n`` — the theoretical excess allowance."""
+        return self.bound - self.n
+
+
+def run_ultrasparse_experiment(
+    workloads: Iterable[Workload] = None,
+    eps: float = 0.1,
+) -> List[UltraSparseRow]:
+    """Run E2 over increasing graph sizes with ``kappa = omega(log n)``."""
+    if workloads is None:
+        workloads = scaling_workloads(sizes=[128, 256, 512, 1024])
+    rows: List[UltraSparseRow] = []
+    for workload in workloads:
+        kappa = ultra_sparse_kappa(workload.n)
+        schedule = CentralizedSchedule(n=workload.n, eps=eps, kappa=kappa)
+        result = build_emulator(workload.graph, schedule=schedule)
+        rows.append(
+            UltraSparseRow(
+                workload=workload.name,
+                n=workload.n,
+                kappa=kappa,
+                edges=result.num_edges,
+                bound=size_bound(workload.n, kappa),
+                beta=schedule.beta,
+            )
+        )
+    return rows
+
+
+def format_ultrasparse_table(rows: List[UltraSparseRow]) -> str:
+    """Render the E2 table."""
+    return format_table(
+        ["workload", "n", "kappa", "edges", "edges-n", "(edges-n)/n", "allowed n^(1+1/k)-n",
+         "beta"],
+        [
+            [r.workload, r.n, r.kappa, r.edges, r.excess_over_n, r.excess_fraction,
+             r.allowed_excess, r.beta]
+            for r in rows
+        ],
+        title="E2: ultra-sparse emulators, kappa = omega(log n) (Corollary 2.15)",
+    )

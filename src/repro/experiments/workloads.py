@@ -1,0 +1,98 @@
+"""Workload (graph-family) definitions used by the experiments.
+
+The emulator constructions are parameter-scale-free with respect to the input
+graph, so the experiments sweep families with qualitatively different density
+and expansion behaviour: sparse random graphs, bounded-degree regular graphs,
+2-D meshes, hypercubes, trees, and clustered shapes that stress the
+superclustering machinery.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+
+__all__ = ["Workload", "standard_workloads", "scaling_workloads", "workload_by_name"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named graph instance used by an experiment row."""
+
+    name: str
+    graph: Graph
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self.graph.num_vertices
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self.graph.num_edges
+
+
+def _sparse_random(n: int, seed: int) -> Graph:
+    """Connected Erdős–Rényi graph with average degree ~6."""
+    p = min(1.0, 6.0 / max(1, n - 1))
+    return generators.connected_erdos_renyi(n, p, seed=seed)
+
+
+def _regular(n: int, seed: int) -> Graph:
+    degree = 4 if n * 4 % 2 == 0 else 5
+    return generators.random_regular_graph(n, degree, seed=seed)
+
+
+def _grid(n: int, seed: int) -> Graph:  # noqa: ARG001 - deterministic family
+    side = max(2, int(round(math.sqrt(n))))
+    return generators.grid_graph(side, side)
+
+
+def _hypercube(n: int, seed: int) -> Graph:  # noqa: ARG001 - deterministic family
+    dimension = max(2, int(round(math.log2(max(4, n)))))
+    return generators.hypercube_graph(dimension)
+
+
+def _tree(n: int, seed: int) -> Graph:
+    return generators.random_tree(n, seed=seed)
+
+
+def _ring_of_cliques(n: int, seed: int) -> Graph:  # noqa: ARG001 - deterministic family
+    clique = 8
+    num_cliques = max(3, n // clique)
+    return generators.ring_of_cliques(num_cliques, clique)
+
+
+_FAMILIES: Dict[str, Callable[[int, int], Graph]] = {
+    "erdos-renyi": _sparse_random,
+    "random-regular": _regular,
+    "grid": _grid,
+    "hypercube": _hypercube,
+    "random-tree": _tree,
+    "ring-of-cliques": _ring_of_cliques,
+}
+
+
+def workload_by_name(name: str, n: int, seed: int = 0) -> Workload:
+    """Build a single workload of family ``name`` with roughly ``n`` vertices."""
+    if name not in _FAMILIES:
+        raise ValueError(f"unknown workload family {name!r}; choose from {sorted(_FAMILIES)}")
+    graph = _FAMILIES[name](n, seed)
+    return Workload(name=f"{name}-n{graph.num_vertices}", graph=graph)
+
+
+def standard_workloads(n: int = 256, seed: int = 0) -> List[Workload]:
+    """The default mixed-family workload set at a given target size."""
+    return [workload_by_name(name, n, seed=seed) for name in sorted(_FAMILIES)]
+
+
+def scaling_workloads(
+    family: str = "erdos-renyi", sizes: List[int] = (128, 256, 512, 1024), seed: int = 0
+) -> List[Workload]:
+    """A single family at increasing sizes (used by E2 and E7)."""
+    return [workload_by_name(family, n, seed=seed) for n in sizes]

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def path10() -> Graph:
+    """A path on 10 vertices."""
+    return generators.path_graph(10)
+
+
+@pytest.fixture
+def cycle12() -> Graph:
+    """A cycle on 12 vertices."""
+    return generators.cycle_graph(12)
+
+
+@pytest.fixture
+def star20() -> Graph:
+    """A star with 19 leaves."""
+    return generators.star_graph(20)
+
+
+@pytest.fixture
+def grid6x6() -> Graph:
+    """A 6x6 grid."""
+    return generators.grid_graph(6, 6)
+
+
+@pytest.fixture
+def random_graph() -> Graph:
+    """A connected sparse random graph on 80 vertices (seeded)."""
+    return generators.connected_erdos_renyi(80, 0.06, seed=42)
+
+
+@pytest.fixture
+def small_random_graph() -> Graph:
+    """A connected sparse random graph on 40 vertices (seeded)."""
+    return generators.connected_erdos_renyi(40, 0.1, seed=7)
+
+
+@pytest.fixture
+def clique8() -> Graph:
+    """A clique on 8 vertices."""
+    return generators.complete_graph(8)
+
+
+@pytest.fixture
+def disconnected_graph() -> Graph:
+    """Two disjoint paths (tests behaviour on disconnected inputs)."""
+    g = Graph(10)
+    for i in range(4):
+        g.add_edge(i, i + 1)
+    for i in range(5, 9):
+        g.add_edge(i, i + 1)
+    return g

@@ -1,0 +1,39 @@
+"""Tests for the E8 ablation experiment driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation_experiment import (
+    format_ablation_table,
+    run_ablation_experiment,
+)
+from repro.experiments.workloads import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def ablation_rows():
+    workloads = [workload_by_name("erdos-renyi", 64, seed=3), workload_by_name("grid", 64)]
+    return run_ablation_experiment(workloads, kappa=8)
+
+
+class TestAblation:
+    def test_ours_always_within_bound(self, ablation_rows):
+        assert all(r.ours_within for r in ablation_rows)
+
+    def test_no_buffer_never_sparser(self, ablation_rows):
+        assert all(r.no_buffer >= r.ours for r in ablation_rows)
+
+    def test_penalties_nonnegative_for_no_buffer(self, ablation_rows):
+        assert all(r.no_buffer_penalty >= 0 for r in ablation_rows)
+
+    def test_row_counts(self, ablation_rows):
+        assert len(ablation_rows) == 2
+
+    def test_table_renders(self, ablation_rows):
+        table = format_ablation_table(ablation_rows)
+        assert "E8" in table
+        assert "no-buffer" in table
+
+    def test_slowed_variant_built(self, ablation_rows):
+        assert all(r.slowed_degrees > 0 for r in ablation_rows)

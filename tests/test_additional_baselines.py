@@ -1,0 +1,105 @@
+"""Tests for the Baswana–Sen and +2 additive spanner baselines."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.validation import verify_spanner
+from repro.baselines.additive_spanners import additive_two_spanner, dominating_set_for_high_degree
+from repro.baselines.baswana_sen import baswana_sen_spanner
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+
+
+class TestBaswanaSen:
+    def test_k1_returns_the_whole_graph(self, random_graph):
+        spanner = baswana_sen_spanner(random_graph, k=1, seed=0)
+        assert spanner.num_edges == random_graph.num_edges
+
+    def test_invalid_k_rejected(self, path10):
+        with pytest.raises(ValueError):
+            baswana_sen_spanner(path10, k=0)
+
+    def test_empty_graph_handled(self):
+        spanner = baswana_sen_spanner(Graph(5), k=2, seed=0)
+        assert spanner.num_edges == 0
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_stretch_guarantee_on_random_graph(self, random_graph, k):
+        spanner = baswana_sen_spanner(random_graph, k=k, seed=11)
+        report = verify_spanner(random_graph, spanner, alpha=2 * k - 1, beta=0.0)
+        assert report.valid
+
+    def test_stretch_guarantee_on_clique(self, clique8):
+        spanner = baswana_sen_spanner(clique8, k=2, seed=5)
+        report = verify_spanner(clique8, spanner, alpha=3.0, beta=0.0)
+        assert report.valid
+
+    def test_deterministic_given_seed(self, random_graph):
+        a = baswana_sen_spanner(random_graph, k=2, seed=42)
+        b = baswana_sen_spanner(random_graph, k=2, seed=42)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_output_is_subgraph(self, random_graph):
+        spanner = baswana_sen_spanner(random_graph, k=3, seed=1)
+        assert all(random_graph.has_edge(u, v) for u, v in spanner.edges())
+
+    def test_sparsifies_a_dense_graph(self):
+        dense = generators.complete_graph(40)
+        spanner = baswana_sen_spanner(dense, k=2, seed=0)
+        # Expected O(k n^{1+1/k}) = O(2 * 40^1.5) ~ 500 << 780 edges of K40;
+        # allow generous slack over the expectation.
+        assert spanner.num_edges < dense.num_edges
+
+
+class TestDominatingSet:
+    def test_dominates_all_high_degree_vertices(self, random_graph):
+        threshold = math.sqrt(random_graph.num_vertices)
+        dominators = dominating_set_for_high_degree(random_graph, threshold)
+        dominated = set(dominators)
+        for d in dominators:
+            dominated |= random_graph.neighbors(d)
+        for v in random_graph.vertices():
+            if random_graph.degree(v) >= threshold:
+                assert v in dominated
+
+    def test_no_high_degree_vertices_gives_empty_set(self, path10):
+        assert dominating_set_for_high_degree(path10, degree_threshold=5) == []
+
+    def test_star_center_dominated_by_single_vertex(self, star20):
+        dominators = dominating_set_for_high_degree(star20, degree_threshold=10)
+        assert len(dominators) == 1
+
+
+class TestAdditiveTwoSpanner:
+    def test_plus_two_guarantee_on_random_graph(self, random_graph):
+        spanner = additive_two_spanner(random_graph)
+        report = verify_spanner(random_graph, spanner, alpha=1.0, beta=2.0)
+        assert report.valid
+
+    def test_plus_two_guarantee_on_dense_graph(self):
+        dense = generators.complete_graph(30)
+        spanner = additive_two_spanner(dense)
+        report = verify_spanner(dense, spanner, alpha=1.0, beta=2.0)
+        assert report.valid
+
+    def test_low_degree_graph_kept_verbatim(self, path10):
+        spanner = additive_two_spanner(path10)
+        assert spanner.num_edges == path10.num_edges
+
+    def test_empty_graph(self):
+        assert additive_two_spanner(Graph(0)).num_edges == 0
+
+    def test_size_is_subquadratic_on_dense_input(self):
+        dense = generators.complete_graph(64)
+        spanner = additive_two_spanner(dense)
+        n = dense.num_vertices
+        # O(n^{3/2} log n) with a small constant; K_n has ~n^2/2 edges.
+        assert spanner.num_edges <= 4 * n ** 1.5 * math.log2(n)
+        assert spanner.num_edges < dense.num_edges
+
+    def test_output_is_subgraph(self, random_graph):
+        spanner = additive_two_spanner(random_graph)
+        assert all(random_graph.has_edge(u, v) for u, v in spanner.edges())

@@ -1,0 +1,119 @@
+"""Tests for the popular-cluster detection (Algorithm 2, modified Bellman-Ford)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest.bellman_ford import detect_popular_clusters
+from repro.congest.network import SynchronousNetwork
+from repro.graphs import generators
+from repro.graphs.shortest_paths import bfs_distances
+
+
+def brute_force_popular(graph, centers, degree_threshold, distance_threshold):
+    """Ground truth: centers with >= degree_threshold other centers within distance."""
+    centers = set(centers)
+    popular = set()
+    for c in centers:
+        dist = bfs_distances(graph, c)
+        count = sum(
+            1 for other in centers
+            if other != c and dist.get(other, float("inf")) <= distance_threshold
+        )
+        if count >= degree_threshold:
+            popular.add(c)
+    return popular
+
+
+class TestDetection:
+    def test_matches_ground_truth_all_vertices(self, random_graph):
+        centers = list(random_graph.vertices())
+        result = detect_popular_clusters(random_graph, centers, 5, 2)
+        assert result.popular == brute_force_popular(random_graph, centers, 5, 2)
+
+    def test_matches_ground_truth_subset(self, random_graph):
+        centers = [v for v in random_graph.vertices() if v % 3 == 0]
+        result = detect_popular_clusters(random_graph, centers, 3, 3)
+        assert result.popular == brute_force_popular(random_graph, centers, 3, 3)
+
+    def test_star_center_popular(self, star20):
+        result = detect_popular_clusters(star20, list(star20.vertices()), 5, 1)
+        assert 0 in result.popular
+        # Leaves have only one neighbor (the hub), so they are unpopular.
+        assert 1 not in result.popular
+
+    def test_path_no_popular(self, path10):
+        result = detect_popular_clusters(path10, list(path10.vertices()), 3, 1)
+        assert result.popular == set()
+
+    def test_fractional_degree_threshold(self, random_graph):
+        centers = list(random_graph.vertices())
+        result = detect_popular_clusters(random_graph, centers, 4.5, 2)
+        assert result.popular == brute_force_popular(random_graph, centers, 4.5, 2)
+
+    def test_unpopular_centers_know_all_neighbors(self, random_graph):
+        # Theorem 3.1(2): every unpopular center knows every center within
+        # the distance threshold, with exact distances.
+        centers = list(random_graph.vertices())
+        threshold, delta = 6, 2
+        result = detect_popular_clusters(random_graph, centers, threshold, delta)
+        for c in centers:
+            if c in result.popular:
+                continue
+            dist = bfs_distances(random_graph, c)
+            expected = {
+                other: d for other, d in dist.items()
+                if other != c and other in set(centers) and d <= delta
+            }
+            assert result.knowledge[c] == expected
+
+    def test_popular_centers_learn_enough(self, random_graph):
+        centers = list(random_graph.vertices())
+        result = detect_popular_clusters(random_graph, centers, 5, 2)
+        for c in result.popular:
+            assert len(result.knowledge[c]) >= 5
+
+    def test_all_learned_contains_sources_within_radius(self, grid6x6):
+        centers = [0, 7, 14, 21, 28, 35]
+        result = detect_popular_clusters(grid6x6, centers, 2, 4)
+        for v in grid6x6.vertices():
+            dist = bfs_distances(grid6x6, v)
+            for c in centers:
+                if c in result.all_learned[v]:
+                    # learned distances are exact or an upper bound >= true distance
+                    assert result.all_learned[v][c] >= dist[c]
+
+    def test_no_centers(self, path10):
+        result = detect_popular_clusters(path10, [], 2, 3)
+        assert result.popular == set()
+        assert result.knowledge == {}
+
+    def test_invalid_center(self, path10):
+        with pytest.raises(ValueError):
+            detect_popular_clusters(path10, [99], 2, 3)
+
+    def test_distances_are_exact_for_learned_unpopular(self, grid6x6):
+        centers = [0, 5, 30, 35]
+        result = detect_popular_clusters(grid6x6, centers, 10, 12)
+        for c in centers:
+            dist = bfs_distances(grid6x6, c)
+            for other, d in result.knowledge[c].items():
+                assert d == dist[other]
+
+
+class TestAccounting:
+    def test_round_charge_formula(self, path10):
+        net = SynchronousNetwork(path10)
+        result = detect_popular_clusters(path10, list(path10.vertices()), 3, 4, net=net)
+        assert result.rounds == 4 * (3 + 1)
+        assert net.charged_rounds == result.rounds
+        assert net.total_messages == result.messages
+
+    def test_messages_positive_when_centers_exist(self, grid6x6):
+        result = detect_popular_clusters(grid6x6, [0, 35], 1, 3)
+        assert result.messages > 0
+
+    def test_zero_strides(self, path10):
+        result = detect_popular_clusters(path10, [0, 5], 2, 0.5)
+        assert result.popular == set()
+        assert result.rounds == 0

@@ -1,0 +1,90 @@
+"""Unit tests for the edge-charging ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.charging import ChargeLedger, EdgeKind
+
+
+class TestChargeRecording:
+    def test_charge_normalizes_edge_order(self):
+        ledger = ChargeLedger()
+        record = ledger.charge(5, 2, 3.0, charged_to=2, phase=0, kind=EdgeKind.INTERCONNECTION)
+        assert record.edge == (2, 5)
+        assert record.weight == 3.0
+
+    def test_counts(self):
+        ledger = ChargeLedger()
+        ledger.charge(0, 1, 1.0, charged_to=0, phase=0, kind=EdgeKind.INTERCONNECTION)
+        ledger.charge(1, 2, 1.0, charged_to=2, phase=0, kind=EdgeKind.SUPERCLUSTERING)
+        ledger.charge(2, 3, 1.0, charged_to=3, phase=1, kind=EdgeKind.SUPERCLUSTERING)
+        assert ledger.num_charges == 3
+        assert len(ledger) == 3
+        assert ledger.interconnection_count() == 1
+        assert ledger.superclustering_count() == 2
+
+    def test_charges_by_vertex(self):
+        ledger = ChargeLedger()
+        ledger.charge(0, 1, 1.0, charged_to=0, phase=0, kind=EdgeKind.INTERCONNECTION)
+        ledger.charge(0, 2, 1.0, charged_to=0, phase=0, kind=EdgeKind.INTERCONNECTION)
+        by_vertex = ledger.charges_by_vertex()
+        assert len(by_vertex[0]) == 2
+
+    def test_charges_by_phase_and_edges_per_phase(self):
+        ledger = ChargeLedger()
+        ledger.charge(0, 1, 1.0, charged_to=0, phase=0, kind=EdgeKind.INTERCONNECTION)
+        ledger.charge(1, 2, 1.0, charged_to=1, phase=2, kind=EdgeKind.INTERCONNECTION)
+        assert set(ledger.charges_by_phase()) == {0, 2}
+        assert ledger.edges_per_phase() == {0: 1, 2: 1}
+
+    def test_repr(self):
+        ledger = ChargeLedger()
+        assert "total=0" in repr(ledger)
+
+
+class TestInvariantChecks:
+    def test_interconnection_budget_ok(self):
+        ledger = ChargeLedger()
+        for v in (1, 2):
+            ledger.charge(0, v, 1.0, charged_to=0, phase=0, kind=EdgeKind.INTERCONNECTION)
+        ledger.verify_interconnection_budget({0: 3.0})
+
+    def test_interconnection_budget_violation(self):
+        ledger = ChargeLedger()
+        for v in (1, 2, 3):
+            ledger.charge(0, v, 1.0, charged_to=0, phase=0, kind=EdgeKind.INTERCONNECTION)
+        with pytest.raises(AssertionError):
+            ledger.verify_interconnection_budget({0: 3.0})
+
+    def test_superclustering_budget_ok(self):
+        ledger = ChargeLedger()
+        ledger.charge(0, 1, 1.0, charged_to=1, phase=0, kind=EdgeKind.SUPERCLUSTERING)
+        ledger.charge(0, 2, 1.0, charged_to=2, phase=0, kind=EdgeKind.SUPERCLUSTERING)
+        ledger.verify_superclustering_budget()
+
+    def test_superclustering_budget_violation(self):
+        ledger = ChargeLedger()
+        ledger.charge(0, 1, 1.0, charged_to=1, phase=0, kind=EdgeKind.SUPERCLUSTERING)
+        ledger.charge(2, 1, 1.0, charged_to=1, phase=0, kind=EdgeKind.SUPERCLUSTERING)
+        with pytest.raises(AssertionError):
+            ledger.verify_superclustering_budget()
+
+    def test_single_charging_phase_ok(self):
+        ledger = ChargeLedger()
+        ledger.charge(0, 1, 1.0, charged_to=0, phase=1, kind=EdgeKind.INTERCONNECTION)
+        ledger.charge(0, 2, 1.0, charged_to=0, phase=1, kind=EdgeKind.INTERCONNECTION)
+        ledger.verify_single_charging_phase()
+
+    def test_single_charging_phase_violation(self):
+        ledger = ChargeLedger()
+        ledger.charge(0, 1, 1.0, charged_to=0, phase=0, kind=EdgeKind.INTERCONNECTION)
+        ledger.charge(0, 2, 1.0, charged_to=0, phase=1, kind=EdgeKind.INTERCONNECTION)
+        with pytest.raises(AssertionError):
+            ledger.verify_single_charging_phase()
+
+    def test_superclustering_charges_do_not_affect_phase_check(self):
+        ledger = ChargeLedger()
+        ledger.charge(0, 1, 1.0, charged_to=0, phase=0, kind=EdgeKind.SUPERCLUSTERING)
+        ledger.charge(0, 2, 1.0, charged_to=0, phase=1, kind=EdgeKind.INTERCONNECTION)
+        ledger.verify_single_charging_phase()

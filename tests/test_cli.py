@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import generators, io
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_build_defaults(self):
+        args = build_parser().parse_args(["build"])
+        assert args.algorithm == "centralized"
+        assert args.kappa == 4.0
+
+    def test_experiments_only_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments", "--only", "E42"])
+
+
+class TestBuildCommand:
+    def test_build_generated_workload(self, capsys):
+        code = main(["build", "--family", "grid", "--n", "49", "--kappa", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "emulator:" in out
+
+    def test_build_from_file_with_output(self, tmp_path, capsys):
+        g = generators.connected_erdos_renyi(30, 0.1, seed=2)
+        graph_path = tmp_path / "g.txt"
+        io.write_edge_list(g, graph_path)
+        out_path = tmp_path / "emulator.txt"
+        code = main(["build", "--input", str(graph_path), "--kappa", "4",
+                     "--output", str(out_path)])
+        assert code == 0
+        emulator = io.read_weighted_edge_list(out_path)
+        assert emulator.num_edges > 0
+
+    def test_build_fast(self, capsys):
+        code = main(["build", "--family", "grid", "--n", "36", "--algorithm", "fast"])
+        assert code == 0
+        assert "fast" in capsys.readouterr().out
+
+    def test_build_congest(self, capsys):
+        code = main(["build", "--family", "grid", "--n", "25", "--algorithm", "congest"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rounds" in out
+
+    def test_build_spanner_with_output(self, tmp_path, capsys):
+        out_path = tmp_path / "spanner.txt"
+        code = main(["build", "--family", "grid", "--n", "36", "--algorithm", "spanner",
+                     "--output", str(out_path)])
+        assert code == 0
+        spanner = io.read_edge_list(out_path)
+        assert spanner.num_edges > 0
+
+
+class TestVerifyCommand:
+    def test_verify_roundtrip(self, tmp_path, capsys):
+        from repro.core.emulator import build_emulator
+
+        g = generators.connected_erdos_renyi(30, 0.1, seed=4)
+        result = build_emulator(g, eps=0.1, kappa=4)
+        graph_path = tmp_path / "g.txt"
+        emulator_path = tmp_path / "h.txt"
+        io.write_edge_list(g, graph_path)
+        io.write_weighted_edge_list(result.emulator, emulator_path)
+        code = main(["verify", "--graph", str(graph_path), "--emulator", str(emulator_path),
+                     "--alpha", str(result.alpha), "--beta", str(result.beta)])
+        assert code == 0
+        assert "valid: True" in capsys.readouterr().out
+
+    def test_verify_detects_invalid(self, tmp_path, capsys):
+        g = generators.path_graph(10)
+        graph_path = tmp_path / "g.txt"
+        emulator_path = tmp_path / "h.txt"
+        io.write_edge_list(g, graph_path)
+        from repro.graphs.weighted_graph import WeightedGraph
+
+        io.write_weighted_edge_list(WeightedGraph(10), emulator_path)  # empty emulator
+        code = main(["verify", "--graph", str(graph_path), "--emulator", str(emulator_path),
+                     "--alpha", "1.0", "--beta", "1.0"])
+        assert code == 1
+
+
+class TestExperimentsCommand:
+    def test_single_experiment(self, capsys):
+        code = main(["experiments", "--only", "E2"])
+        assert code == 0
+        assert "E2" in capsys.readouterr().out

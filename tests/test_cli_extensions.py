@@ -1,0 +1,43 @@
+"""Tests for the CLI sub-commands added alongside the application layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestHopsetCommand:
+    def test_hopset_build_prints_summary(self, capsys):
+        exit_code = main(["hopset", "--family", "grid", "--n", "36", "--eps", "0.1"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "hopset" in out
+        assert "hopbound" in out
+
+    def test_hopset_with_explicit_kappa(self, capsys):
+        exit_code = main(["hopset", "--family", "erdos-renyi", "--n", "48",
+                          "--kappa", "4", "--sample-pairs", "50"])
+        assert exit_code == 0
+        assert "hopset" in capsys.readouterr().out
+
+
+class TestOracleCommand:
+    def test_oracle_answers_queries(self, capsys):
+        exit_code = main(["oracle", "--family", "grid", "--n", "36",
+                          "--queries", "0:35", "0:6", "3:3"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert out.count("d(") == 3
+
+    def test_oracle_rejects_malformed_query(self):
+        with pytest.raises(SystemExit):
+            main(["oracle", "--family", "grid", "--n", "36", "--queries", "zero:one"])
+
+
+class TestParser:
+    def test_new_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        assert "hopset" in text
+        assert "oracle" in text

@@ -1,0 +1,127 @@
+"""Unit tests for clusters and partial partitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clusters import Cluster, Partition
+
+
+class TestCluster:
+    def test_singleton(self):
+        c = Cluster.singleton(7)
+        assert c.center == 7
+        assert c.members == {7}
+        assert c.radius == 0.0
+        assert c.phase_created == 0
+        assert c.size == 1
+
+    def test_center_must_be_member(self):
+        with pytest.raises(ValueError):
+            Cluster(center=1, members={2, 3})
+
+    def test_default_members(self):
+        c = Cluster(center=4)
+        assert c.members == {4}
+
+    def test_contains_iter_len(self):
+        c = Cluster(center=1, members={1, 2, 3})
+        assert 2 in c
+        assert 9 not in c
+        assert sorted(c) == [1, 2, 3]
+        assert len(c) == 3
+
+    def test_frozen_members(self):
+        c = Cluster(center=0, members={0, 1})
+        frozen = c.frozen_members()
+        assert frozen == frozenset({0, 1})
+
+    def test_merged_with(self):
+        a = Cluster(center=0, members={0, 1}, radius=1.0)
+        b = Cluster(center=2, members={2, 3}, radius=2.0)
+        merged = a.merged_with([b], radius=5.0, phase_created=1)
+        assert merged.center == 0
+        assert merged.members == {0, 1, 2, 3}
+        assert merged.radius == 5.0
+        assert merged.phase_created == 1
+
+    def test_merged_with_default_radius(self):
+        a = Cluster(center=0, members={0}, radius=1.0)
+        b = Cluster(center=1, members={1}, radius=3.0)
+        assert a.merged_with([b]).radius == 3.0
+
+    def test_merged_with_invalid_center(self):
+        a = Cluster(center=0, members={0})
+        b = Cluster(center=1, members={1})
+        with pytest.raises(ValueError):
+            a.merged_with([b], new_center=9)
+
+    def test_repr(self):
+        assert "center=0" in repr(Cluster.singleton(0))
+
+
+class TestPartition:
+    def test_singletons(self):
+        p = Partition.singletons(5)
+        assert p.num_clusters == 5
+        assert p.num_covered == 5
+        assert p.is_partition_of(5)
+
+    def test_add_and_lookup(self):
+        p = Partition()
+        p.add(Cluster(center=0, members={0, 1}))
+        assert p.has_center(0)
+        assert p.covers(1)
+        assert not p.covers(2)
+        assert p.cluster_of_vertex(1).center == 0
+        assert p.cluster_of_vertex(5) is None
+        assert p.cluster_of_center(0).members == {0, 1}
+
+    def test_add_duplicate_center_rejected(self):
+        p = Partition([Cluster.singleton(0)])
+        with pytest.raises(ValueError):
+            p.add(Cluster(center=0, members={0, 1}))
+
+    def test_add_overlapping_cluster_rejected(self):
+        p = Partition([Cluster(center=0, members={0, 1})])
+        with pytest.raises(ValueError):
+            p.add(Cluster(center=2, members={1, 2}))
+
+    def test_remove(self):
+        p = Partition.singletons(3)
+        removed = p.remove(1)
+        assert removed.center == 1
+        assert not p.covers(1)
+        assert p.num_clusters == 2
+
+    def test_centers_sorted(self):
+        p = Partition([Cluster.singleton(3), Cluster.singleton(1), Cluster.singleton(2)])
+        assert p.centers() == [1, 2, 3]
+
+    def test_clusters_order(self):
+        p = Partition([Cluster.singleton(5), Cluster.singleton(2)])
+        assert [c.center for c in p.clusters()] == [2, 5]
+
+    def test_covered_vertices(self):
+        p = Partition([Cluster(center=0, members={0, 3})])
+        assert p.covered_vertices() == {0, 3}
+
+    def test_max_radius(self):
+        p = Partition([Cluster(center=0, members={0}, radius=2.0),
+                       Cluster(center=1, members={1}, radius=5.0)])
+        assert p.max_radius() == 5.0
+        assert Partition().max_radius() == 0.0
+
+    def test_is_partition_of(self):
+        p = Partition([Cluster(center=0, members={0, 1}), Cluster.singleton(2)])
+        assert p.is_partition_of(3)
+        assert not p.is_partition_of(4)
+
+    def test_validate_disjoint_passes(self):
+        Partition.singletons(4).validate_disjoint()
+
+    def test_len_iter_repr(self):
+        p = Partition.singletons(3)
+        assert len(p) == 3
+        assert [c.center for c in p] == [0, 1, 2]
+        assert "clusters=3" in repr(p)

@@ -1,0 +1,129 @@
+"""Tests for the CONGEST synchronous network simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest.message import MAX_WORDS_PER_MESSAGE, Message, payload_words
+from repro.congest.network import BandwidthViolation, SynchronousNetwork
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+
+
+class TestMessage:
+    def test_payload_words(self):
+        assert payload_words((1, 2, 3)) == 3
+
+    def test_message_word_limit(self):
+        with pytest.raises(ValueError):
+            Message(src=0, dst=1, payload=tuple(range(MAX_WORDS_PER_MESSAGE + 1)), round_sent=0)
+
+    def test_message_is_frozen(self):
+        msg = Message(src=0, dst=1, payload=(1,), round_sent=0)
+        with pytest.raises(AttributeError):
+            msg.src = 2  # type: ignore[misc]
+
+
+class TestSendDeliver:
+    def test_basic_delivery(self, path10):
+        net = SynchronousNetwork(path10)
+        net.send(0, 1, ("hello", 7))
+        delivered = net.deliver()
+        assert list(delivered) == [1]
+        assert delivered[1][0].payload == ("hello", 7)
+        assert net.current_round == 1
+        assert net.total_messages == 1
+
+    def test_send_on_non_edge_rejected(self, path10):
+        net = SynchronousNetwork(path10)
+        with pytest.raises(ValueError):
+            net.send(0, 5, (1,))
+
+    def test_bandwidth_one_message_per_directed_edge(self, path10):
+        net = SynchronousNetwork(path10)
+        net.send(0, 1, (1,))
+        with pytest.raises(BandwidthViolation):
+            net.send(0, 1, (2,))
+
+    def test_both_directions_allowed_same_round(self, path10):
+        net = SynchronousNetwork(path10)
+        net.send(0, 1, (1,))
+        net.send(1, 0, (2,))
+        delivered = net.deliver()
+        assert set(delivered) == {0, 1}
+
+    def test_oversized_payload_rejected(self, path10):
+        net = SynchronousNetwork(path10)
+        with pytest.raises(BandwidthViolation):
+            net.send(0, 1, tuple(range(10)))
+
+    def test_non_strict_mode_records_violations(self, path10):
+        net = SynchronousNetwork(path10, strict=False)
+        net.send(0, 1, (1,))
+        net.send(0, 1, (2,))
+        assert net.bandwidth_violations == 1
+        assert net.total_messages == 1
+
+    def test_edge_reusable_next_round(self, path10):
+        net = SynchronousNetwork(path10)
+        net.send(0, 1, (1,))
+        net.deliver()
+        net.send(0, 1, (2,))  # must not raise
+        delivered = net.deliver()
+        assert delivered[1][0].payload == (2,)
+
+    def test_run_rounds(self, path10):
+        net = SynchronousNetwork(path10)
+        net.run_rounds(5)
+        assert net.current_round == 5
+
+
+class TestAccounting:
+    def test_charge_rounds(self, path10):
+        net = SynchronousNetwork(path10)
+        net.charge_rounds(10)
+        net.charge_rounds(2.6)
+        assert net.charged_rounds == 13
+        assert net.rounds_elapsed == 13
+
+    def test_charge_rounds_negative_rejected(self, path10):
+        net = SynchronousNetwork(path10)
+        with pytest.raises(ValueError):
+            net.charge_rounds(-1)
+
+    def test_charge_messages(self, path10):
+        net = SynchronousNetwork(path10)
+        net.charge_messages(17)
+        assert net.total_messages == 17
+        with pytest.raises(ValueError):
+            net.charge_messages(-3)
+
+    def test_rounds_elapsed_combines(self, path10):
+        net = SynchronousNetwork(path10)
+        net.send(0, 1, (1,))
+        net.deliver()
+        net.charge_rounds(4)
+        assert net.rounds_elapsed == 5
+
+    def test_max_messages_per_round(self, grid6x6):
+        net = SynchronousNetwork(grid6x6)
+        net.send(0, 1, (1,))
+        net.send(1, 2, (1,))
+        net.deliver()
+        net.send(2, 3, (1,))
+        net.deliver()
+        assert net.max_messages_per_round == 2
+
+    def test_reset_counters(self, path10):
+        net = SynchronousNetwork(path10)
+        net.send(0, 1, (1,))
+        net.deliver()
+        net.charge_rounds(3)
+        net.reset_counters()
+        assert net.rounds_elapsed == 0
+        assert net.total_messages == 0
+        assert net.current_round == 0
+
+    def test_repr(self, path10):
+        net = SynchronousNetwork(path10)
+        assert "n=10" in repr(net)

@@ -1,0 +1,150 @@
+"""Tests for distributed BFS, floods, broadcast and convergecast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest.network import SynchronousNetwork
+from repro.congest.primitives import (
+    bounded_flood,
+    broadcast_on_tree,
+    convergecast_on_tree,
+    distributed_bfs,
+)
+from repro.graphs import generators
+from repro.graphs.shortest_paths import bfs_distances, multi_source_bfs
+
+
+class TestDistributedBfs:
+    def test_single_source_matches_centralized(self, random_graph):
+        net = SynchronousNetwork(random_graph)
+        forest = distributed_bfs(net, [0])
+        assert forest.dist == bfs_distances(random_graph, 0)
+
+    def test_rounds_track_depth(self, path10):
+        net = SynchronousNetwork(path10)
+        forest = distributed_bfs(net, [0])
+        # One round per BFS level plus one final quiescence round.
+        assert net.current_round in (9, 10)
+        assert forest.depth == 9
+
+    def test_depth_bound(self, path10):
+        net = SynchronousNetwork(path10)
+        forest = distributed_bfs(net, [0], depth=3)
+        assert set(forest.dist) == {0, 1, 2, 3}
+
+    def test_multi_source_matches_centralized(self, grid6x6):
+        net = SynchronousNetwork(grid6x6)
+        forest = distributed_bfs(net, [0, 35])
+        dist, origin = multi_source_bfs(grid6x6, [0, 35])
+        assert forest.dist == dist
+        # Root assignment may differ only on exact ties; distances must agree.
+        for v, r in forest.root.items():
+            assert forest.dist[v] == dist[v]
+            assert r in (0, 35)
+
+    def test_parent_structure(self, random_graph):
+        net = SynchronousNetwork(random_graph)
+        forest = distributed_bfs(net, [0])
+        for v, p in forest.parent.items():
+            if v != 0:
+                assert forest.dist[p] == forest.dist[v] - 1
+                assert random_graph.has_edge(v, p)
+
+    def test_tree_of_and_children(self, path10):
+        net = SynchronousNetwork(path10)
+        forest = distributed_bfs(net, [0, 9], depth=4)
+        tree0 = forest.tree_of(0)
+        tree9 = forest.tree_of(9)
+        assert tree0 & tree9 == set()
+        children = forest.children()
+        assert 1 in children[0]
+
+    def test_path_to_root(self, path10):
+        net = SynchronousNetwork(path10)
+        forest = distributed_bfs(net, [0])
+        assert forest.path_to_root(4) == [4, 3, 2, 1, 0]
+
+    def test_invalid_root(self, path10):
+        net = SynchronousNetwork(path10)
+        with pytest.raises(ValueError):
+            distributed_bfs(net, [42])
+
+    def test_respects_bandwidth(self, random_graph):
+        # The BFS must run without triggering a bandwidth violation in
+        # strict mode (one message per edge per round).
+        net = SynchronousNetwork(random_graph, strict=True)
+        distributed_bfs(net, [0, 1, 2])
+        assert net.bandwidth_violations == 0
+
+
+class TestBoundedFlood:
+    def test_flood_distances(self, grid6x6):
+        net = SynchronousNetwork(grid6x6)
+        dist = bounded_flood(net, [0], depth=3)
+        expected = {v: d for v, d in bfs_distances(grid6x6, 0).items() if d <= 3}
+        assert dist == expected
+
+    def test_flood_multiple_sources(self, path10):
+        net = SynchronousNetwork(path10)
+        dist = bounded_flood(net, [0, 9], depth=2)
+        assert dist[1] == 1 and dist[8] == 1
+        assert 4 not in dist
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_all_tree_vertices(self, grid6x6):
+        net = SynchronousNetwork(grid6x6)
+        forest = distributed_bfs(net, [0])
+        items = [(1, 10), (2, 20), (3, 30)]
+        received, rounds = broadcast_on_tree(net, forest, 0, items)
+        for v in forest.tree_of(0):
+            assert received[v] == items if v != 0 else list(items)
+        assert rounds >= forest.depth
+
+    def test_broadcast_empty_items(self, path10):
+        net = SynchronousNetwork(path10)
+        forest = distributed_bfs(net, [0])
+        received, rounds = broadcast_on_tree(net, forest, 0, [])
+        assert rounds == 0
+        assert received == {0: []}
+
+    def test_broadcast_pipelining_round_count(self, path10):
+        # k items down a path of depth d take about k + d rounds.
+        net = SynchronousNetwork(path10)
+        forest = distributed_bfs(net, [0])
+        start_round = net.current_round
+        _, rounds = broadcast_on_tree(net, forest, 0, [(i,) for i in range(5)])
+        assert rounds <= 5 + 9
+        assert net.current_round - start_round == rounds
+
+
+class TestConvergecast:
+    def test_collects_all_items(self, grid6x6):
+        net = SynchronousNetwork(grid6x6)
+        forest = distributed_bfs(net, [0])
+        leaf_values = {v: [(v,)] for v in forest.tree_of(0) if v != 0}
+        items, rounds = convergecast_on_tree(net, forest, 0, leaf_values)
+        assert sorted(items) == sorted(leaf_values[v][0] for v in leaf_values)
+        assert rounds > 0
+
+    def test_cap_drops_excess(self, star20):
+        net = SynchronousNetwork(star20)
+        forest = distributed_bfs(net, [1])  # a leaf as root: depth-2 tree via center
+        leaf_values = {v: [(v,)] for v in forest.tree_of(1) if v != 1}
+        items, _ = convergecast_on_tree(net, forest, 1, leaf_values, per_stride_cap=3)
+        assert len(items) <= 3 + 1  # capped batch from the hub plus its own
+
+    def test_empty_tree(self, path10):
+        net = SynchronousNetwork(path10)
+        forest = distributed_bfs(net, [0], depth=0)
+        items, rounds = convergecast_on_tree(net, forest, 0, {})
+        assert items == []
+        assert rounds == 0
+
+    def test_rounds_charged_to_network(self, grid6x6):
+        net = SynchronousNetwork(grid6x6)
+        forest = distributed_bfs(net, [0])
+        before = net.rounds_elapsed
+        _, rounds = convergecast_on_tree(net, forest, 0, {35: [(35,)]})
+        assert net.rounds_elapsed >= before + rounds

@@ -1,0 +1,115 @@
+"""Tests for the decremental (deletion-only) emulator oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications.dynamic import DecrementalEmulatorOracle
+from repro.graphs import generators
+from repro.graphs.shortest_paths import bfs_distances
+
+
+class TestConstruction:
+    def test_initial_build_does_not_count_as_rebuild(self, random_graph):
+        oracle = DecrementalEmulatorOracle(random_graph, eps=0.1)
+        assert oracle.stats.rebuilds == 0
+        assert oracle.stats.deletions == 0
+
+    def test_caller_graph_is_not_mutated(self, random_graph):
+        edges_before = random_graph.num_edges
+        oracle = DecrementalEmulatorOracle(random_graph, eps=0.1)
+        oracle.delete_edge(*next(iter(sorted(random_graph.edges()))))
+        assert random_graph.num_edges == edges_before
+
+    def test_invalid_rebuild_threshold_rejected(self, path10):
+        with pytest.raises(ValueError):
+            DecrementalEmulatorOracle(path10, rebuild_every=0)
+
+    def test_guarantee_exposed(self, random_graph):
+        oracle = DecrementalEmulatorOracle(random_graph, eps=0.1, kappa=4.0)
+        assert oracle.alpha >= 1.0
+        assert oracle.beta > 0.0
+
+
+class TestDeletions:
+    def test_deleting_missing_edge_is_a_noop(self, path10):
+        oracle = DecrementalEmulatorOracle(path10, eps=0.1)
+        assert not oracle.delete_edge(0, 5)
+        assert oracle.stats.deletions == 0
+
+    def test_deleting_existing_edge_updates_graph(self, path10):
+        oracle = DecrementalEmulatorOracle(path10, eps=0.1, rebuild_every=None)
+        assert oracle.delete_edge(4, 5)
+        assert not oracle.graph.has_edge(4, 5)
+        assert oracle.stats.deletions == 1
+
+    def test_deleting_supporting_edge_forces_rebuild(self, path10):
+        # On a path every emulator edge of weight 1 is a graph edge, so the
+        # deletion must force a rebuild to avoid underestimating distances.
+        oracle = DecrementalEmulatorOracle(path10, eps=0.1, rebuild_every=None)
+        supported = [
+            (u, v) for u, v, w in oracle.emulator_result.emulator.edges() if w <= 1.0
+        ]
+        if not supported:
+            pytest.skip("emulator has no weight-1 edge on this input")
+        oracle.delete_edge(*supported[0])
+        assert oracle.stats.forced_rebuilds == 1
+
+    def test_periodic_rebuild_triggers(self, random_graph):
+        oracle = DecrementalEmulatorOracle(random_graph, eps=0.1, rebuild_every=3)
+        deleted = 0
+        for u, v in sorted(random_graph.edges()):
+            # Pick edges that are not in the emulator to avoid forced rebuilds.
+            if not oracle.emulator_result.emulator.has_edge(u, v):
+                oracle.delete_edge(u, v)
+                deleted += 1
+            if deleted >= 3:
+                break
+        assert oracle.stats.rebuilds >= 1
+
+    def test_batch_deletion_reports_count(self, random_graph):
+        oracle = DecrementalEmulatorOracle(random_graph, eps=0.1)
+        edges = sorted(random_graph.edges())[:5]
+        assert oracle.delete_edges(edges + [(0, 0 + 1)] * 0) == 5
+
+
+class TestQueries:
+    def test_query_identity_is_zero(self, random_graph):
+        oracle = DecrementalEmulatorOracle(random_graph, eps=0.1)
+        assert oracle.query(7, 7) == 0.0
+
+    def test_query_counts_tracked(self, random_graph):
+        oracle = DecrementalEmulatorOracle(random_graph, eps=0.1)
+        oracle.query(0, 1)
+        oracle.single_source(0)
+        assert oracle.stats.queries == 2
+
+    def test_answers_respect_guarantee_right_after_a_rebuild(self, small_random_graph):
+        oracle = DecrementalEmulatorOracle(small_random_graph, eps=0.1, rebuild_every=1)
+        # rebuild_every=1 forces a rebuild after every deletion, so every
+        # answer is computed on an emulator of the *current* graph.
+        removable = [
+            (u, v)
+            for u, v in sorted(small_random_graph.edges())
+            if small_random_graph.degree(u) > 1 and small_random_graph.degree(v) > 1
+        ][:5]
+        oracle.delete_edges(removable)
+        current = oracle.graph
+        exact = bfs_distances(current, 0)
+        for target, dg in exact.items():
+            if target == 0:
+                continue
+            answer = oracle.query(0, target)
+            assert answer >= dg - 1e-9
+            assert answer <= oracle.alpha * dg + oracle.beta + 1e-9
+
+    def test_disconnection_reported_as_infinity(self):
+        graph = generators.path_graph(6)
+        oracle = DecrementalEmulatorOracle(graph, eps=0.1, rebuild_every=1)
+        oracle.delete_edge(2, 3)
+        assert oracle.query(0, 5) == float("inf")
+
+    def test_out_of_range_query_rejected(self, path10):
+        oracle = DecrementalEmulatorOracle(path10, eps=0.1)
+        with pytest.raises(ValueError):
+            oracle.query(0, 10)

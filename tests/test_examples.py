@@ -1,0 +1,27 @@
+"""Smoke tests: every example script must run end-to-end without errors."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_expected_scripts():
+    assert "quickstart.py" in EXAMPLE_SCRIPTS
+    assert len(EXAMPLE_SCRIPTS) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs(script, capsys, monkeypatch):
+    """Each example's main() completes and prints something sensible."""
+    path = EXAMPLES_DIR / script
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out.splitlines()) >= 3

@@ -1,0 +1,158 @@
+"""Tests for the experiment drivers (E1-E7) and workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.baselines_experiment import format_baselines_table, run_baselines_experiment
+from repro.experiments.congest_experiment import format_congest_table, run_congest_experiment
+from repro.experiments.runner import available_experiments, run_experiment
+from repro.experiments.runtime_experiment import format_runtime_table, run_runtime_experiment
+from repro.experiments.size_experiment import format_size_table, run_size_experiment
+from repro.experiments.spanner_experiment import format_spanner_table, run_spanner_experiment
+from repro.experiments.stretch_experiment import format_stretch_table, run_stretch_experiment
+from repro.experiments.ultrasparse_experiment import (
+    format_ultrasparse_table,
+    run_ultrasparse_experiment,
+)
+from repro.experiments.workloads import (
+    Workload,
+    scaling_workloads,
+    standard_workloads,
+    workload_by_name,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_workloads():
+    """Very small workloads so the experiment drivers stay fast in CI."""
+    return [workload_by_name("erdos-renyi", 48, seed=1), workload_by_name("grid", 49)]
+
+
+class TestWorkloads:
+    def test_standard_workloads_families(self):
+        workloads = standard_workloads(n=64)
+        names = {w.name.rsplit("-n", 1)[0] for w in workloads}
+        assert "erdos-renyi" in names
+        assert "grid" in names
+        assert all(isinstance(w, Workload) for w in workloads)
+
+    def test_scaling_workloads_sizes_increase(self):
+        workloads = scaling_workloads(sizes=[32, 64])
+        assert workloads[0].n < workloads[1].n
+
+    def test_workload_properties(self):
+        w = workload_by_name("grid", 49)
+        assert w.n == 49
+        assert w.m == w.graph.num_edges
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            workload_by_name("nonsense", 10)
+
+
+class TestSizeExperiment:
+    def test_all_rows_within_bound(self, tiny_workloads):
+        rows = run_size_experiment(tiny_workloads, kappas=(2, 4))
+        assert len(rows) == 4
+        assert all(r.within_bound for r in rows)
+        assert all(r.ratio <= 1.0 + 1e-9 for r in rows)
+
+    def test_table_renders(self, tiny_workloads):
+        rows = run_size_experiment(tiny_workloads, kappas=(2,))
+        table = format_size_table(rows)
+        assert "E1" in table
+        assert "yes" in table
+
+
+class TestUltraSparseExperiment:
+    def test_excess_within_allowance(self):
+        rows = run_ultrasparse_experiment(scaling_workloads(sizes=[48, 96]))
+        assert all(r.excess_over_n <= r.allowed_excess + 1e-9 for r in rows)
+
+    def test_excess_fraction_small(self):
+        rows = run_ultrasparse_experiment(scaling_workloads(sizes=[96]))
+        assert all(r.excess_fraction < 0.5 for r in rows)
+
+    def test_table_renders(self):
+        rows = run_ultrasparse_experiment(scaling_workloads(sizes=[48]))
+        assert "E2" in format_ultrasparse_table(rows)
+
+
+class TestStretchExperiment:
+    def test_all_rows_valid(self, tiny_workloads):
+        rows = run_stretch_experiment(tiny_workloads, kappa=4)
+        assert all(r.valid for r in rows)
+        assert all(r.max_multiplicative >= 1.0 for r in rows)
+
+    def test_table_renders(self, tiny_workloads):
+        rows = run_stretch_experiment(tiny_workloads, kappa=4)
+        assert "E3" in format_stretch_table(rows)
+
+
+class TestBaselinesExperiment:
+    def test_ours_is_sparsest_or_close(self, tiny_workloads):
+        rows = run_baselines_experiment(tiny_workloads, kappa=8)
+        for row in rows:
+            assert row.ours <= row.bound + 1e-9
+            # Baselines should essentially never beat the paper's construction.
+            assert row.ratio(row.elkin_peleg) >= 1.0
+
+    def test_table_renders(self, tiny_workloads):
+        rows = run_baselines_experiment(tiny_workloads, kappa=8)
+        assert "E4" in format_baselines_table(rows)
+
+
+class TestCongestExperiment:
+    def test_rows_within_bounds(self):
+        workloads = [workload_by_name("erdos-renyi", 40, seed=2)]
+        rows = run_congest_experiment(workloads, kappa=4, rhos=(0.45,))
+        for row in rows:
+            assert row.size_ratio <= 1.0 + 1e-9
+            assert row.both_endpoints_know
+            assert row.rounds > 0
+
+    def test_table_renders(self):
+        workloads = [workload_by_name("grid", 36)]
+        rows = run_congest_experiment(workloads, kappa=4, rhos=(0.45,))
+        assert "E5" in format_congest_table(rows)
+
+
+class TestSpannerExperiment:
+    def test_rows_valid(self, tiny_workloads):
+        rows = run_spanner_experiment(tiny_workloads, kappa=4)
+        for row in rows:
+            assert row.ours_valid
+            assert row.em19_valid
+            assert row.em19_ratio >= 0.8
+
+    def test_table_renders(self, tiny_workloads):
+        rows = run_spanner_experiment(tiny_workloads, kappa=4)
+        assert "E6" in format_spanner_table(rows)
+
+
+class TestRuntimeExperiment:
+    def test_rows_have_positive_times(self):
+        rows = run_runtime_experiment(scaling_workloads(sizes=[48, 96]))
+        assert all(r.algorithm1_seconds > 0 for r in rows)
+        assert all(r.fast_seconds > 0 for r in rows)
+        assert all(r.algorithm1_us_per_edge > 0 for r in rows)
+
+    def test_table_renders(self):
+        rows = run_runtime_experiment(scaling_workloads(sizes=[48]))
+        assert "E7" in format_runtime_table(rows)
+
+
+class TestRunner:
+    def test_available_experiments(self):
+        ids = available_experiments()
+        assert ids[:7] == ["E1", "E2", "E3", "E4", "E5", "E6", "E7"]
+        assert ids[7:] == ["E8", "E9", "E10", "E11", "E12", "E13"]
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            run_experiment("E99")
+
+    def test_run_single_experiment_quick(self):
+        table = run_experiment("E2", quick=True)
+        assert "E2" in table

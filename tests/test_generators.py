@@ -1,0 +1,156 @@
+"""Unit tests for the graph-family generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.shortest_paths import diameter
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        g = generators.path_graph(5)
+        assert g.num_edges == 4
+        assert diameter(g) == 4
+
+    def test_path_single_vertex(self):
+        g = generators.path_graph(1)
+        assert g.num_edges == 0
+
+    def test_cycle(self):
+        g = generators.cycle_graph(7)
+        assert g.num_edges == 7
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            generators.cycle_graph(2)
+
+    def test_star(self):
+        g = generators.star_graph(9)
+        assert g.degree(0) == 8
+        assert g.num_edges == 8
+
+    def test_star_requires_positive(self):
+        with pytest.raises(ValueError):
+            generators.star_graph(0)
+
+    def test_complete(self):
+        g = generators.complete_graph(6)
+        assert g.num_edges == 15
+        assert diameter(g) == 1
+
+    def test_grid(self):
+        g = generators.grid_graph(4, 5)
+        assert g.num_vertices == 20
+        assert g.num_edges == 4 * 4 + 3 * 5
+        assert diameter(g) == 3 + 4
+
+    def test_torus_regular(self):
+        g = generators.torus_graph(4, 4)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_torus_too_small(self):
+        with pytest.raises(ValueError):
+            generators.torus_graph(2, 4)
+
+    def test_hypercube(self):
+        g = generators.hypercube_graph(4)
+        assert g.num_vertices == 16
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        assert diameter(g) == 4
+
+    def test_hypercube_dimension_zero(self):
+        g = generators.hypercube_graph(0)
+        assert g.num_vertices == 1
+
+    def test_hypercube_negative(self):
+        with pytest.raises(ValueError):
+            generators.hypercube_graph(-1)
+
+    def test_binary_tree(self):
+        g = generators.binary_tree(3)
+        assert g.num_vertices == 15
+        assert g.num_edges == 14
+        assert g.is_connected()
+
+    def test_caterpillar(self):
+        g = generators.caterpillar_graph(5, 2)
+        assert g.num_vertices == 15
+        assert g.num_edges == 14
+        assert g.is_connected()
+
+    def test_ring_of_cliques(self):
+        g = generators.ring_of_cliques(4, 5)
+        assert g.num_vertices == 20
+        assert g.is_connected()
+        # each clique contributes C(5,2)=10 edges, plus 4 ring edges
+        assert g.num_edges == 4 * 10 + 4
+
+    def test_ring_of_cliques_validation(self):
+        with pytest.raises(ValueError):
+            generators.ring_of_cliques(2, 4)
+        with pytest.raises(ValueError):
+            generators.ring_of_cliques(4, 0)
+
+    def test_barbell(self):
+        g = generators.barbell_graph(4, 3)
+        assert g.num_vertices == 11
+        assert g.is_connected()
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_deterministic_seed(self):
+        g1 = generators.erdos_renyi(30, 0.2, seed=5)
+        g2 = generators.erdos_renyi(30, 0.2, seed=5)
+        assert g1 == g2
+
+    def test_erdos_renyi_p_bounds(self):
+        with pytest.raises(ValueError):
+            generators.erdos_renyi(10, 1.5)
+
+    def test_erdos_renyi_extremes(self):
+        assert generators.erdos_renyi(10, 0.0).num_edges == 0
+        assert generators.erdos_renyi(10, 1.0).num_edges == 45
+
+    def test_connected_erdos_renyi_is_connected(self):
+        for seed in range(3):
+            g = generators.connected_erdos_renyi(50, 0.02, seed=seed)
+            assert g.is_connected()
+
+    def test_gnm_exact_edge_count(self):
+        g = generators.gnm_random_graph(20, 35, seed=1)
+        assert g.num_edges == 35
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(ValueError):
+            generators.gnm_random_graph(5, 11)
+
+    def test_random_tree(self):
+        g = generators.random_tree(25, seed=2)
+        assert g.num_edges == 24
+        assert g.is_connected()
+
+    def test_random_tree_requires_positive(self):
+        with pytest.raises(ValueError):
+            generators.random_tree(0)
+
+    def test_random_regular(self):
+        g = generators.random_regular_graph(20, 4, seed=3)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_random_regular_validation(self):
+        with pytest.raises(ValueError):
+            generators.random_regular_graph(5, 3)  # odd n * degree
+        with pytest.raises(ValueError):
+            generators.random_regular_graph(4, 5)  # degree >= n
+
+    def test_preferential_attachment(self):
+        g = generators.preferential_attachment(40, 2, seed=4)
+        assert g.num_vertices == 40
+        assert g.is_connected()
+
+    def test_preferential_attachment_validation(self):
+        with pytest.raises(ValueError):
+            generators.preferential_attachment(10, 0)

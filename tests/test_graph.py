@@ -1,0 +1,183 @@
+"""Unit tests for the unweighted graph container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs import generators
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_vertices_range(self):
+        g = Graph(5)
+        assert list(g.vertices()) == [0, 1, 2, 3, 4]
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_construct_with_edges(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.num_edges == 3
+        assert g.has_edge(0, 1)
+        assert g.has_edge(3, 2)
+
+    def test_from_edge_list(self):
+        g = Graph.from_edge_list(3, [(0, 2)])
+        assert g.num_edges == 1
+        assert g.has_edge(2, 0)
+
+
+class TestEdges:
+    def test_add_edge_new(self):
+        g = Graph(3)
+        assert g.add_edge(0, 1) is True
+        assert g.num_edges == 1
+
+    def test_add_edge_duplicate(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        assert g.add_edge(1, 0) is False
+        assert g.num_edges == 1
+
+    def test_add_self_loop_rejected(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_add_edge_out_of_range(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 3)
+        with pytest.raises(ValueError):
+            g.add_edge(-1, 0)
+
+    def test_remove_edge(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.remove_edge(0, 1) is True
+        assert g.num_edges == 1
+        assert not g.has_edge(0, 1)
+
+    def test_remove_missing_edge(self):
+        g = Graph(3)
+        assert g.remove_edge(0, 1) is False
+
+    def test_edges_are_ordered_pairs(self):
+        g = Graph(4, [(3, 0), (2, 1)])
+        edges = list(g.edges())
+        assert all(u < v for u, v in edges)
+        assert set(edges) == {(0, 3), (1, 2)}
+
+    def test_has_edge_out_of_range_is_false(self):
+        g = Graph(3, [(0, 1)])
+        assert not g.has_edge(0, 5)
+        assert not g.has_edge(-1, 0)
+
+
+class TestNeighborsAndDegrees:
+    def test_neighbors(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.neighbors(0) == {1, 2, 3}
+        assert g.neighbors(1) == {0}
+
+    def test_degree(self):
+        g = Graph(4, [(0, 1), (0, 2)])
+        assert g.degree(0) == 2
+        assert g.degree(3) == 0
+
+    def test_degree_histogram(self):
+        g = generators.star_graph(5)
+        hist = g.degree_histogram()
+        assert hist == {4: 1, 1: 4}
+
+    def test_degree_out_of_range(self):
+        g = Graph(2)
+        with pytest.raises(ValueError):
+            g.degree(5)
+
+
+class TestConnectivity:
+    def test_connected_path(self):
+        assert generators.path_graph(6).is_connected()
+
+    def test_disconnected(self):
+        g = Graph(4, [(0, 1)])
+        assert not g.is_connected()
+
+    def test_empty_graph_is_connected(self):
+        assert Graph(0).is_connected()
+
+    def test_single_vertex_is_connected(self):
+        assert Graph(1).is_connected()
+
+    def test_connected_components(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4)])
+        comps = g.connected_components()
+        assert sorted(map(tuple, comps)) == [(0, 1, 2), (3, 4), (5,)]
+
+    def test_components_cover_all_vertices(self):
+        g = generators.connected_erdos_renyi(30, 0.1, seed=3)
+        comps = g.connected_components()
+        assert sorted(v for comp in comps for v in comp) == list(range(30))
+
+
+class TestCopyAndViews:
+    def test_copy_is_independent(self):
+        g = Graph(3, [(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert g.num_edges == 1
+        assert h.num_edges == 2
+
+    def test_copy_equal(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert g.copy() == g
+
+    def test_subgraph_edges(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        sub = g.subgraph_edges([(0, 1)])
+        assert sub.num_edges == 1
+        assert sub.num_vertices == 4
+
+    def test_equality_different_edges(self):
+        assert Graph(3, [(0, 1)]) != Graph(3, [(1, 2)])
+
+    def test_contains_and_len(self):
+        g = Graph(5)
+        assert 4 in g
+        assert 5 not in g
+        assert len(g) == 5
+
+    def test_repr(self):
+        assert "n=3" in repr(Graph(3, [(0, 1)]))
+
+
+class TestNetworkxInterop:
+    def test_roundtrip(self):
+        g = generators.grid_graph(3, 3)
+        nx_graph = g.to_networkx()
+        back = Graph.from_networkx(nx_graph)
+        assert back == g
+
+    def test_from_networkx_relabels(self):
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_edge("b", "a")
+        nx_graph.add_edge("b", "c")
+        g = Graph.from_networkx(nx_graph)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_to_networkx_preserves_counts(self):
+        g = generators.connected_erdos_renyi(25, 0.2, seed=1)
+        nx_graph = g.to_networkx()
+        assert nx_graph.number_of_nodes() == g.num_vertices
+        assert nx_graph.number_of_edges() == g.num_edges

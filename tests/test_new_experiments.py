@@ -1,0 +1,128 @@
+"""Tests for the E9-E13 experiment drivers (tables render, invariants hold)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.applications_experiment import (
+    format_applications_table,
+    run_applications_experiment,
+)
+from repro.experiments.beta_tradeoff_experiment import (
+    format_beta_tradeoff_figure,
+    format_beta_tradeoff_table,
+    run_beta_tradeoff_experiment,
+)
+from repro.experiments.hopset_experiment import format_hopset_table, run_hopset_experiment
+from repro.experiments.rho_sweep_experiment import (
+    format_rho_sweep_figure,
+    format_rho_sweep_table,
+    run_rho_sweep_experiment,
+)
+from repro.experiments.runner import available_experiments
+from repro.experiments.source_detection_experiment import (
+    format_source_detection_table,
+    run_source_detection_experiment,
+)
+from repro.experiments.workloads import standard_workloads, workload_by_name
+
+
+@pytest.fixture(scope="module")
+def tiny_workloads():
+    """A small workload set shared by the experiment-driver tests."""
+    return [workload_by_name(name, 48, seed=0) for name in ("erdos-renyi", "grid", "random-tree")]
+
+
+class TestRunnerRegistration:
+    def test_all_experiment_ids_registered(self):
+        ids = available_experiments()
+        for eid in ("E8", "E9", "E10", "E11", "E12", "E13"):
+            assert eid in ids
+
+
+class TestBetaTradeoff:
+    def test_rows_cover_the_full_sweep(self, tiny_workloads):
+        rows = run_beta_tradeoff_experiment(
+            workload=tiny_workloads[0], eps_values=(0.1,), kappas=(2.0, 4.0)
+        )
+        assert len(rows) == 2
+        assert all(r.valid for r in rows)
+
+    def test_beta_bound_monotone_in_kappa(self, tiny_workloads):
+        rows = run_beta_tradeoff_experiment(
+            workload=tiny_workloads[0], eps_values=(0.1,), kappas=(2.0, 4.0, 8.0)
+        )
+        betas = [r.beta_bound for r in rows]
+        assert betas == sorted(betas)
+
+    def test_table_and_figure_render(self, tiny_workloads):
+        rows = run_beta_tradeoff_experiment(
+            workload=tiny_workloads[0], eps_values=(0.1,), kappas=(2.0, 4.0)
+        )
+        assert "E9" in format_beta_tradeoff_table(rows)
+        assert "legend" in format_beta_tradeoff_figure(rows)
+
+
+class TestHopsetExperiment:
+    def test_rows_and_invariants(self, tiny_workloads):
+        rows = run_hopset_experiment(tiny_workloads, sample_pairs=100)
+        assert len(rows) == len(tiny_workloads)
+        for row in rows:
+            assert row.hopbound_exact >= 1
+            assert row.hopbound_exact <= max(1, row.baseline_hops)
+            assert row.hop_saving >= 1.0 - 1e-9
+
+    def test_table_renders(self, tiny_workloads):
+        rows = run_hopset_experiment(tiny_workloads, sample_pairs=50)
+        table = format_hopset_table(rows)
+        assert "hopbound" in table
+
+
+class TestSourceDetectionExperiment:
+    def test_detectors_agree_and_lp13_wins_beyond_phase0(self, tiny_workloads):
+        rows = run_source_detection_experiment(tiny_workloads, phases=(0, 1))
+        assert rows
+        assert all(r.agree for r in rows)
+        for row in rows:
+            if row.phase >= 1:
+                assert row.rounds_source_detection <= row.rounds_algorithm2
+
+    def test_table_renders(self, tiny_workloads):
+        rows = run_source_detection_experiment(tiny_workloads, phases=(0,))
+        assert "Alg2" in format_source_detection_table(rows)
+
+
+class TestRhoSweepExperiment:
+    def test_size_bound_holds_for_every_rho(self):
+        workload = workload_by_name("erdos-renyi", 48, seed=0)
+        rows = run_rho_sweep_experiment(workload=workload, rhos=(0.4, 0.45))
+        assert rows
+        assert all(r.within_size_bound for r in rows)
+        assert all(r.endpoints_know for r in rows)
+
+    def test_rho_below_one_over_kappa_is_skipped(self):
+        workload = workload_by_name("erdos-renyi", 48, seed=0)
+        rows = run_rho_sweep_experiment(workload=workload, rhos=(0.1,), kappa=4.0)
+        assert rows == []
+
+    def test_table_and_figure_render(self):
+        workload = workload_by_name("erdos-renyi", 48, seed=0)
+        rows = run_rho_sweep_experiment(workload=workload, rhos=(0.45,))
+        assert "rho" in format_rho_sweep_table(rows)
+        assert "legend" in format_rho_sweep_figure(rows)
+
+
+class TestApplicationsExperiment:
+    def test_rows_and_invariants(self, tiny_workloads):
+        rows = run_applications_experiment(tiny_workloads, sample_pairs=60, deletions=5)
+        assert len(rows) == len(tiny_workloads)
+        for row in rows:
+            assert row.oracle_mean_stretch >= 1.0 - 1e-9
+            assert row.oracle_max_stretch >= row.oracle_mean_stretch - 1e-9
+            assert row.landmarks >= 1
+            assert row.streaming_passes >= 1
+            assert 0.0 <= row.rebuild_ratio <= 1.0
+
+    def test_table_renders(self, tiny_workloads):
+        rows = run_applications_experiment(tiny_workloads[:1], sample_pairs=40, deletions=3)
+        assert "oracle" in format_applications_table(rows)

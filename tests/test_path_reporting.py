@@ -1,0 +1,73 @@
+"""Tests for the path-reporting oracle (real graph walks with the emulator guarantee)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications.path_reporting import PathReportingOracle
+from repro.graphs import generators
+from repro.graphs.shortest_paths import bfs_distances
+
+
+def _is_walk(graph, path):
+    """Whether consecutive vertices of ``path`` are joined by graph edges."""
+    return all(graph.has_edge(u, v) for u, v in zip(path, path[1:]))
+
+
+class TestPathReportingOracle:
+    def test_identity_query_returns_single_vertex(self, random_graph):
+        oracle = PathReportingOracle(random_graph, eps=0.1, kappa=4.0)
+        assert oracle.query_path(5, 5) == [5]
+        assert oracle.query_length(5, 5) == 0.0
+
+    def test_reported_path_is_a_real_walk(self, random_graph):
+        oracle = PathReportingOracle(random_graph, eps=0.1, kappa=4.0)
+        for target in (1, 17, 42, 63):
+            path = oracle.query_path(0, target)
+            assert path is not None
+            assert path[0] == 0 and path[-1] == target
+            assert _is_walk(random_graph, path)
+
+    def test_path_length_respects_the_guarantee(self, small_random_graph):
+        oracle = PathReportingOracle(small_random_graph, eps=0.1, kappa=4.0)
+        exact = bfs_distances(small_random_graph, 0)
+        for target, dg in exact.items():
+            if target == 0:
+                continue
+            length = oracle.query_length(0, target)
+            assert length >= dg  # a real walk can never beat the distance
+            assert length <= oracle.alpha * dg + oracle.beta + 1e-9
+
+    def test_path_length_matches_emulator_distance(self, grid6x6):
+        oracle = PathReportingOracle(grid6x6, eps=0.1, kappa=4.0)
+        emulator = oracle.emulator_result.emulator
+        for target in (7, 21, 35):
+            expected = emulator.dijkstra(0).get(target)
+            assert oracle.query_length(0, target) == pytest.approx(expected)
+
+    def test_disconnected_pair_returns_none(self, disconnected_graph):
+        oracle = PathReportingOracle(disconnected_graph, eps=0.1, kappa=4.0)
+        assert oracle.query_path(0, 7) is None
+        assert oracle.query_length(0, 7) == float("inf")
+
+    def test_out_of_range_rejected(self, path10):
+        oracle = PathReportingOracle(path10, eps=0.1, kappa=4.0)
+        with pytest.raises(ValueError):
+            oracle.query_path(0, 10)
+
+    def test_expansion_cache_reused_across_queries(self, grid6x6):
+        oracle = PathReportingOracle(grid6x6, eps=0.1, kappa=4.0)
+        oracle.query_path(0, 35)
+        cache_size_after_first = len(oracle._expansion_cache)
+        oracle.query_path(0, 35)
+        assert len(oracle._expansion_cache) == cache_size_after_first
+
+    def test_ultra_sparse_default_paths_on_a_ring_of_cliques(self):
+        graph = generators.ring_of_cliques(6, 6)
+        oracle = PathReportingOracle(graph, eps=0.1)
+        exact = bfs_distances(graph, 0)
+        path = oracle.query_path(0, graph.num_vertices - 1)
+        assert path is not None
+        assert _is_walk(graph, path)
+        dg = exact[graph.num_vertices - 1]
+        assert len(path) - 1 <= oracle.alpha * dg + oracle.beta

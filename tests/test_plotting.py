@@ -1,0 +1,60 @@
+"""Tests for the ASCII plotting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plotting import ascii_multi_series, ascii_scatter
+
+
+class TestAsciiScatter:
+    def test_contains_all_axis_labels_and_title(self):
+        plot = ascii_scatter([1, 2, 3], [1, 4, 9], x_label="n", y_label="edges",
+                             title="growth")
+        assert "growth" in plot
+        assert "n" in plot.splitlines()[-2]
+        assert "legend:" in plot.splitlines()[-1]
+
+    def test_plot_dimensions(self):
+        plot = ascii_scatter([1, 2], [1, 2], width=30, height=10)
+        # height canvas rows + axis + x labels + footer + legend (+ no title)
+        assert len(plot.splitlines()) == 10 + 4
+
+    def test_extreme_points_land_on_plot_corners(self):
+        plot = ascii_scatter([0, 100], [0, 100], width=20, height=5)
+        rows = plot.splitlines()
+        assert rows[0].rstrip().endswith("o")       # max point, top-right
+        assert rows[4].split("|")[1][0] == "o"      # min point, bottom-left
+
+    def test_log_scale_requires_positive_values(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([0, 1], [1, 2], logx=True)
+
+    def test_log_scale_annotated_in_footer(self):
+        plot = ascii_scatter([1, 10, 100], [1, 2, 3], logx=True)
+        assert "log10" in plot
+
+
+class TestAsciiMultiSeries:
+    def test_each_series_gets_its_own_marker(self):
+        plot = ascii_multi_series(
+            {"ours": [(1, 1), (2, 2)], "baseline": [(1, 2), (2, 4)]},
+            width=30,
+            height=8,
+        )
+        legend = plot.splitlines()[-1]
+        assert "ours" in legend and "baseline" in legend
+        markers = [part.strip().split(" = ")[0] for part in legend[len("legend: "):].split("  ")]
+        assert len(set(markers)) == 2
+
+    def test_constant_series_does_not_crash(self):
+        plot = ascii_multi_series({"flat": [(1, 5), (2, 5), (3, 5)]})
+        assert "flat" in plot
+
+    def test_empty_series_dict_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_multi_series({})
+
+    def test_series_without_points_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_multi_series({"empty": []})

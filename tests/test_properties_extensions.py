@@ -1,0 +1,190 @@
+"""Property-based tests (hypothesis) for the hopset, streaming and analysis layers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.statistics import loglog_slope, percentile, summarize
+from repro.applications.streaming import EdgeStream, streaming_greedy_spanner
+from repro.baselines.baswana_sen import baswana_sen_spanner
+from repro.congest.source_detection import source_detection
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import bfs_distances
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.hopsets import hop_limited_distances, union_with_graph
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def small_connected_graphs(draw, max_n: int = 24) -> Graph:
+    """Connected random graphs with 2..max_n vertices."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 16))
+    p = draw(st.floats(min_value=0.05, max_value=0.4))
+    return generators.connected_erdos_renyi(n, p, seed=seed)
+
+
+@st.composite
+def weighted_overlays(draw, graph: Graph) -> WeightedGraph:
+    """Overlay graphs whose edge weights never undershoot the graph distance."""
+    overlay = WeightedGraph(graph.num_vertices)
+    n = graph.num_vertices
+    num_extra = draw(st.integers(min_value=0, max_value=min(10, n * (n - 1) // 2)))
+    for _ in range(num_extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        exact = bfs_distances(graph, u).get(v)
+        if exact is None:
+            continue
+        slack = draw(st.floats(min_value=0.0, max_value=3.0))
+        overlay.add_edge(u, v, exact + slack)
+    return overlay
+
+
+# ---------------------------------------------------------------------------
+# Hop-limited distances
+# ---------------------------------------------------------------------------
+class TestHopLimitedProperties:
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_monotone_in_hop_budget(self, data):
+        graph = data.draw(small_connected_graphs())
+        union = union_with_graph(graph)
+        source = data.draw(st.integers(min_value=0, max_value=graph.num_vertices - 1))
+        budget_small = data.draw(st.integers(min_value=0, max_value=5))
+        budget_large = budget_small + data.draw(st.integers(min_value=0, max_value=5))
+        small = hop_limited_distances(union, source, budget_small)
+        large = hop_limited_distances(union, source, budget_large)
+        for v, d in small.items():
+            assert large[v] <= d + 1e-9
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_never_undershoots_graph_distance_with_valid_overlay(self, data):
+        graph = data.draw(small_connected_graphs())
+        overlay = data.draw(weighted_overlays(graph))
+        union = union_with_graph(graph, overlay)
+        source = data.draw(st.integers(min_value=0, max_value=graph.num_vertices - 1))
+        budget = data.draw(st.integers(min_value=0, max_value=graph.num_vertices))
+        exact = bfs_distances(graph, source)
+        limited = hop_limited_distances(union, source, budget)
+        for v, d in limited.items():
+            assert d >= exact[v] - 1e-9
+
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_full_budget_matches_dijkstra(self, data):
+        graph = data.draw(small_connected_graphs())
+        overlay = data.draw(weighted_overlays(graph))
+        union = union_with_graph(graph, overlay)
+        source = data.draw(st.integers(min_value=0, max_value=graph.num_vertices - 1))
+        limited = hop_limited_distances(union, source, graph.num_vertices)
+        assert limited == union.dijkstra(source)
+
+
+# ---------------------------------------------------------------------------
+# Streaming and spanner baselines
+# ---------------------------------------------------------------------------
+class TestStreamingProperties:
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_streaming_spanner_is_subgraph_and_respects_stretch(self, data):
+        graph = data.draw(small_connected_graphs(max_n=18))
+        k = data.draw(st.integers(min_value=1, max_value=3))
+        spanner, stats = streaming_greedy_spanner(EdgeStream.from_graph(graph), k=k)
+        assert stats.passes == 1
+        for u, v in spanner.edges():
+            assert graph.has_edge(u, v)
+        bound = 2 * k - 1
+        for source in graph.vertices():
+            exact = bfs_distances(graph, source)
+            in_spanner = bfs_distances(spanner, source)
+            for target, dg in exact.items():
+                assert in_spanner.get(target, math.inf) <= bound * dg
+
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_baswana_sen_respects_stretch(self, data):
+        graph = data.draw(small_connected_graphs(max_n=16))
+        k = data.draw(st.integers(min_value=1, max_value=3))
+        seed = data.draw(st.integers(min_value=0, max_value=1000))
+        spanner = baswana_sen_spanner(graph, k=k, seed=seed)
+        bound = 2 * k - 1
+        for source in graph.vertices():
+            exact = bfs_distances(graph, source)
+            in_spanner = bfs_distances(spanner, source)
+            for target, dg in exact.items():
+                assert in_spanner.get(target, math.inf) <= bound * dg
+
+
+# ---------------------------------------------------------------------------
+# Source detection
+# ---------------------------------------------------------------------------
+class TestSourceDetectionProperties:
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_detection_matches_exact_k_nearest(self, data):
+        graph = data.draw(small_connected_graphs(max_n=18))
+        n = graph.num_vertices
+        num_sources = data.draw(st.integers(min_value=1, max_value=min(5, n)))
+        sources = sorted(
+            data.draw(
+                st.sets(st.integers(min_value=0, max_value=n - 1),
+                        min_size=num_sources, max_size=num_sources)
+            )
+        )
+        k = data.draw(st.integers(min_value=1, max_value=4))
+        d = data.draw(st.integers(min_value=1, max_value=n))
+        result = source_detection(graph, sources, distance_bound=d, k=k)
+        for v in graph.vertices():
+            expected = sorted(
+                (dist, s)
+                for s in sources
+                for dist in [bfs_distances(graph, s).get(v)]
+                if dist is not None and dist <= d
+            )[:k]
+            assert result.detected[v] == expected
+
+
+# ---------------------------------------------------------------------------
+# Statistics helpers
+# ---------------------------------------------------------------------------
+class TestStatisticsProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_summary_bounds(self, values):
+        summary = summarize(values)
+        assert summary.minimum <= summary.median <= summary.maximum
+        assert summary.minimum <= summary.mean <= summary.maximum
+        assert summary.minimum <= summary.p95 <= summary.maximum
+        assert summary.std >= 0
+
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+        st.floats(min_value=0, max_value=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_percentile_within_range(self, values, q):
+        p = percentile(values, q)
+        assert min(values) <= p <= max(values)
+
+    @given(
+        st.floats(min_value=0.1, max_value=3.0),
+        st.floats(min_value=0.5, max_value=100.0),
+        st.lists(st.integers(min_value=2, max_value=10000), min_size=2, max_size=20, unique=True),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_loglog_slope_recovers_power_laws(self, exponent, constant, xs):
+        ys = [constant * (x ** exponent) for x in xs]
+        slope, intercept = loglog_slope(xs, ys)
+        assert slope == pytest.approx(exponent, rel=1e-6, abs=1e-6)
+        assert math.exp(intercept) == pytest.approx(constant, rel=1e-5)

@@ -1,0 +1,96 @@
+"""Tests for the landmark routing scheme."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications.routing import LandmarkRoutingScheme
+from repro.graphs import generators
+from repro.graphs.shortest_paths import bfs_distances
+
+
+class TestConstruction:
+    def test_default_landmarks_come_from_the_emulator_hierarchy(self, random_graph):
+        scheme = LandmarkRoutingScheme(random_graph, eps=0.1, kappa=4.0)
+        assert scheme.num_landmarks >= 1
+        assert all(l in random_graph for l in scheme.tables.landmarks)
+
+    def test_explicit_landmarks_are_respected(self, grid6x6):
+        scheme = LandmarkRoutingScheme(grid6x6, eps=0.1, kappa=4.0, landmarks=[0, 35])
+        assert scheme.tables.landmarks == [0, 35]
+
+    def test_empty_graph_rejected(self):
+        from repro.graphs.graph import Graph
+
+        with pytest.raises(ValueError):
+            LandmarkRoutingScheme(Graph(0))
+
+    def test_invalid_landmark_rejected(self, path10):
+        with pytest.raises(ValueError):
+            LandmarkRoutingScheme(path10, landmarks=[99])
+
+    def test_tables_cover_connected_graph(self, grid6x6):
+        scheme = LandmarkRoutingScheme(grid6x6, eps=0.1, kappa=4.0)
+        assert set(scheme.tables.nearest_landmark) == set(grid6x6.vertices())
+
+    def test_table_sizes_reported(self, random_graph):
+        scheme = LandmarkRoutingScheme(random_graph, eps=0.1, kappa=4.0)
+        tables = scheme.tables
+        assert tables.total_words >= 2 * random_graph.num_vertices
+        assert tables.words_per_vertex >= 2.0
+
+
+class TestQueries:
+    def test_estimate_zero_on_identical_vertices(self, random_graph):
+        scheme = LandmarkRoutingScheme(random_graph, eps=0.1, kappa=4.0)
+        assert scheme.estimate(3, 3) == 0.0
+
+    def test_estimate_is_symmetric(self, random_graph):
+        scheme = LandmarkRoutingScheme(random_graph, eps=0.1, kappa=4.0)
+        assert scheme.estimate(1, 20) == pytest.approx(scheme.estimate(20, 1))
+
+    def test_estimate_never_returns_negative(self, grid6x6):
+        scheme = LandmarkRoutingScheme(grid6x6, eps=0.1, kappa=4.0)
+        for target in range(grid6x6.num_vertices):
+            assert scheme.estimate(0, target) >= 0.0
+
+    def test_estimate_with_every_vertex_a_landmark_is_near_exact(self, grid6x6):
+        # With all vertices as landmarks, the estimate is d(u,u)+d_H(u,v)+d(v,v)
+        # = the emulator distance, which never undershoots the graph distance.
+        scheme = LandmarkRoutingScheme(
+            grid6x6, eps=0.1, kappa=4.0, landmarks=list(grid6x6.vertices())
+        )
+        exact = bfs_distances(grid6x6, 0)
+        for target, dg in exact.items():
+            if target == 0:
+                continue
+            assert scheme.estimate(0, target) >= dg - 1e-9
+
+    def test_query_out_of_range_rejected(self, path10):
+        scheme = LandmarkRoutingScheme(path10, eps=0.1, kappa=4.0)
+        with pytest.raises(ValueError):
+            scheme.estimate(0, 99)
+
+    def test_disconnected_pair_reports_infinity(self, disconnected_graph):
+        scheme = LandmarkRoutingScheme(
+            disconnected_graph, eps=0.1, kappa=4.0, landmarks=[0]
+        )
+        # Vertex 7 lives in the other component: it has no covering landmark.
+        assert scheme.estimate(0, 7) == float("inf")
+
+
+class TestStretchSummary:
+    def test_summary_fields_present_and_sane(self, random_graph):
+        scheme = LandmarkRoutingScheme(random_graph, eps=0.1, kappa=4.0)
+        summary = scheme.stretch_summary(sample_sources=4)
+        assert summary["pairs"] > 0
+        assert summary["mean_stretch"] >= 1.0 - 1e-9
+        assert summary["max_stretch"] >= summary["mean_stretch"] - 1e-9
+
+    def test_ring_of_cliques_routes_well(self):
+        graph = generators.ring_of_cliques(6, 8)
+        scheme = LandmarkRoutingScheme(graph, eps=0.1)
+        summary = scheme.stretch_summary(sample_sources=6)
+        # Routing through landmarks can stretch distances but not absurdly on
+        # a pod-structured topology.
+        assert summary["max_stretch"] <= graph.num_vertices

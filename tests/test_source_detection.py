@@ -1,0 +1,103 @@
+"""Tests for the Lenzen–Peleg (S, d, k)-source detection routine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest.bellman_ford import detect_popular_clusters
+from repro.congest.network import SynchronousNetwork
+from repro.congest.source_detection import (
+    detect_popular_via_source_detection,
+    source_detection,
+)
+from repro.graphs import generators
+from repro.graphs.shortest_paths import bfs_distances
+
+
+class TestSourceDetection:
+    def test_every_vertex_detects_its_closest_sources(self, grid6x6):
+        sources = [0, 35]
+        result = source_detection(grid6x6, sources, distance_bound=12, k=2)
+        for v in grid6x6.vertices():
+            exact = sorted(
+                (bfs_distances(grid6x6, s)[v], s) for s in sources
+            )
+            assert result.detected[v] == exact[:2]
+
+    def test_k_limits_the_number_of_detected_sources(self, grid6x6):
+        sources = [0, 5, 30, 35]
+        result = source_detection(grid6x6, sources, distance_bound=12, k=2)
+        assert all(len(entries) <= 2 for entries in result.detected.values())
+
+    def test_distance_bound_respected(self, path10):
+        result = source_detection(path10, [0], distance_bound=3, k=1)
+        assert result.detected[3] == [(3, 0)]
+        assert result.detected[4] == []
+
+    def test_detected_distances_are_exact(self, random_graph):
+        sources = [0, 10, 20]
+        result = source_detection(random_graph, sources, distance_bound=20, k=3)
+        for v, entries in result.detected.items():
+            for dist, src in entries:
+                assert dist == bfs_distances(random_graph, src)[v]
+
+    def test_rounds_match_lenzen_peleg_bound(self, random_graph):
+        sources = [0, 10, 20, 30]
+        result = source_detection(random_graph, sources, distance_bound=10, k=2)
+        assert result.rounds <= 10 + 2
+
+    def test_rounds_charged_to_network(self, path10):
+        net = SynchronousNetwork(path10)
+        result = source_detection(path10, [0, 9], distance_bound=9, k=2, net=net)
+        assert net.rounds_elapsed == result.rounds
+        assert net.total_messages == result.messages
+
+    def test_bad_source_rejected(self, path10):
+        with pytest.raises(ValueError):
+            source_detection(path10, [42], distance_bound=2, k=1)
+
+    def test_bad_k_rejected(self, path10):
+        with pytest.raises(ValueError):
+            source_detection(path10, [0], distance_bound=2, k=0)
+
+    def test_ties_broken_toward_smaller_source_id(self, path10):
+        # Vertex 5 is equidistant from sources 4 and 6.
+        result = source_detection(path10, [4, 6], distance_bound=5, k=1)
+        assert result.detected[5] == [(1, 4)]
+
+
+class TestPopularityViaSourceDetection:
+    @pytest.mark.parametrize("fixture_name", ["grid6x6", "random_graph", "star20"])
+    def test_agrees_with_algorithm2(self, request, fixture_name):
+        graph = request.getfixturevalue(fixture_name)
+        centers = list(graph.vertices())
+        degree_threshold, distance_threshold = 3.0, 2.0
+        algorithm2 = detect_popular_clusters(graph, centers, degree_threshold, distance_threshold)
+        popular, _ = detect_popular_via_source_detection(
+            graph, centers, degree_threshold, distance_threshold
+        )
+        assert popular == algorithm2.popular
+
+    def test_star_center_is_popular_leaves_are_too_at_radius_two(self, star20):
+        # Within distance 2 every leaf sees every other leaf through the hub.
+        popular, _ = detect_popular_via_source_detection(
+            star20, list(star20.vertices()), degree_threshold=5.0, distance_threshold=2.0
+        )
+        assert popular == set(star20.vertices())
+
+    def test_path_has_no_popular_centers_at_high_threshold(self, path10):
+        popular, _ = detect_popular_via_source_detection(
+            path10, list(path10.vertices()), degree_threshold=5.0, distance_threshold=1.0
+        )
+        assert popular == set()
+
+    def test_uses_fewer_rounds_than_algorithm2_when_delta_is_large(self, random_graph):
+        centers = list(random_graph.vertices())
+        degree_threshold, distance_threshold = 6.0, 15.0
+        algorithm2 = detect_popular_clusters(
+            random_graph, centers, degree_threshold, distance_threshold
+        )
+        _, detection = detect_popular_via_source_detection(
+            random_graph, centers, degree_threshold, distance_threshold
+        )
+        assert detection.rounds < algorithm2.rounds

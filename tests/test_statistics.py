@@ -1,0 +1,100 @@
+"""Tests for the statistics helpers used by the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.statistics import (
+    Summary,
+    geometric_mean,
+    loglog_slope,
+    percentile,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic_summary(self):
+        summary = summarize([1, 2, 3, 4])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1
+        assert summary.maximum == 4
+        assert summary.median == pytest.approx(2.5)
+
+    def test_single_element(self):
+        summary = summarize([7.0])
+        assert summary == Summary(
+            count=1, mean=7.0, minimum=7.0, maximum=7.0, median=7.0, p95=7.0, std=0.0
+        )
+
+    def test_std_is_population_std(self):
+        summary = summarize([2, 4, 4, 4, 5, 5, 7, 9])
+        assert summary.std == pytest.approx(2.0)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestPercentile:
+    def test_median_of_odd_sample(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_interpolation_between_order_statistics(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5, 1, 9, 3]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 9
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1, 2], 120)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1, 4, 16]) == pytest.approx(4.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1, 0, 2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestLogLogSlope:
+    def test_recovers_linear_scaling(self):
+        xs = [10, 100, 1000]
+        ys = [3 * x for x in xs]
+        slope, intercept = loglog_slope(xs, ys)
+        assert slope == pytest.approx(1.0)
+        assert math.exp(intercept) == pytest.approx(3.0)
+
+    def test_recovers_quadratic_scaling(self):
+        xs = [2, 4, 8, 16]
+        ys = [x ** 2 for x in xs]
+        slope, _ = loglog_slope(xs, ys)
+        assert slope == pytest.approx(2.0)
+
+    def test_ignores_non_positive_points(self):
+        slope, _ = loglog_slope([0, 2, 4, 8], [5, 4, 16, 64])
+        assert slope == pytest.approx(2.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            loglog_slope([10], [10])
+
+    def test_equal_x_rejected(self):
+        with pytest.raises(ValueError):
+            loglog_slope([5, 5], [1, 2])

@@ -1,0 +1,89 @@
+"""Tests for the CONGEST network tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest.network import BandwidthViolation, SynchronousNetwork
+from repro.congest.primitives import distributed_bfs
+from repro.congest.tracing import NetworkTracer
+from repro.graphs import generators
+
+
+class TestTracerForwarding:
+    def test_send_and_deliver_forwarded(self, path10):
+        tracer = NetworkTracer(SynchronousNetwork(path10))
+        tracer.send(0, 1, (42,))
+        delivered = tracer.deliver()
+        assert delivered[1][0].payload == (42,)
+        assert tracer.total_messages == 1
+
+    def test_attribute_forwarding(self, path10):
+        net = SynchronousNetwork(path10)
+        tracer = NetworkTracer(net)
+        assert tracer.graph is path10
+        tracer.charge_rounds(5)
+        assert net.charged_rounds == 5
+
+    def test_bandwidth_violation_still_raised(self, path10):
+        tracer = NetworkTracer(SynchronousNetwork(path10))
+        tracer.send(0, 1, (1,))
+        with pytest.raises(BandwidthViolation):
+            tracer.send(0, 1, (2,))
+
+    def test_tracer_usable_by_primitives(self, grid6x6):
+        tracer = NetworkTracer(SynchronousNetwork(grid6x6))
+        forest = distributed_bfs(tracer, [0])
+        assert len(forest.dist) == grid6x6.num_vertices
+        assert tracer.rounds  # at least one round recorded
+
+
+class TestTraceRecords:
+    def test_round_records_count_messages(self, path10):
+        tracer = NetworkTracer(SynchronousNetwork(path10))
+        tracer.send(0, 1, (1,))
+        tracer.send(2, 3, (2,))
+        tracer.deliver()
+        assert tracer.rounds[0].messages == 2
+
+    def test_busiest_vertex_identified(self, star20):
+        tracer = NetworkTracer(SynchronousNetwork(star20))
+        for leaf in (1, 2, 3):
+            tracer.send(0, leaf, (leaf,))
+        tracer.send(5, 0, (5,))
+        tracer.deliver()
+        record = tracer.rounds[0]
+        assert record.busiest_vertex == 0
+        assert record.busiest_vertex_messages == 3
+
+    def test_empty_round_recorded_with_sentinel(self, path10):
+        tracer = NetworkTracer(SynchronousNetwork(path10))
+        tracer.deliver()
+        assert tracer.rounds[0].busiest_vertex == -1
+        assert tracer.rounds[0].messages == 0
+
+
+class TestSummaryAndFormatting:
+    def test_summary_aggregates_counts(self, grid6x6):
+        tracer = NetworkTracer(SynchronousNetwork(grid6x6))
+        distributed_bfs(tracer, [0, 35])
+        summary = tracer.summary()
+        assert summary.simulated_rounds == len(tracer.rounds)
+        assert summary.total_messages == tracer.network.total_messages
+        assert summary.max_messages_in_a_round >= 1
+        assert summary.busiest_vertex in grid6x6
+
+    def test_summary_on_idle_network(self, path10):
+        tracer = NetworkTracer(SynchronousNetwork(path10))
+        summary = tracer.summary()
+        assert summary.simulated_rounds == 0
+        assert summary.busiest_vertex == -1
+
+    def test_format_trace_truncates(self):
+        graph = generators.cycle_graph(8)
+        tracer = NetworkTracer(SynchronousNetwork(graph))
+        distributed_bfs(tracer, [0])
+        text = tracer.format_trace(limit=2)
+        assert "round" in text
+        if len(tracer.rounds) > 2:
+            assert "more rounds" in text
