@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 import time
 
-from repro import build_emulator, generators, ultra_sparse_kappa
+from repro import BuildSpec, build, generators, ultra_sparse_kappa
 from repro.core.parameters import CentralizedSchedule
 from repro.graphs.shortest_paths import bfs_distances
 
@@ -38,7 +38,7 @@ def main() -> None:
     kappa = ultra_sparse_kappa(n)
     schedule = CentralizedSchedule(n=n, eps=0.1, kappa=kappa)
     start = time.perf_counter()
-    result = build_emulator(graph, schedule=schedule)
+    result = build(graph, BuildSpec(product="emulator", schedule=schedule)).raw
     build_seconds = time.perf_counter() - start
     print(f"emulator: {result.num_edges} edges "
           f"({result.num_edges - n} more than n) built in {build_seconds:.2f}s "

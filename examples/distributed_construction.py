@@ -19,7 +19,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import build_emulator_congest, generators, size_bound, verify_emulator
+from repro import BuildSpec, build, generators, size_bound, verify_emulator
 
 
 def main() -> None:
@@ -29,7 +29,10 @@ def main() -> None:
     print(f"topology: ring of 12 cliques, {n} vertices, {graph.num_edges} edges")
 
     kappa, rho, eps = 4, 0.45, 0.01
-    result = build_emulator_congest(graph, eps=eps, kappa=kappa, rho=rho)
+    result = build(
+        graph,
+        BuildSpec(product="emulator", method="congest", eps=eps, kappa=kappa, rho=rho),
+    ).raw
 
     print(f"emulator: {result.num_edges} edges "
           f"(bound n^(1+1/{kappa}) = {size_bound(n, kappa):.1f})")

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from repro.graphs import generators
 from repro.graphs.shortest_paths import bfs_distances
-from repro.hopsets import build_hopset, hop_limited_distances, union_with_graph
+from repro import BuildSpec, build
+from repro.hopsets import hop_limited_distances, union_with_graph
 from repro.hopsets.hopset import exact_hopbound
 
 
@@ -32,7 +33,7 @@ def main() -> None:
     print(f"input graph: {graph.num_vertices} vertices, {graph.num_edges} edges "
           f"(diameter-heavy 16x16 grid)")
 
-    hopset = build_hopset(graph, eps=0.1)
+    hopset = build(graph, BuildSpec(product="hopset", eps=0.1)).raw
     print(f"hopset: {hopset.num_edges} weighted edges "
           f"(ultra-sparse: barely above n = {graph.num_vertices})")
 

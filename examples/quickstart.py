@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Quickstart: build and validate an ultra-sparse near-additive emulator.
 
-Builds the paper's emulator (Algorithm 1) for a sparse random graph, checks
-the size bound ``n^(1 + 1/kappa)`` and the ``(1 + eps, beta)`` stretch
-guarantee, and prints a short summary.
+Uses the unified facade API — one :class:`repro.BuildSpec` describing *what*
+to build (``product``) and *how* (``method``), one :func:`repro.build` call,
+and one common result shape with a ``.verify(graph)`` method.
 
 Run with::
 
@@ -12,7 +12,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import build_emulator, generators, size_bound, verify_emulator
+from repro import BuildSpec, build, generators, size_bound
 from repro.analysis.metrics import stretch_distribution
 
 
@@ -21,33 +21,43 @@ def main() -> None:
     graph = generators.connected_erdos_renyi(400, p=0.015, seed=42)
     print(f"input graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
 
-    # 2. Build the emulator.  kappa controls sparsity: at most n^(1 + 1/kappa)
-    #    edges; eps controls the distance thresholds (the final multiplicative
-    #    stretch is 1 + 34 * eps * ell).
+    # 2. Describe the build as configuration.  kappa controls sparsity: at
+    #    most n^(1 + 1/kappa) edges; eps controls the distance thresholds
+    #    (the final multiplicative stretch is 1 + 34 * eps * ell).
     kappa = 4
-    result = build_emulator(graph, eps=0.1, kappa=kappa)
+    spec = BuildSpec(product="emulator", method="centralized", eps=0.1, kappa=kappa)
+    result = build(graph, spec)
     bound = size_bound(graph.num_vertices, kappa)
-    print(f"emulator: {result.num_edges} edges "
-          f"(bound n^(1+1/{kappa}) = {bound:.1f}, ratio {result.num_edges / bound:.3f})")
+    print(f"built {spec.describe()} in {result.elapsed:.3f}s")
+    print(f"emulator: {result.size} edges "
+          f"(bound n^(1+1/{kappa}) = {bound:.1f}, ratio {result.size / bound:.3f})")
     print(f"guaranteed stretch: (1 + eps') = {result.alpha:.2f}, beta = {result.beta:.1f}")
 
-    # 3. Validate the stretch guarantee on sampled vertex pairs.
-    report = verify_emulator(graph, result.emulator, result.alpha, result.beta,
-                             sample_pairs=500)
+    # 3. Validate the stretch guarantee on sampled vertex pairs — the result
+    #    object knows which validator fits its product.
+    report = result.verify(graph, sample_pairs=500)
     print(f"checked {report.pairs_checked} pairs: valid = {report.valid}")
     print(f"worst measured multiplicative stretch: {report.max_multiplicative_stretch:.3f}")
     print(f"worst measured additive error:        {report.max_additive_error:.1f}")
 
     # 4. A finer look at the stretch distribution.
-    dist = stretch_distribution(graph, result.emulator, sample_pairs=500)
+    dist = stretch_distribution(graph, result.raw.emulator, sample_pairs=500)
     print(f"mean multiplicative stretch: {dist['mean_multiplicative']:.3f}, "
           f"95th-percentile additive error: {dist['p95_additive']:.1f}")
 
-    # 5. How the edges were paid for (the charging argument of the size proof).
-    ledger = result.ledger
+    # 5. Construction-specific details stay available on .raw — here, how
+    #    the edges were paid for (the charging argument of the size proof).
+    ledger = result.raw.ledger
     print(f"edge charges: {ledger.interconnection_count()} interconnection, "
           f"{ledger.superclustering_count()} superclustering, across "
-          f"{len(result.phase_stats)} phases")
+          f"{result.stats['num_phases']} phases")
+
+    # 6. The same facade builds every other product: swap the spec, not the
+    #    call site.
+    for other in (BuildSpec(product="spanner", kappa=kappa),
+                  BuildSpec(product="hopset")):
+        r = build(graph, other)
+        print(f"{other.describe()}: {r.size} edges in {r.elapsed:.3f}s")
 
 
 if __name__ == "__main__":

@@ -17,13 +17,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    build_emulator,
-    build_near_additive_spanner,
-    generators,
-    size_bound,
-    ultra_sparse_kappa,
-)
+from repro import BuildSpec, build, generators, size_bound, ultra_sparse_kappa
 from repro.analysis.reporting import format_table
 from repro.baselines import (
     build_elkin_neiman_emulator,
@@ -46,9 +40,9 @@ def main() -> None:
 
     rows = []
 
-    ours = build_emulator(graph, schedule=schedule)
-    rows.append(["ours: ultra-sparse emulator (Alg.1)", "emulator", ours.num_edges,
-                 ours.num_edges / n])
+    ours = build(graph, BuildSpec(product="emulator", schedule=schedule))
+    rows.append(["ours: ultra-sparse emulator (Alg.1)", "emulator", ours.size,
+                 ours.size / n])
 
     ep01 = build_elkin_peleg_emulator(graph, eps=eps, kappa=kappa)
     rows.append(["EP01-style emulator (ground partition)", "emulator", ep01.num_edges,
@@ -60,9 +54,9 @@ def main() -> None:
     en17 = build_elkin_neiman_emulator(graph, eps=eps, kappa=kappa, seed=1)
     rows.append(["EN17a sampled emulator", "emulator", en17.num_edges, en17.num_edges / n])
 
-    spanner = build_near_additive_spanner(graph, eps=0.01, kappa=4, rho=0.45)
-    rows.append(["Section 4 near-additive spanner (kappa=4)", "spanner", spanner.num_edges,
-                 spanner.num_edges / n])
+    spanner = build(graph, BuildSpec(product="spanner", eps=0.01, kappa=4, rho=0.45))
+    rows.append(["Section 4 near-additive spanner (kappa=4)", "spanner", spanner.size,
+                 spanner.size / n])
 
     em19 = build_em19_spanner(graph, eps=0.01, kappa=4, rho=0.45)
     rows.append(["EM19-style spanner (kappa=4)", "spanner", em19.num_edges,

@@ -14,6 +14,15 @@ Shaked Matar, PODC 2021).  The package provides:
   :func:`repro.build_spanner_congest`);
 * baselines (EP01, TZ06, EN17a, EM19, greedy multiplicative spanners),
   validators, metrics, and the experiment/benchmark harness.
+
+All constructions are reachable through the unified facade::
+
+    from repro import Graph, BuildSpec, build
+
+    result = build(graph, BuildSpec(product="emulator", method="fast"))
+    result.verify(graph, sample_pairs=500)
+
+The per-construction ``build_*`` functions remain as deprecated shims.
 """
 
 from repro.graphs import Graph, WeightedGraph, generators
@@ -30,8 +39,23 @@ from repro.core.parameters import ultra_sparse_kappa
 from repro.distributed import build_emulator_congest, build_spanner_congest
 from repro.analysis import verify_emulator, verify_spanner
 from repro.hopsets import build_hopset, verify_hopset
+from repro.api import (
+    METHODS,
+    PRODUCTS,
+    BuildEvent,
+    BuildResult,
+    BuildResultAdapter,
+    BuildSpec,
+    GridSweep,
+    available_builders,
+    build,
+    get_builder,
+    on_build,
+    register_builder,
+    run_sweep,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Graph",
@@ -42,6 +66,21 @@ __all__ = [
     "SpannerSchedule",
     "size_bound",
     "ultra_sparse_kappa",
+    # unified facade
+    "PRODUCTS",
+    "METHODS",
+    "BuildSpec",
+    "BuildResult",
+    "BuildResultAdapter",
+    "BuildEvent",
+    "GridSweep",
+    "build",
+    "run_sweep",
+    "register_builder",
+    "get_builder",
+    "available_builders",
+    "on_build",
+    # deprecated per-construction entry points
     "build_emulator",
     "build_emulator_fast",
     "build_emulator_congest",

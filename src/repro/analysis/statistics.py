@@ -41,13 +41,17 @@ def summarize(values: Sequence[float]) -> Summary:
     data = [float(v) for v in values]
     if not data:
         raise ValueError("cannot summarize an empty sample")
-    mean = sum(data) / len(data)
+    minimum = min(data)
+    maximum = max(data)
+    # Summation rounding can push the mean an ulp outside [min, max] (e.g.
+    # on a constant sample); clamp so the invariant min <= mean <= max holds.
+    mean = min(max(sum(data) / len(data), minimum), maximum)
     variance = sum((v - mean) ** 2 for v in data) / len(data)
     return Summary(
         count=len(data),
         mean=mean,
-        minimum=min(data),
-        maximum=max(data),
+        minimum=minimum,
+        maximum=maximum,
         median=percentile(data, 50.0),
         p95=percentile(data, 95.0),
         std=math.sqrt(variance),

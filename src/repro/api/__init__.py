@@ -1,0 +1,68 @@
+"""Unified build API: one facade, one spec, one result shape.
+
+This subsystem turns the package's six sibling entry points into a single
+composable surface::
+
+    from repro import Graph, BuildSpec, build
+
+    result = build(graph, BuildSpec(product="emulator", method="fast", kappa=4))
+    print(result.size, result.alpha, result.beta, result.elapsed)
+    report = result.verify(graph, sample_pairs=500)
+
+Pieces
+------
+:class:`BuildSpec`
+    Frozen configuration value: ``product`` × ``method`` + paper parameters.
+:func:`register_builder` / :func:`get_builder` / :func:`available_builders`
+    The product/method builder registry all constructions plug into.
+:class:`BuildResult` / :class:`BuildResultAdapter`
+    The common result protocol (``edges``, ``size``, ``alpha``, ``beta``,
+    ``schedule``, ``stats``, ``elapsed``, ``verify(graph)``) and its
+    concrete wrapper; the legacy result object stays reachable as ``.raw``.
+:func:`build` + :func:`on_build`
+    The facade with timing and instrumentation hooks.
+:class:`GridSweep` / :func:`run_sweep`
+    Config-driven product × method × parameter sweeps over the facade.
+
+The legacy ``build_emulator`` / ``build_emulator_fast`` /
+``build_emulator_congest`` / ``build_near_additive_spanner`` /
+``build_spanner_congest`` / ``build_hopset`` functions survive as thin
+deprecated shims that construct a :class:`BuildSpec` and delegate here.
+"""
+
+from repro.api.spec import METHODS, PRODUCTS, BuildSpec
+from repro.api.registry import (
+    RegisteredBuilder,
+    available_builders,
+    get_builder,
+    is_supported,
+    register_builder,
+)
+from repro.api.result import BuildResult, BuildResultAdapter, HopsetVerification, adapt_result
+from repro.api.facade import BuildEvent, build, clear_build_hooks, on_build, remove_build_hook
+from repro.api import builders as _builders  # noqa: F401  (registers the stock builders)
+from repro.api.pipeline import GridSweep, SweepRecord, format_sweep_table, run_sweep
+
+__all__ = [
+    "PRODUCTS",
+    "METHODS",
+    "BuildSpec",
+    "RegisteredBuilder",
+    "register_builder",
+    "get_builder",
+    "available_builders",
+    "is_supported",
+    "BuildResult",
+    "BuildResultAdapter",
+    "HopsetVerification",
+    "adapt_result",
+    "BuildEvent",
+    "build",
+    "on_build",
+    "remove_build_hook",
+    "clear_build_hooks",
+    "GridSweep",
+    "SweepRecord",
+    "run_sweep",
+    "format_sweep_table",
+]

@@ -1,0 +1,122 @@
+"""The single entry point: :func:`build`.
+
+``repro.build(graph, spec)`` is the one call every consumer of the package
+(CLI sub-commands, the experiment harness, the application layer, user
+code) goes through.  It
+
+1. resolves the spec's ``(product, method)`` against the builder registry,
+2. runs the registered construction under a wall-clock timer,
+3. wraps the raw result into the common :class:`~repro.api.result.BuildResult`
+   shape,
+4. enforces the spec's optional ``beta`` budget, and
+5. fires the registered instrumentation hooks.
+
+Hooks receive a :class:`BuildEvent` after every successful build — the
+place to attach metrics exporters, progress logging, or result caches
+without touching any builder::
+
+    from repro.api import on_build
+
+    @on_build
+    def log_build(event):
+        print(event.result.summary())
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.api.registry import get_builder
+from repro.api.result import BuildResultAdapter, adapt_result
+from repro.api.spec import BuildSpec
+from repro.graphs.graph import Graph
+
+__all__ = ["BuildEvent", "build", "on_build", "remove_build_hook", "clear_build_hooks"]
+
+
+@dataclass(frozen=True)
+class BuildEvent:
+    """Instrumentation record emitted after each facade build."""
+
+    spec: BuildSpec
+    result: BuildResultAdapter
+    elapsed: float
+
+
+BuildHook = Callable[[BuildEvent], None]
+
+_HOOKS: List[BuildHook] = []
+
+
+def on_build(hook: BuildHook) -> BuildHook:
+    """Register ``hook`` to run after every facade build (usable as decorator)."""
+    _HOOKS.append(hook)
+    return hook
+
+
+def remove_build_hook(hook: BuildHook) -> None:
+    """Unregister a hook previously added with :func:`on_build`."""
+    try:
+        _HOOKS.remove(hook)
+    except ValueError:
+        pass
+
+
+def clear_build_hooks() -> None:
+    """Remove every registered hook (mainly for tests)."""
+    _HOOKS.clear()
+
+
+def build(graph: Graph, spec: Optional[BuildSpec] = None, **params: Any) -> BuildResultAdapter:
+    """Build the product described by ``spec`` on ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The unweighted input graph ``G``.
+    spec:
+        The :class:`BuildSpec` to execute.  May be omitted, in which case
+        one is constructed from the keyword arguments — so
+        ``build(g, product="spanner", eps=0.05)`` is shorthand for
+        ``build(g, BuildSpec(product="spanner", eps=0.05))``.  When both a
+        spec and keyword arguments are given, the keywords are applied on
+        top of the spec via :meth:`BuildSpec.replace`.
+
+    Returns
+    -------
+    BuildResultAdapter
+        The common result wrapper: ``edges`` / ``size`` / ``alpha`` /
+        ``beta`` / ``schedule`` / ``stats`` / ``elapsed`` plus
+        ``verify(graph)``; the construction-specific result object stays
+        available as ``.raw``.
+
+    Raises
+    ------
+    KeyError
+        If no builder is registered for ``(spec.product, spec.method)``;
+        the message lists every supported combination.
+    ValueError
+        If the spec's ``beta`` budget is exceeded by the schedule's
+        guaranteed additive stretch.
+    """
+    if spec is None:
+        spec = BuildSpec(**params)
+    elif params:
+        spec = spec.replace(**params)
+    builder = get_builder(spec.product, spec.method)
+    start = time.perf_counter()
+    raw = builder.fn(graph, spec)
+    elapsed = time.perf_counter() - start
+    result = adapt_result(spec, raw, elapsed)
+    if spec.beta is not None and result.beta > spec.beta:
+        raise ValueError(
+            f"beta budget exceeded: spec requests beta <= {spec.beta:g} but "
+            f"{spec.product}/{spec.method} with these parameters guarantees "
+            f"beta = {result.beta:g}; decrease eps or raise the budget"
+        )
+    event = BuildEvent(spec=spec, result=result, elapsed=elapsed)
+    for hook in list(_HOOKS):
+        hook(event)
+    return result

@@ -1,0 +1,119 @@
+"""The product/method builder registry.
+
+Every construction in the package registers itself under a
+``(product, method)`` key with the :func:`register_builder` decorator; the
+facade (:func:`repro.api.facade.build`) looks builders up here.  The
+registry — not any hard-coded table — is the source of truth for which
+combinations exist, so extensions (new baselines, sharded or cached
+builders) plug in without touching the facade, the CLI, or the sweep
+pipeline.
+
+A registered builder is a callable ``fn(graph, spec) -> raw result`` where
+``raw result`` is one of the construction-specific result objects
+(``EmulatorResult``, ``SpannerResult``, ``HopsetResult``, or their
+distributed counterparts); the facade wraps it into the common
+:class:`~repro.api.result.BuildResult` shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.api.spec import METHODS, PRODUCTS
+
+__all__ = [
+    "RegisteredBuilder",
+    "register_builder",
+    "get_builder",
+    "available_builders",
+    "is_supported",
+]
+
+
+@dataclass(frozen=True)
+class RegisteredBuilder:
+    """A builder registered for one ``(product, method)`` combination."""
+
+    product: str
+    method: str
+    fn: Callable[..., Any]
+    description: str = ""
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """The registry key."""
+        return (self.product, self.method)
+
+
+_REGISTRY: Dict[Tuple[str, str], RegisteredBuilder] = {}
+
+
+def register_builder(
+    product: str, method: str, *, description: str = ""
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Class/function decorator registering a builder for ``(product, method)``.
+
+    Usage::
+
+        @register_builder("emulator", "centralized", description="Algorithm 1")
+        def _build(graph, spec):
+            return UltraSparseEmulatorBuilder(graph, ...).build()
+
+    Re-registering a key overwrites the previous entry (deliberate: test
+    doubles and optimized drop-ins replace the stock builder).
+    """
+    if product not in PRODUCTS:
+        raise ValueError(
+            f"cannot register unknown product {product!r}; valid products: {', '.join(PRODUCTS)}"
+        )
+    if method not in METHODS:
+        raise ValueError(
+            f"cannot register unknown method {method!r}; valid methods: {', '.join(METHODS)}"
+        )
+
+    def decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
+        desc = description
+        if not desc and fn.__doc__:
+            desc = fn.__doc__.strip().splitlines()[0]
+        _REGISTRY[(product, method)] = RegisteredBuilder(
+            product=product, method=method, fn=fn, description=desc
+        )
+        return fn
+
+    return decorator
+
+
+def get_builder(product: str, method: str) -> RegisteredBuilder:
+    """Look up the builder for ``(product, method)``.
+
+    Raises
+    ------
+    KeyError
+        If the combination is not registered.  The message lists every
+        valid combination so callers can self-correct.
+    """
+    try:
+        return _REGISTRY[(product, method)]
+    except KeyError:
+        combos = ", ".join(f"{p}/{m}" for p, m in available_builders())
+        raise KeyError(
+            f"no builder registered for product={product!r}, method={method!r}; "
+            f"supported combinations: {combos}"
+        ) from None
+
+
+def available_builders(product: Optional[str] = None) -> List[Tuple[str, str]]:
+    """Sorted list of registered ``(product, method)`` keys.
+
+    With ``product`` given, only that product's methods are listed.
+    """
+    keys = sorted(_REGISTRY)
+    if product is not None:
+        keys = [key for key in keys if key[0] == product]
+    return keys
+
+
+def is_supported(product: str, method: str) -> bool:
+    """Whether ``(product, method)`` has a registered builder."""
+    return (product, method) in _REGISTRY

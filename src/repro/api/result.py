@@ -1,0 +1,268 @@
+"""The common :class:`BuildResult` shape shared by every construction.
+
+The three construction families historically returned three incompatible
+dataclasses (``EmulatorResult``, ``SpannerResult``, ``HopsetResult`` plus
+their distributed variants), so every consumer hand-wired its own
+field access.  This module defines
+
+* :class:`BuildResult` — a runtime-checkable :class:`typing.Protocol`
+  naming the fields every build outcome exposes (``edges``, ``size``,
+  ``alpha``, ``beta``, ``schedule``, ``stats``, ``elapsed``) and the
+  uniform ``verify(graph)`` entry point; and
+* :class:`BuildResultAdapter` — the concrete wrapper the facade returns,
+  which adapts any of the legacy result objects to the protocol while
+  keeping the original object reachable as ``.raw``.
+
+``verify`` dispatches to the right validator for the product
+(:func:`repro.analysis.validation.verify_emulator`,
+:func:`repro.analysis.validation.verify_spanner`, or
+:func:`repro.hopsets.hopset.verify_hopset`) and always returns an object
+with a boolean ``.valid`` attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.api.spec import BuildSpec
+from repro.graphs.graph import Graph
+from repro.graphs.weighted_graph import WeightedGraph
+
+__all__ = ["BuildResult", "BuildResultAdapter", "HopsetVerification", "adapt_result"]
+
+
+@runtime_checkable
+class BuildResult(Protocol):
+    """What every facade build returns, regardless of product/method."""
+
+    spec: BuildSpec
+    raw: Any
+    elapsed: float
+
+    @property
+    def product(self) -> str: ...
+
+    @property
+    def method(self) -> str: ...
+
+    @property
+    def edges(self) -> List[Tuple[int, int, float]]: ...
+
+    @property
+    def size(self) -> int: ...
+
+    @property
+    def alpha(self) -> float: ...
+
+    @property
+    def beta(self) -> float: ...
+
+    @property
+    def schedule(self) -> Any: ...
+
+    @property
+    def stats(self) -> Dict[str, Any]: ...
+
+    def verify(self, graph: Graph, *, sample_pairs: Optional[int] = None,
+               seed: Optional[int] = None) -> Any: ...
+
+
+@dataclass(frozen=True)
+class HopsetVerification:
+    """Uniform report for hopset verification (mirrors ``StretchReport.valid``).
+
+    ``worst_excess`` is the largest observed additive slack
+    ``d^(hopbound)(u, v) - (alpha * d_G(u, v) + beta)`` over the checked
+    pairs — non-positive exactly when the guarantee holds.
+    """
+
+    valid: bool
+    worst_excess: float
+    hopbound: int
+    alpha: float
+    beta: float
+
+
+@dataclass(frozen=True)
+class BuildResultAdapter:
+    """Concrete :class:`BuildResult` wrapping a construction-specific result.
+
+    Attributes
+    ----------
+    spec:
+        The :class:`BuildSpec` the facade dispatched on.
+    raw:
+        The underlying result object (``EmulatorResult``,
+        ``SpannerResult``, ``HopsetResult``, or a distributed variant) —
+        product-specific extras (charge ledgers, CONGEST round counts,
+        hopbound estimates) live there.
+    elapsed:
+        Wall-clock seconds the construction took, measured at the facade.
+    """
+
+    spec: BuildSpec
+    raw: Any
+    elapsed: float = 0.0
+    _stats: Dict[str, Any] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def product(self) -> str:
+        """The product that was built (``emulator`` / ``spanner`` / ``hopset``)."""
+        return self.spec.product
+
+    @property
+    def method(self) -> str:
+        """The construction method that ran."""
+        return self.spec.method
+
+    # ------------------------------------------------------------------
+    # The constructed object
+    # ------------------------------------------------------------------
+    @property
+    def subject(self) -> Any:
+        """The constructed graph object itself.
+
+        A :class:`~repro.graphs.weighted_graph.WeightedGraph` for emulators
+        and hopsets, an unweighted :class:`~repro.graphs.graph.Graph`
+        (subgraph of the input) for spanners.
+        """
+        if self.product == "emulator":
+            return self.raw.emulator
+        if self.product == "spanner":
+            return self.raw.spanner
+        return self.raw.hopset
+
+    @property
+    def edges(self) -> List[Tuple[int, int, float]]:
+        """The output edges as ``(u, v, weight)`` (weight 1.0 for spanners)."""
+        subject = self.subject
+        if isinstance(subject, WeightedGraph):
+            return [(u, v, float(w)) for u, v, w in subject.edges()]
+        return [(u, v, 1.0) for u, v in subject.edges()]
+
+    @property
+    def size(self) -> int:
+        """Number of edges in the output."""
+        return int(self.subject.num_edges)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices of the underlying graph."""
+        return int(self.subject.num_vertices)
+
+    # ------------------------------------------------------------------
+    # Guarantees
+    # ------------------------------------------------------------------
+    @property
+    def alpha(self) -> float:
+        """Guaranteed multiplicative stretch ``1 + eps'``."""
+        alpha = getattr(self.raw, "alpha", None)
+        return float(alpha if alpha is not None else self.schedule.alpha)
+
+    @property
+    def beta(self) -> float:
+        """Guaranteed additive stretch."""
+        beta = getattr(self.raw, "beta", None)
+        return float(beta if beta is not None else self.schedule.beta)
+
+    @property
+    def schedule(self) -> Any:
+        """The parameter schedule the construction ran with."""
+        if self.product == "hopset":
+            return self.raw.emulator_result.schedule
+        return self.raw.schedule
+
+    @property
+    def size_bound(self) -> float:
+        """The ``n^(1 + 1/kappa)`` bound implied by the schedule."""
+        return float(self.schedule.max_edges)
+
+    def within_size_bound(self) -> bool:
+        """Whether the output respects the schedule's size bound."""
+        return self.size <= self.size_bound + 1e-9
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> Dict[str, Any]:
+        """Uniform statistics dict (edges, bounds, timing, method extras)."""
+        stats: Dict[str, Any] = {
+            "product": self.product,
+            "method": self.method,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.size,
+            "size_bound": self.size_bound,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "elapsed": self.elapsed,
+        }
+        phase_stats = getattr(self.raw, "phase_stats", None)
+        if phase_stats is not None:
+            stats["num_phases"] = len(phase_stats)
+        for extra in ("rounds", "messages", "hopbound_estimate"):
+            value = getattr(self.raw, extra, None)
+            if value is not None:
+                stats[extra] = value
+        stats.update(self._stats)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        graph: Graph,
+        *,
+        sample_pairs: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> Any:
+        """Check the product's guarantee against ``graph``.
+
+        Dispatches to ``verify_emulator`` / ``verify_spanner`` /
+        ``verify_hopset``; the returned report always has a boolean
+        ``.valid``.  ``seed`` defaults to ``spec.seed``.
+        """
+        from repro.analysis.validation import verify_emulator, verify_spanner
+
+        if seed is None:
+            seed = self.spec.seed
+        if self.product == "emulator":
+            return verify_emulator(
+                graph, self.raw.emulator, self.alpha, self.beta,
+                sample_pairs=sample_pairs, seed=seed,
+            )
+        if self.product == "spanner":
+            return verify_spanner(
+                graph, self.raw.spanner, self.alpha, self.beta,
+                sample_pairs=sample_pairs, seed=seed,
+            )
+        from repro.hopsets.hopset import verify_hopset
+
+        hopbound = int(self.raw.hopbound_estimate)
+        valid, worst = verify_hopset(
+            graph, self.raw.hopset, hopbound, self.alpha, self.beta,
+            sample_pairs=sample_pairs, seed=seed,
+        )
+        return HopsetVerification(
+            valid=valid, worst_excess=worst, hopbound=hopbound,
+            alpha=self.alpha, beta=self.beta,
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the build."""
+        return (
+            f"{self.product}/{self.method}: {self.size} edges "
+            f"(bound {self.size_bound:.1f}, alpha {self.alpha:.3f}, "
+            f"beta {self.beta:.1f}, {self.elapsed:.3f}s)"
+        )
+
+
+def adapt_result(spec: BuildSpec, raw: Any, elapsed: float = 0.0,
+                 **extra_stats: Any) -> BuildResultAdapter:
+    """Wrap a raw construction result into the common :class:`BuildResult`."""
+    return BuildResultAdapter(spec=spec, raw=raw, elapsed=elapsed, _stats=dict(extra_stats))

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
-from repro.core.emulator import EmulatorResult, build_emulator
+from repro.api import BuildSpec, build as facade_build
+from repro.core.emulator import EmulatorResult
 from repro.core.parameters import CentralizedSchedule, ultra_sparse_kappa
 from repro.graphs.graph import Graph
 
@@ -21,7 +22,9 @@ def _default_result(graph: Graph, eps: float, kappa: Optional[float]) -> Emulato
     if kappa is None:
         kappa = ultra_sparse_kappa(max(2, graph.num_vertices))
     schedule = CentralizedSchedule(n=max(1, graph.num_vertices), eps=eps, kappa=kappa)
-    return build_emulator(graph, schedule=schedule)
+    return facade_build(
+        graph, BuildSpec(product="emulator", method="centralized", schedule=schedule)
+    ).raw
 
 
 def almost_shortest_path_lengths(

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.core.emulator import EmulatorResult, build_emulator
+from repro.api import BuildSpec, build as facade_build
+from repro.core.emulator import EmulatorResult
 from repro.core.parameters import CentralizedSchedule, ultra_sparse_kappa
 from repro.graphs.graph import Graph
 
@@ -57,7 +58,9 @@ class EmulatorDistanceOracle:
             kappa = ultra_sparse_kappa(max(2, graph.num_vertices))
         schedule = CentralizedSchedule(n=max(1, graph.num_vertices), eps=eps, kappa=kappa)
         self._graph = graph
-        self._result: EmulatorResult = build_emulator(graph, schedule=schedule)
+        self._result: EmulatorResult = facade_build(
+            graph, BuildSpec(product="emulator", method="centralized", schedule=schedule)
+        ).raw
         self._cache: Dict[int, Dict[int, float]] = {}
         self._cache_order: List[int] = []
         self._cache_limit = max(1, cache_sources)

@@ -31,7 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.emulator import EmulatorResult, build_emulator
+from repro.api import BuildSpec, build as facade_build
+from repro.core.emulator import EmulatorResult
 from repro.core.parameters import CentralizedSchedule, ultra_sparse_kappa
 from repro.graphs.graph import Graph
 
@@ -116,7 +117,9 @@ class DecrementalEmulatorOracle:
         schedule = CentralizedSchedule(
             n=max(1, self._graph.num_vertices), eps=self._eps, kappa=self._kappa
         )
-        result = build_emulator(self._graph, schedule=schedule)
+        result = facade_build(
+            self._graph, BuildSpec(product="emulator", method="centralized", schedule=schedule)
+        ).raw
         self._deletions_since_rebuild = 0
         return result
 

@@ -24,7 +24,8 @@ from typing import Dict, List, Optional, Tuple
 
 import heapq
 
-from repro.core.emulator import EmulatorResult, build_emulator
+from repro.api import BuildSpec, build as facade_build
+from repro.core.emulator import EmulatorResult
 from repro.core.parameters import CentralizedSchedule, ultra_sparse_kappa
 from repro.graphs.graph import Graph
 from repro.graphs.shortest_paths import bfs_tree
@@ -57,7 +58,9 @@ class PathReportingOracle:
             kappa = ultra_sparse_kappa(max(2, graph.num_vertices))
         schedule = CentralizedSchedule(n=max(1, graph.num_vertices), eps=eps, kappa=kappa)
         self._graph = graph
-        self._result: EmulatorResult = build_emulator(graph, schedule=schedule)
+        self._result: EmulatorResult = facade_build(
+            graph, BuildSpec(product="emulator", method="centralized", schedule=schedule)
+        ).raw
         self._expansion_cache: Dict[Tuple[int, int], List[int]] = {}
 
     # ------------------------------------------------------------------

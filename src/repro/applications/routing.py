@@ -29,7 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.core.emulator import EmulatorResult, build_emulator
+from repro.api import BuildSpec, build as facade_build
+from repro.core.emulator import EmulatorResult
 from repro.core.parameters import CentralizedSchedule, ultra_sparse_kappa
 from repro.graphs.graph import Graph
 from repro.graphs.shortest_paths import bfs_distances, multi_source_bfs
@@ -106,7 +107,9 @@ class LandmarkRoutingScheme:
             kappa = ultra_sparse_kappa(max(2, graph.num_vertices))
         schedule = CentralizedSchedule(n=graph.num_vertices, eps=eps, kappa=kappa)
         self._graph = graph
-        self._result: EmulatorResult = build_emulator(graph, schedule=schedule)
+        self._result: EmulatorResult = facade_build(
+            graph, BuildSpec(product="emulator", method="centralized", schedule=schedule)
+        ).raw
         if landmarks is None:
             landmarks = self._default_landmarks(self._result)
         self._tables = self._build_tables(graph, self._result.emulator, sorted(set(landmarks)))

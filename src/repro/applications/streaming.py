@@ -24,7 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.core.emulator import EmulatorResult, build_emulator
+from repro.api import BuildSpec, build as facade_build
+from repro.core.emulator import EmulatorResult
 from repro.core.parameters import CentralizedSchedule, ultra_sparse_kappa
 from repro.graphs.graph import Graph
 from repro.graphs.weighted_graph import WeightedGraph
@@ -232,7 +233,10 @@ class StreamingEmulatorBuilder:
         for _ in range(self._schedule.num_phases):
             graph = self._stream.to_graph()
         assert graph is not None
-        result = build_emulator(graph, schedule=self._schedule)
+        result = facade_build(
+            graph,
+            BuildSpec(product="emulator", method="centralized", schedule=self._schedule),
+        ).raw
         stats = StreamingStats(
             passes=self._stream.passes - passes_before,
             peak_memory_edges=graph.num_edges + result.num_edges,

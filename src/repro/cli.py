@@ -1,17 +1,26 @@
-"""Command-line interface: ``python -m repro`` / ``repro-emulator``.
+"""Command-line interface: ``python -m repro`` / ``repro``.
+
+Every construction goes through the unified facade
+(:func:`repro.api.build`); sub-commands select a ``(product, method)``
+pair and the paper parameters.
 
 Sub-commands
 ------------
 ``build``
-    Build an emulator or spanner for a graph read from an edge-list file (or
-    a generated workload) and write it out as a weighted edge list.
+    Build any product (``--product emulator|spanner|hopset``) with any
+    method (``--method centralized|fast|congest``) for a graph read from an
+    edge-list file (or a generated workload) and write it out as an edge
+    list.  The legacy ``--algorithm`` flag remains as an alias.
 ``verify``
     Check a previously built emulator against its graph.
 ``experiments``
-    Run the experiment suite (E1-E13) and print the result tables.
+    Run the experiment suite (E1-E14) and print the result tables.
+``sweep``
+    Run a config-driven product x method x parameter grid through the
+    facade and print one table row per build.
 ``hopset``
-    Build an emulator-derived hopset and report its size and measured
-    hopbound.
+    Build an emulator-derived hopset (any emulator method) and report its
+    size and measured hopbound.
 ``oracle``
     Preprocess a graph into an approximate distance oracle and answer a list
     of ``u:v`` queries.
@@ -21,19 +30,32 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.analysis.validation import verify_emulator
-from repro.core.emulator import build_emulator
-from repro.core.fast_centralized import build_emulator_fast
-from repro.core.spanner import build_near_additive_spanner
-from repro.distributed.emulator_congest import build_emulator_congest
+from repro.api import (
+    METHODS,
+    PRODUCTS,
+    BuildSpec,
+    GridSweep,
+    build,
+    format_sweep_table,
+    run_sweep,
+)
 from repro.experiments.runner import available_experiments, run_all, run_experiment
 from repro.experiments.workloads import workload_by_name
 from repro.graphs import io as graph_io
 from repro.graphs.graph import Graph
 
 __all__ = ["main", "build_parser"]
+
+#: Legacy ``--algorithm`` values and the (product, method) pair they mean.
+_ALGORITHM_ALIASES = {
+    "centralized": ("emulator", "centralized"),
+    "fast": ("emulator", "fast"),
+    "congest": ("emulator", "congest"),
+    "spanner": ("spanner", "centralized"),
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,21 +66,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    build = subparsers.add_parser("build", help="build an emulator or spanner")
-    build.add_argument("--input", help="edge-list file (header 'n m', lines 'u v')")
-    build.add_argument("--family", help="generate a workload family instead of reading a file")
-    build.add_argument("--n", type=int, default=256, help="size of the generated workload")
-    build.add_argument("--seed", type=int, default=0, help="workload generator seed")
-    build.add_argument(
-        "--algorithm",
-        choices=["centralized", "fast", "congest", "spanner"],
-        default="centralized",
-        help="which construction to run",
+    build_cmd = subparsers.add_parser(
+        "build", help="build an emulator, spanner, or hopset via the unified facade"
     )
-    build.add_argument("--eps", type=float, default=0.1, help="epsilon parameter")
-    build.add_argument("--kappa", type=float, default=4.0, help="kappa (sparsity) parameter")
-    build.add_argument("--rho", type=float, default=0.45, help="rho parameter (fast/congest/spanner)")
-    build.add_argument("--output", help="write the result as a (weighted) edge list")
+    build_cmd.add_argument("--input", help="edge-list file (header 'n m', lines 'u v')")
+    build_cmd.add_argument("--family", help="generate a workload family instead of reading a file")
+    build_cmd.add_argument("--n", type=int, default=256, help="size of the generated workload")
+    build_cmd.add_argument("--seed", type=int, default=0, help="workload generator seed")
+    build_cmd.add_argument(
+        "--product",
+        choices=list(PRODUCTS),
+        default=None,
+        help="what to build (default: emulator, or whatever --algorithm implies)",
+    )
+    build_cmd.add_argument(
+        "--method",
+        choices=list(METHODS),
+        default=None,
+        help="which construction to run (default: centralized)",
+    )
+    build_cmd.add_argument(
+        "--algorithm",
+        choices=sorted(_ALGORITHM_ALIASES),
+        default="centralized",
+        help="legacy alias for --product/--method (ignored when those are given)",
+    )
+    build_cmd.add_argument("--eps", type=float, default=0.1, help="epsilon parameter")
+    build_cmd.add_argument("--kappa", type=float, default=4.0, help="kappa (sparsity) parameter")
+    build_cmd.add_argument("--rho", type=float, default=0.45,
+                           help="rho parameter (fast/congest methods)")
+    build_cmd.add_argument("--output", help="write the result as a (weighted) edge list")
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a product x method x parameter grid through the facade"
+    )
+    sweep.add_argument("--input", help="edge-list file (header 'n m', lines 'u v')")
+    sweep.add_argument("--family", help="generate a workload family instead of reading a file")
+    sweep.add_argument("--n", type=int, default=128, help="size of the generated workload")
+    sweep.add_argument("--seed", type=int, default=0, help="workload generator seed")
+    sweep.add_argument("--products", nargs="+", choices=list(PRODUCTS), default=list(PRODUCTS),
+                       help="products to sweep")
+    sweep.add_argument("--methods", nargs="+", choices=list(METHODS), default=list(METHODS),
+                       help="methods to sweep")
+    sweep.add_argument("--eps-values", nargs="+", type=float, default=None,
+                       help="epsilon grid (default: builder defaults)")
+    sweep.add_argument("--kappas", nargs="+", type=float, default=None,
+                       help="kappa grid (default: builder defaults)")
+    sweep.add_argument("--rhos", nargs="+", type=float, default=None,
+                       help="rho grid (default: builder defaults)")
+    sweep.add_argument("--verify-pairs", type=int, default=None,
+                       help="verify each result on this many sampled pairs")
 
     verify = subparsers.add_parser("verify", help="verify an emulator against its graph")
     verify.add_argument("--graph", required=True, help="edge-list file of the original graph")
@@ -79,9 +136,17 @@ def build_parser() -> argparse.ArgumentParser:
     hopset.add_argument("--family", help="generate a workload family instead of reading a file")
     hopset.add_argument("--n", type=int, default=256, help="size of the generated workload")
     hopset.add_argument("--seed", type=int, default=0, help="workload generator seed")
+    hopset.add_argument(
+        "--method",
+        choices=list(METHODS),
+        default="centralized",
+        help="emulator construction the hopset is derived from",
+    )
     hopset.add_argument("--eps", type=float, default=0.1, help="epsilon parameter")
     hopset.add_argument("--kappa", type=float, default=None,
                         help="kappa parameter (default: ultra-sparse omega(log n))")
+    hopset.add_argument("--rho", type=float, default=0.45,
+                        help="rho parameter (fast/congest methods)")
     hopset.add_argument("--sample-pairs", type=int, default=200,
                         help="pairs used when measuring the hopbound")
     hopset.add_argument("--output", help="write the hopset as a weighted edge list")
@@ -106,36 +171,81 @@ def _load_graph(args: argparse.Namespace) -> Graph:
     return workload_by_name(family, args.n, seed=args.seed).graph
 
 
+def _resolve_product_method(args: argparse.Namespace) -> Tuple[str, str]:
+    """Resolve ``--product`` / ``--method``, honoring the legacy ``--algorithm``.
+
+    Whichever of the two halves is not given explicitly falls back to what
+    ``--algorithm`` implies (default: emulator/centralized), so e.g.
+    ``--algorithm congest --product emulator`` still runs the CONGEST
+    construction rather than silently switching to centralized.
+    """
+    alias_product, alias_method = _ALGORITHM_ALIASES[args.algorithm]
+    return args.product or alias_product, args.method or alias_method
+
+
+def _clamped_eps(eps: float, product: str, method: str) -> float:
+    """The historical CLI epsilon clamp.
+
+    The spanner and fast/congest schedules assume a small working epsilon
+    (unclamped values yield vacuous stretch bounds), and the CLI has always
+    capped those paths at 0.01.
+    """
+    if method == "centralized" and product != "spanner":
+        return eps
+    return min(eps, 0.01)
+
+
 def _command_build(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    eps = args.eps
-    if args.algorithm == "centralized":
-        result = build_emulator(graph, eps=eps, kappa=args.kappa)
-        subject = result.emulator
-        print(f"emulator: {subject.num_edges} edges "
-              f"(bound {result.size_bound:.1f}, alpha {result.alpha:.3f}, beta {result.beta:.1f})")
-    elif args.algorithm == "fast":
-        result = build_emulator_fast(graph, eps=min(eps, 0.01), kappa=args.kappa, rho=args.rho)
-        subject = result.emulator
-        print(f"emulator (fast): {subject.num_edges} edges (bound {result.size_bound:.1f})")
-    elif args.algorithm == "congest":
-        result = build_emulator_congest(graph, eps=min(eps, 0.01), kappa=args.kappa, rho=args.rho)
-        subject = result.emulator
-        print(f"emulator (CONGEST): {subject.num_edges} edges, {result.rounds} rounds, "
-              f"{result.messages} messages, both-endpoints-know="
-              f"{result.both_endpoints_know_all_edges()}")
+    product, method = _resolve_product_method(args)
+    eps = _clamped_eps(args.eps, product, method)
+    result = build(
+        graph,
+        BuildSpec(product=product, method=method, eps=eps, kappa=args.kappa, rho=args.rho,
+                  seed=args.seed),
+    )
+    raw = result.raw
+    if product == "emulator":
+        if method == "congest":
+            print(f"emulator (CONGEST): {result.size} edges, {raw.rounds} rounds, "
+                  f"{raw.messages} messages, both-endpoints-know="
+                  f"{raw.both_endpoints_know_all_edges()}")
+        elif method == "fast":
+            print(f"emulator (fast): {result.size} edges (bound {result.size_bound:.1f})")
+        else:
+            print(f"emulator: {result.size} edges "
+                  f"(bound {result.size_bound:.1f}, alpha {result.alpha:.3f}, "
+                  f"beta {result.beta:.1f})")
+    elif product == "spanner":
+        suffix = " (CONGEST)" if method == "congest" else ""
+        print(f"spanner{suffix}: {result.size} edges (subgraph of input: "
+              f"{raw.is_subgraph_of(graph)})")
     else:
-        result = build_near_additive_spanner(graph, eps=min(eps, 0.01), kappa=args.kappa,
-                                             rho=args.rho)
-        print(f"spanner: {result.num_edges} edges (subgraph of input: "
-              f"{result.is_subgraph_of(graph)})")
-        if args.output:
-            graph_io.write_edge_list(result.spanner, args.output)
-            print(f"wrote {args.output}")
-        return 0
+        print(f"hopset ({method}): {result.size} edges "
+              f"(alpha {result.alpha:.3f}, beta {result.beta:.1f}, "
+              f"hopbound estimate {raw.hopbound_estimate})")
     if args.output:
-        graph_io.write_weighted_edge_list(subject, args.output)
+        if product == "spanner":
+            graph_io.write_edge_list(raw.spanner, args.output)
+        else:
+            graph_io.write_weighted_edge_list(result.subject, args.output)
         print(f"wrote {args.output}")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    name = args.input or (args.family or "erdos-renyi")
+    sweep = GridSweep(
+        products=tuple(args.products),
+        methods=tuple(args.methods),
+        eps_values=tuple(args.eps_values) if args.eps_values else (None,),
+        kappas=tuple(args.kappas) if args.kappas else (None,),
+        rhos=tuple(args.rhos) if args.rhos else (None,),
+        seed=args.seed,
+    )
+    records = run_sweep({name: graph}, sweep, verify_pairs=args.verify_pairs)
+    print(format_sweep_table(records))
     return 0
 
 
@@ -152,16 +262,21 @@ def _command_verify(args: argparse.Namespace) -> int:
 
 
 def _command_hopset(args: argparse.Namespace) -> int:
-    from repro.hopsets.hopset import build_hopset, exact_hopbound
+    from repro.hopsets.hopset import exact_hopbound
 
     graph = _load_graph(args)
-    result = build_hopset(graph, eps=args.eps, kappa=args.kappa)
-    hopbound = exact_hopbound(graph, result.hopset, sample_pairs=args.sample_pairs)
-    print(f"hopset: {result.num_edges} edges "
+    eps = _clamped_eps(args.eps, "hopset", args.method)
+    result = build(
+        graph,
+        BuildSpec(product="hopset", method=args.method, eps=eps, kappa=args.kappa,
+                  rho=args.rho, seed=args.seed),
+    )
+    hopbound = exact_hopbound(graph, result.raw.hopset, sample_pairs=args.sample_pairs)
+    print(f"hopset ({args.method}): {result.size} edges "
           f"(alpha {result.alpha:.3f}, beta {result.beta:.1f})")
     print(f"measured hopbound (exact union distances, {args.sample_pairs} pairs): {hopbound}")
     if args.output:
-        graph_io.write_weighted_edge_list(result.hopset, args.output)
+        graph_io.write_weighted_edge_list(result.raw.hopset, args.output)
         print(f"wrote {args.output}")
     return 0
 
@@ -201,18 +316,30 @@ def _command_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_facade_command(command, args: argparse.Namespace) -> int:
+    """Run a facade-backed command, turning spec/registry errors into exit 2."""
+    try:
+        return command(args)
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "build":
-        return _command_build(args)
+        return _run_facade_command(_command_build, args)
+    if args.command == "sweep":
+        return _run_facade_command(_command_sweep, args)
     if args.command == "verify":
         return _command_verify(args)
     if args.command == "experiments":
         return _command_experiments(args)
     if args.command == "hopset":
-        return _command_hopset(args)
+        return _run_facade_command(_command_hopset, args)
     if args.command == "oracle":
         return _command_oracle(args)
     parser.error(f"unknown command {args.command!r}")

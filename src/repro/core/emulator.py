@@ -33,6 +33,7 @@ so the tests can check the charging invariants the size proof relies on.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -320,6 +321,21 @@ def build_emulator(
         ``n^(1 + 1/kappa)`` edges.
     schedule:
         Optional pre-built schedule overriding ``eps`` / ``kappa``.
+
+    .. deprecated:: 1.2.0
+        Use ``repro.build(graph, BuildSpec(product="emulator",
+        method="centralized", ...))`` instead.
     """
-    builder = UltraSparseEmulatorBuilder(graph, schedule=schedule, eps=eps, kappa=kappa)
-    return builder.build()
+    warnings.warn(
+        "build_emulator() is deprecated; use repro.build(graph, "
+        "BuildSpec(product='emulator', method='centralized', ...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import BuildSpec, build
+
+    return build(
+        graph,
+        BuildSpec(product="emulator", method="centralized", eps=eps, kappa=kappa,
+                  schedule=schedule),
+    ).raw

@@ -20,6 +20,7 @@ The resulting emulator satisfies the same ``n^(1 + 1/kappa)`` size bound
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.congest.ruling_sets import greedy_ruling_set
@@ -203,6 +204,21 @@ def build_emulator_fast(
 
     Produces a ``(1 + 90 eps ell / rho, 75/rho (1/eps)^(ell-1))``-emulator
     with at most ``n^(1 + 1/kappa)`` edges.
+
+    .. deprecated:: 1.2.0
+        Use ``repro.build(graph, BuildSpec(product="emulator",
+        method="fast", ...))`` instead.
     """
-    builder = FastCentralizedBuilder(graph, schedule=schedule, eps=eps, kappa=kappa, rho=rho)
-    return builder.build()
+    warnings.warn(
+        "build_emulator_fast() is deprecated; use repro.build(graph, "
+        "BuildSpec(product='emulator', method='fast', ...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import BuildSpec, build
+
+    return build(
+        graph,
+        BuildSpec(product="emulator", method="fast", eps=eps, kappa=kappa, rho=rho,
+                  schedule=schedule),
+    ).raw

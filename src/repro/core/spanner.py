@@ -14,6 +14,7 @@ contributions decay geometrically; the total is ``O(n^(1 + 1/kappa))`` edges
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -277,6 +278,22 @@ def build_near_additive_spanner(
     rho: float = 0.45,
     schedule: Optional[SpannerSchedule] = None,
 ) -> SpannerResult:
-    """Build a near-additive spanner (subgraph) per Section 4 of the paper."""
-    builder = NearAdditiveSpannerBuilder(graph, schedule=schedule, eps=eps, kappa=kappa, rho=rho)
-    return builder.build()
+    """Build a near-additive spanner (subgraph) per Section 4 of the paper.
+
+    .. deprecated:: 1.2.0
+        Use ``repro.build(graph, BuildSpec(product="spanner",
+        method="centralized", ...))`` instead.
+    """
+    warnings.warn(
+        "build_near_additive_spanner() is deprecated; use repro.build(graph, "
+        "BuildSpec(product='spanner', method='centralized', ...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import BuildSpec, build
+
+    return build(
+        graph,
+        BuildSpec(product="spanner", method="centralized", eps=eps, kappa=kappa, rho=rho,
+                  schedule=schedule),
+    ).raw

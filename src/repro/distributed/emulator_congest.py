@@ -33,6 +33,7 @@ of CONGEST rounds and messages used, which experiment E5 compares against the
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -427,8 +428,21 @@ def build_emulator_congest(
     Returns a :class:`DistributedEmulatorResult` with the emulator, the
     charging ledger, and the round / message counts of the simulated
     execution.
+
+    .. deprecated:: 1.2.0
+        Use ``repro.build(graph, BuildSpec(product="emulator",
+        method="congest", ...))`` instead.
     """
-    builder = DistributedEmulatorBuilder(
-        graph, schedule=schedule, eps=eps, kappa=kappa, rho=rho, ruling_set_mode=ruling_set_mode
+    warnings.warn(
+        "build_emulator_congest() is deprecated; use repro.build(graph, "
+        "BuildSpec(product='emulator', method='congest', ...))",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return builder.build()
+    from repro.api import BuildSpec, build
+
+    return build(
+        graph,
+        BuildSpec(product="emulator", method="congest", eps=eps, kappa=kappa, rho=rho,
+                  schedule=schedule, options={"ruling_set_mode": ruling_set_mode}),
+    ).raw

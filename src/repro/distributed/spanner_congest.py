@@ -16,6 +16,7 @@ contributions decay geometrically and the total size is
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -244,6 +245,22 @@ def build_spanner_congest(
     rho: float = 0.45,
     schedule: Optional[SpannerSchedule] = None,
 ) -> DistributedSpannerResult:
-    """Build a near-additive spanner in the CONGEST model (Section 4)."""
-    builder = DistributedSpannerBuilder(graph, schedule=schedule, eps=eps, kappa=kappa, rho=rho)
-    return builder.build()
+    """Build a near-additive spanner in the CONGEST model (Section 4).
+
+    .. deprecated:: 1.2.0
+        Use ``repro.build(graph, BuildSpec(product="spanner",
+        method="congest", ...))`` instead.
+    """
+    warnings.warn(
+        "build_spanner_congest() is deprecated; use repro.build(graph, "
+        "BuildSpec(product='spanner', method='congest', ...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import BuildSpec, build
+
+    return build(
+        graph,
+        BuildSpec(product="spanner", method="congest", eps=eps, kappa=kappa, rho=rho,
+                  schedule=schedule),
+    ).raw

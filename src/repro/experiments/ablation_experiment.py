@@ -28,7 +28,7 @@ from typing import Iterable, List
 
 from repro.analysis.reporting import format_table
 from repro.baselines.elkin_peleg import build_elkin_peleg_emulator
-from repro.core.emulator import build_emulator
+from repro.api import BuildSpec, build as facade_build
 from repro.core.fast_centralized import FastCentralizedBuilder
 from repro.core.parameters import SpannerSchedule, size_bound
 from repro.experiments.workloads import Workload, standard_workloads
@@ -76,7 +76,9 @@ def run_ablation_experiment(
     rows: List[AblationRow] = []
     for workload in workloads:
         n = workload.n
-        ours = build_emulator(workload.graph, eps=eps, kappa=kappa).num_edges
+        ours = facade_build(
+            workload.graph, BuildSpec(product="emulator", eps=eps, kappa=kappa)
+        ).size
         no_buffer = build_elkin_peleg_emulator(workload.graph, eps=eps, kappa=kappa).num_edges
         slowed_schedule = SpannerSchedule(n=n, eps=min(eps, 0.01), kappa=kappa,
                                           rho=max(rho, 1.0 / kappa + 1e-6))

@@ -19,7 +19,7 @@ from repro.analysis.reporting import format_table
 from repro.baselines.elkin_neiman import build_elkin_neiman_emulator
 from repro.baselines.elkin_peleg import build_elkin_peleg_emulator
 from repro.baselines.thorup_zwick import build_thorup_zwick_emulator
-from repro.core.emulator import build_emulator
+from repro.api import BuildSpec, build as facade_build
 from repro.core.parameters import size_bound
 from repro.experiments.workloads import Workload, standard_workloads
 
@@ -55,7 +55,9 @@ def run_baselines_experiment(
         workloads = standard_workloads(n=256)
     rows: List[BaselineRow] = []
     for workload in workloads:
-        ours = build_emulator(workload.graph, eps=eps, kappa=kappa).num_edges
+        ours = facade_build(
+            workload.graph, BuildSpec(product="emulator", eps=eps, kappa=kappa)
+        ).size
         ep01 = build_elkin_peleg_emulator(workload.graph, eps=eps, kappa=kappa).num_edges
         tz06 = build_thorup_zwick_emulator(workload.graph, kappa=kappa, seed=seed).num_edges
         en17 = build_elkin_neiman_emulator(

@@ -22,7 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.analysis.plotting import ascii_multi_series
 from repro.analysis.reporting import format_table
 from repro.analysis.validation import verify_emulator
-from repro.core.emulator import build_emulator
+from repro.api import BuildSpec, build as facade_build
 from repro.core.parameters import CentralizedSchedule
 from repro.experiments.workloads import Workload, workload_by_name
 
@@ -69,7 +69,9 @@ def run_beta_tradeoff_experiment(
     for eps in eps_values:
         for kappa in kappas:
             schedule = CentralizedSchedule(n=workload.n, eps=eps, kappa=kappa)
-            result = build_emulator(workload.graph, schedule=schedule)
+            result = facade_build(
+                workload.graph, BuildSpec(product="emulator", schedule=schedule)
+            ).raw
             pairs = None if workload.n <= 200 else sample_pairs
             report = verify_emulator(
                 workload.graph, result.emulator, result.alpha, result.beta, sample_pairs=pairs

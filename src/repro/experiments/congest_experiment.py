@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Sequence
 
 from repro.analysis.reporting import format_table
-from repro.distributed.emulator_congest import build_emulator_congest
+from repro.api import BuildSpec, build as facade_build
 from repro.experiments.workloads import Workload, standard_workloads
 
 __all__ = ["CongestRow", "run_congest_experiment", "format_congest_table"]
@@ -61,7 +61,10 @@ def run_congest_experiment(
     rows: List[CongestRow] = []
     for workload in workloads:
         for rho in rhos:
-            result = build_emulator_congest(workload.graph, eps=eps, kappa=kappa, rho=rho)
+            result = facade_build(
+                workload.graph,
+                BuildSpec(product="emulator", method="congest", eps=eps, kappa=kappa, rho=rho),
+            ).raw
             rows.append(
                 CongestRow(
                     workload=workload.name,

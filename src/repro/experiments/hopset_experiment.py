@@ -19,7 +19,8 @@ from repro.analysis.reporting import format_table
 from repro.analysis.sampling import sample_vertex_pairs
 from repro.experiments.workloads import Workload, standard_workloads
 from repro.graphs.shortest_paths import bfs_distances
-from repro.hopsets.hopset import build_hopset, exact_hopbound, measured_hopbound
+from repro.api import BuildSpec, build as facade_build
+from repro.hopsets.hopset import exact_hopbound, measured_hopbound
 
 __all__ = ["HopsetRow", "run_hopset_experiment", "format_hopset_table"]
 
@@ -73,7 +74,7 @@ def run_hopset_experiment(
         workloads = standard_workloads(n=128)
     rows: List[HopsetRow] = []
     for workload in workloads:
-        hopset = build_hopset(workload.graph, eps=eps)
+        hopset = facade_build(workload.graph, BuildSpec(product="hopset", eps=eps)).raw
         guarantee = measured_hopbound(
             workload.graph,
             hopset.hopset,

@@ -21,7 +21,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.analysis.plotting import ascii_multi_series
 from repro.analysis.reporting import format_table
 from repro.core.parameters import DistributedSchedule, size_bound
-from repro.distributed.emulator_congest import build_emulator_congest
+from repro.api import BuildSpec, build as facade_build
 from repro.experiments.workloads import Workload, workload_by_name
 
 __all__ = ["RhoSweepRow", "run_rho_sweep_experiment", "format_rho_sweep_table",
@@ -70,7 +70,10 @@ def run_rho_sweep_experiment(
         if rho * kappa < 1.0:
             continue
         schedule = DistributedSchedule(n=workload.n, eps=eps, kappa=kappa, rho=rho)
-        result = build_emulator_congest(workload.graph, schedule=schedule)
+        result = facade_build(
+            workload.graph,
+            BuildSpec(product="emulator", method="congest", schedule=schedule),
+        ).raw
         rows.append(
             RhoSweepRow(
                 workload=workload.name,

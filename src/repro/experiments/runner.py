@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.api import GridSweep, format_sweep_table, run_sweep
 from repro.experiments.ablation_experiment import format_ablation_table, run_ablation_experiment
 from repro.experiments.applications_experiment import (
     format_applications_table,
@@ -46,7 +47,8 @@ __all__ = ["run_all", "available_experiments", "run_experiment"]
 
 def available_experiments() -> List[str]:
     """The experiment ids accepted by :func:`run_experiment`."""
-    return ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"]
+    return ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
+            "E14"]
 
 
 def run_experiment(experiment_id: str, quick: bool = True) -> str:
@@ -91,6 +93,15 @@ def run_experiment(experiment_id: str, quick: bool = True) -> str:
     if experiment_id == "E13":
         return format_applications_table(
             run_applications_experiment(standard_workloads(n=64 if quick else 128))
+        )
+    if experiment_id == "E14":
+        # The full supported product x method surface, as one config-driven
+        # sweep through the unified facade (repro.api.pipeline).
+        workload = workload_by_name("erdos-renyi", 36 if quick else 96, seed=0)
+        sweep = GridSweep()  # all registered (product, method) combos, default params
+        records = run_sweep({workload.name: workload.graph}, sweep, verify_pairs=50)
+        return format_sweep_table(
+            records, title="E14: unified facade sweep (product x method, defaults)"
         )
     raise ValueError(f"unknown experiment id {experiment_id!r}")
 

@@ -11,13 +11,11 @@ parameters.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Iterable, List
 
 from repro.analysis.reporting import format_table
-from repro.core.emulator import build_emulator
-from repro.core.fast_centralized import build_emulator_fast
+from repro.api import BuildSpec, build as facade_build
 from repro.experiments.workloads import Workload, scaling_workloads
 
 __all__ = ["RuntimeRow", "run_runtime_experiment", "format_runtime_table"]
@@ -56,12 +54,15 @@ def run_runtime_experiment(
         workloads = scaling_workloads(sizes=[128, 256, 512])
     rows: List[RuntimeRow] = []
     for workload in workloads:
-        start = time.perf_counter()
-        build_emulator(workload.graph, eps=eps, kappa=kappa)
-        algorithm1_seconds = time.perf_counter() - start
-        start = time.perf_counter()
-        build_emulator_fast(workload.graph, eps=min(eps, 0.01), kappa=kappa, rho=rho)
-        fast_seconds = time.perf_counter() - start
+        # The facade times every construction; use its measurements directly.
+        algorithm1_seconds = facade_build(
+            workload.graph, BuildSpec(product="emulator", eps=eps, kappa=kappa)
+        ).elapsed
+        fast_seconds = facade_build(
+            workload.graph,
+            BuildSpec(product="emulator", method="fast", eps=min(eps, 0.01), kappa=kappa,
+                      rho=rho),
+        ).elapsed
         rows.append(
             RuntimeRow(
                 workload=workload.name,

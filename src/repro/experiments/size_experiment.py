@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Sequence
 
 from repro.analysis.reporting import format_table
-from repro.core.emulator import build_emulator
+from repro.api import BuildSpec, build as facade_build
 from repro.core.parameters import size_bound
 from repro.experiments.workloads import Workload, standard_workloads
 
@@ -53,7 +53,9 @@ def run_size_experiment(
     rows: List[SizeRow] = []
     for workload in workloads:
         for kappa in kappas:
-            result = build_emulator(workload.graph, eps=eps, kappa=kappa)
+            result = facade_build(
+                workload.graph, BuildSpec(product="emulator", eps=eps, kappa=kappa)
+            ).raw
             rows.append(
                 SizeRow(
                     workload=workload.name,

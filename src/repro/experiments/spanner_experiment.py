@@ -15,7 +15,7 @@ from repro.analysis.reporting import format_table
 from repro.analysis.validation import verify_spanner
 from repro.baselines.em19_spanner import build_em19_spanner
 from repro.core.parameters import size_bound
-from repro.core.spanner import build_near_additive_spanner
+from repro.api import BuildSpec, build as facade_build
 from repro.experiments.workloads import Workload, standard_workloads
 
 __all__ = ["SpannerRow", "run_spanner_experiment", "format_spanner_table"]
@@ -53,7 +53,10 @@ def run_spanner_experiment(
         workloads = standard_workloads(n=256)
     rows: List[SpannerRow] = []
     for workload in workloads:
-        ours = build_near_additive_spanner(workload.graph, eps=eps, kappa=kappa, rho=rho)
+        ours = facade_build(
+            workload.graph,
+            BuildSpec(product="spanner", eps=eps, kappa=kappa, rho=rho),
+        ).raw
         em19 = build_em19_spanner(workload.graph, eps=eps, kappa=kappa, rho=rho)
         pairs = None if workload.n <= 150 else sample_pairs
         ours_report = verify_spanner(

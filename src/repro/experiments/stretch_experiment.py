@@ -16,7 +16,7 @@ from typing import Iterable, List, Optional
 
 from repro.analysis.reporting import format_table
 from repro.analysis.validation import verify_emulator
-from repro.core.emulator import build_emulator
+from repro.api import BuildSpec, build as facade_build
 from repro.experiments.workloads import Workload, standard_workloads
 
 __all__ = ["StretchRow", "run_stretch_experiment", "format_stretch_table"]
@@ -50,7 +50,9 @@ def run_stretch_experiment(
         workloads = standard_workloads(n=196)
     rows: List[StretchRow] = []
     for workload in workloads:
-        result = build_emulator(workload.graph, eps=eps, kappa=kappa)
+        result = facade_build(
+            workload.graph, BuildSpec(product="emulator", eps=eps, kappa=kappa)
+        ).raw
         pairs = None if workload.n <= 200 else sample_pairs
         report = verify_emulator(
             workload.graph, result.emulator, result.alpha, result.beta, sample_pairs=pairs

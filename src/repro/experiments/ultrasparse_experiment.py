@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Iterable, List
 
 from repro.analysis.reporting import format_table
-from repro.core.emulator import build_emulator
+from repro.api import BuildSpec, build as facade_build
 from repro.core.parameters import CentralizedSchedule, size_bound, ultra_sparse_kappa
 from repro.experiments.workloads import Workload, scaling_workloads
 
@@ -58,7 +58,9 @@ def run_ultrasparse_experiment(
     for workload in workloads:
         kappa = ultra_sparse_kappa(workload.n)
         schedule = CentralizedSchedule(n=workload.n, eps=eps, kappa=kappa)
-        result = build_emulator(workload.graph, schedule=schedule)
+        result = facade_build(
+            workload.graph, BuildSpec(product="emulator", schedule=schedule)
+        ).raw
         rows.append(
             UltraSparseRow(
                 workload=workload.name,

@@ -19,12 +19,13 @@ and we *measure* the effective hopbound rather than trusting the analysis:
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.sampling import sample_vertex_pairs
-from repro.core.emulator import EmulatorResult, build_emulator
-from repro.core.parameters import CentralizedSchedule, ultra_sparse_kappa
+from repro.core.emulator import EmulatorResult
+from repro.core.parameters import CentralizedSchedule
 from repro.graphs.graph import Graph
 from repro.graphs.shortest_paths import bfs_distances
 from repro.graphs.weighted_graph import WeightedGraph
@@ -117,19 +118,24 @@ def build_hopset(
     HopsetResult
         The hopset (= the emulator's edge set), its inherited ``(alpha,
         beta)`` guarantee and an a-priori hopbound estimate.
+
+    .. deprecated:: 1.2.0
+        Use ``repro.build(graph, BuildSpec(product="hopset",
+        method="centralized", ...))`` instead.
     """
-    if schedule is None:
-        if kappa is None:
-            kappa = ultra_sparse_kappa(max(2, graph.num_vertices))
-        schedule = CentralizedSchedule(n=max(1, graph.num_vertices), eps=eps, kappa=kappa)
-    emulator_result = build_emulator(graph, schedule=schedule)
-    return HopsetResult(
-        hopset=emulator_result.emulator,
-        alpha=emulator_result.alpha,
-        beta=emulator_result.beta,
-        hopbound_estimate=_hopbound_estimate(schedule),
-        emulator_result=emulator_result,
+    warnings.warn(
+        "build_hopset() is deprecated; use repro.build(graph, "
+        "BuildSpec(product='hopset', method='centralized', ...))",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from repro.api import BuildSpec, build
+
+    return build(
+        graph,
+        BuildSpec(product="hopset", method="centralized", eps=eps, kappa=kappa,
+                  schedule=schedule),
+    ).raw
 
 
 def _pairs_by_source(

@@ -52,6 +52,46 @@ class TestBuildCommand:
         out = capsys.readouterr().out
         assert "rounds" in out
 
+    def test_build_new_product_method_flags(self, capsys):
+        code = main(["build", "--family", "grid", "--n", "25", "--product", "spanner",
+                     "--method", "congest"])
+        assert code == 0
+        assert "spanner (CONGEST):" in capsys.readouterr().out
+
+    def test_algorithm_fills_missing_half_of_product_method(self, capsys):
+        # --algorithm congest must not be silently discarded when only
+        # --product is pinned.
+        code = main(["build", "--family", "grid", "--n", "25", "--algorithm", "congest",
+                     "--product", "emulator"])
+        assert code == 0
+        assert "rounds" in capsys.readouterr().out
+
+    def test_build_unsupported_combo_clean_error(self, capsys):
+        code = main(["build", "--family", "grid", "--n", "16", "--product", "spanner",
+                     "--method", "fast"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "supported combinations" in err
+        assert "Traceback" not in err
+
+    def test_build_invalid_kappa_clean_error(self, capsys):
+        code = main(["build", "--family", "grid", "--n", "16", "--kappa", "1"])
+        assert code == 2
+        assert "kappa" in capsys.readouterr().err
+
+    def test_sweep_with_no_supported_combo_clean_error(self, capsys):
+        code = main(["sweep", "--family", "grid", "--n", "16", "--products", "spanner",
+                     "--methods", "fast"])
+        assert code == 2
+        assert "supported combinations" in capsys.readouterr().err
+
+    def test_sweep_command(self, capsys):
+        code = main(["sweep", "--family", "grid", "--n", "16", "--products", "emulator",
+                     "--methods", "centralized", "fast", "--verify-pairs", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "emulator" in out and "fast" in out and "True" in out
+
     def test_build_spanner_with_output(self, tmp_path, capsys):
         out_path = tmp_path / "spanner.txt"
         code = main(["build", "--family", "grid", "--n", "36", "--algorithm", "spanner",

@@ -15,6 +15,15 @@ class TestHopsetCommand:
         assert "hopset" in out
         assert "hopbound" in out
 
+    def test_hopset_fast_method_clamps_eps(self, capsys):
+        # Default --eps 0.1 must be clamped for fast/congest methods, same
+        # as the build subcommand, so the reported guarantee is meaningful.
+        exit_code = main(["hopset", "--family", "grid", "--n", "25", "--method", "fast",
+                          "--sample-pairs", "20"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "alpha 101" not in out  # the unclamped eps=0.1 signature
+
     def test_hopset_with_explicit_kappa(self, capsys):
         exit_code = main(["hopset", "--family", "erdos-renyi", "--n", "48",
                           "--kappa", "4", "--sample-pairs", "50"])

@@ -88,7 +88,14 @@ class TestHopLimitedProperties:
         union = union_with_graph(graph, overlay)
         source = data.draw(st.integers(min_value=0, max_value=graph.num_vertices - 1))
         limited = hop_limited_distances(union, source, graph.num_vertices)
-        assert limited == union.dijkstra(source)
+        exact = union.dijkstra(source)
+        # hop_limited_distances only relaxes improvements larger than its
+        # 1e-12 float-noise guard, so compare with a tolerance rather than
+        # exact equality (an overlay weight within 1e-12 of the true
+        # distance is otherwise a falsifying example).
+        assert set(limited) == set(exact)
+        for v, d in limited.items():
+            assert d == pytest.approx(exact[v], abs=1e-9)
 
 
 # ---------------------------------------------------------------------------
