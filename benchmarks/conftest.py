@@ -4,34 +4,77 @@ Each benchmark file regenerates one experiment table (E1-E7, see
 EXPERIMENTS.md).  Benchmarks print the table once per session (pytest's
 ``-s`` flag shows it; without it the tables still end up in the captured
 output of the benchmark run).
+
+Workload tiers
+--------------
+The ``REPRO_BENCH_TIER`` environment variable selects the workload sizes:
+
+``default``
+    The laptop-scale sizes the tables in EXPERIMENTS.md were produced
+    with.
+``small``
+    Roughly quarter-scale workloads used by the CI ``benchmarks`` job,
+    where the goal is regression *detection* (compare against
+    ``benchmarks/baseline.json``) rather than publishable numbers.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.experiments.workloads import scaling_workloads, standard_workloads, workload_by_name
 
+#: Workload sizes per tier: (standard n, congest n, scaling sizes, single n).
+_TIERS = {
+    "default": (256, 96, [128, 256, 512], 256),
+    "small": (96, 48, [48, 96, 192], 96),
+}
+
+
+def _tier():
+    name = os.environ.get("REPRO_BENCH_TIER", "default")
+    if name not in _TIERS:
+        raise ValueError(
+            f"unknown REPRO_BENCH_TIER {name!r}; valid tiers: {', '.join(sorted(_TIERS))}"
+        )
+    return _TIERS[name]
+
 
 @pytest.fixture(scope="session")
 def bench_workloads():
     """Medium workload set shared by the benchmark harness."""
-    return standard_workloads(n=256, seed=0)
+    return standard_workloads(n=_tier()[0], seed=0)
 
 
 @pytest.fixture(scope="session")
 def small_bench_workloads():
     """Smaller workloads for the expensive (CONGEST) benchmarks."""
-    return standard_workloads(n=96, seed=0)
+    return standard_workloads(n=_tier()[1], seed=0)
 
 
 @pytest.fixture(scope="session")
 def scaling_bench_workloads():
     """A scaling family for E2 / E7."""
-    return scaling_workloads(sizes=[128, 256, 512])
+    return scaling_workloads(sizes=_tier()[2])
 
 
 @pytest.fixture(scope="session")
 def single_random_workload():
     """One representative random graph for per-call timing benchmarks."""
-    return workload_by_name("erdos-renyi", 256, seed=0)
+    return workload_by_name("erdos-renyi", _tier()[3], seed=0)
+
+
+@pytest.fixture(scope="session")
+def tier_n():
+    """Scale an inline workload size to the active tier.
+
+    Benchmarks that construct their own workloads (rather than using the
+    shared fixtures above) must route their sizes through this, so the
+    CI small tier actually shrinks the whole suite:
+    ``workload_by_name("erdos-renyi", tier_n(192))``.
+    """
+    if os.environ.get("REPRO_BENCH_TIER", "default") == "small":
+        return lambda n: max(24, n // 2)
+    return lambda n: n

@@ -9,9 +9,9 @@ from repro.experiments.ablation_experiment import (
 from repro.experiments.workloads import standard_workloads
 
 
-def test_bench_e8_ablation_table(benchmark):
+def test_bench_e8_ablation_table(benchmark, tier_n):
     """Build all three variants on every workload and print E8."""
-    workloads = standard_workloads(n=192, seed=0)
+    workloads = standard_workloads(n=tier_n(192), seed=0)
     rows = benchmark.pedantic(
         run_ablation_experiment,
         kwargs={"workloads": workloads, "kappa": 8},

@@ -14,9 +14,9 @@ from repro.experiments.beta_tradeoff_experiment import (
 from repro.experiments.workloads import workload_by_name
 
 
-def test_bench_e9_beta_tradeoff(benchmark):
+def test_bench_e9_beta_tradeoff(benchmark, tier_n):
     """Sweep eps x kappa on a random workload and print the table and figure."""
-    workload = workload_by_name("erdos-renyi", 192, seed=0)
+    workload = workload_by_name("erdos-renyi", tier_n(192), seed=0)
     rows = benchmark.pedantic(
         run_beta_tradeoff_experiment,
         kwargs={"workload": workload},

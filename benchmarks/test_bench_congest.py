@@ -7,9 +7,9 @@ from repro.experiments.congest_experiment import format_congest_table, run_conge
 from repro.experiments.workloads import standard_workloads
 
 
-def test_bench_e5_congest_table(benchmark):
+def test_bench_e5_congest_table(benchmark, tier_n):
     """Run the CONGEST construction across workloads/rhos and print E5."""
-    workloads = standard_workloads(n=64, seed=0)
+    workloads = standard_workloads(n=tier_n(64), seed=0)
     rows = benchmark.pedantic(
         run_congest_experiment,
         kwargs={"workloads": workloads, "kappa": 4, "rhos": (0.3, 0.45)},

@@ -14,9 +14,9 @@ from repro.experiments.rho_sweep_experiment import (
 from repro.experiments.workloads import workload_by_name
 
 
-def test_bench_e12_rho_sweep(benchmark):
+def test_bench_e12_rho_sweep(benchmark, tier_n):
     """Sweep rho on a 96-vertex random graph and print table plus figure."""
-    workload = workload_by_name("erdos-renyi", 96, seed=0)
+    workload = workload_by_name("erdos-renyi", tier_n(96), seed=0)
     rows = benchmark.pedantic(
         run_rho_sweep_experiment,
         kwargs={"workload": workload, "rhos": (0.3, 0.4, 0.45)},

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Fail CI when benchmarks regress past a threshold against a baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py bench.json benchmarks/baseline.json \
+        [--threshold 2.0]
+
+``bench.json`` is the output of ``pytest benchmarks/ --benchmark-json=bench.json``
+(the pytest-benchmark schema: a top-level ``benchmarks`` list whose entries
+carry ``fullname`` and ``stats.mean``).  The baseline may use the same
+schema or the flat ``{"benchmarks": {fullname: mean_seconds}}`` map this
+repo checks in (see ``benchmarks/baseline.json`` and CONTRIBUTING.md for
+how to refresh it).
+
+Exit status is non-zero when any benchmark present in both files is more
+than ``threshold`` times slower than its baseline mean.  Benchmarks
+missing from either side are reported but never fail the check — CI
+machines come and go, the baseline is refreshed separately from the code
+that adds benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+
+def load_means(path: str) -> Dict[str, float]:
+    """Read ``{benchmark fullname: mean seconds}`` from either schema."""
+    with open(path) as handle:
+        data = json.load(handle)
+    benchmarks = data.get("benchmarks", data)
+    if isinstance(benchmarks, list):
+        return {
+            entry["fullname"]: float(entry["stats"]["mean"])
+            for entry in benchmarks
+        }
+    return {name: float(mean) for name, mean in benchmarks.items()}
+
+
+def find_regressions(
+    current: Dict[str, float],
+    baseline: Dict[str, float],
+    threshold: float,
+    min_seconds: float = 0.0,
+) -> List[Tuple[str, float, float, float]]:
+    """Benchmarks slower than ``threshold``x baseline: (name, base, now, ratio).
+
+    Benchmarks whose baseline mean is below ``min_seconds`` are exempt:
+    at sub-millisecond scales the ratio measures scheduler noise and
+    machine speed, not the code.
+    """
+    regressions = []
+    for name, base_mean in sorted(baseline.items()):
+        now = current.get(name)
+        if now is None or base_mean <= 0 or base_mean < min_seconds:
+            continue
+        ratio = now / base_mean
+        if ratio > threshold:
+            regressions.append((name, base_mean, now, ratio))
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench_json", help="pytest-benchmark JSON of the current run")
+    parser.add_argument("baseline_json", help="checked-in baseline JSON")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="fail when mean exceeds baseline by this factor "
+                             "(default: 2.0)")
+    parser.add_argument("--min-seconds", type=float, default=0.005,
+                        help="ignore benchmarks whose baseline mean is below "
+                             "this (sub-millisecond ratios measure machine "
+                             "noise, not the code; default: 0.005)")
+    args = parser.parse_args(argv)
+
+    current = load_means(args.bench_json)
+    baseline = load_means(args.baseline_json)
+    compared = sorted(set(current) & set(baseline))
+    only_current = sorted(set(current) - set(baseline))
+    only_baseline = sorted(set(baseline) - set(current))
+
+    print(f"compared {len(compared)} benchmark(s) against {args.baseline_json} "
+          f"(threshold {args.threshold:g}x, floor {args.min_seconds:g}s)")
+    if only_current:
+        print(f"note: {len(only_current)} benchmark(s) have no baseline yet: "
+              + ", ".join(only_current))
+    if only_baseline:
+        print(f"note: {len(only_baseline)} baseline entry(ies) did not run: "
+              + ", ".join(only_baseline))
+
+    regressions = find_regressions(current, baseline, args.threshold,
+                                   min_seconds=args.min_seconds)
+    if not regressions:
+        print("OK: no benchmark regressed past the threshold")
+        return 0
+    print(f"FAIL: {len(regressions)} benchmark(s) regressed:")
+    for name, base_mean, now, ratio in regressions:
+        print(f"  {name}: {base_mean:.6f}s -> {now:.6f}s ({ratio:.2f}x)")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

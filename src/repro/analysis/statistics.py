@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 __all__ = ["Summary", "summarize", "percentile", "loglog_slope", "geometric_mean"]
 

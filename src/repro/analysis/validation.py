@@ -16,7 +16,7 @@ compare measured stretch against the theoretical ``beta``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.sampling import sample_vertex_pairs
 from repro.graphs.graph import Graph
@@ -82,6 +82,7 @@ def verify_emulator(
     beta: float,
     sample_pairs: Optional[int] = None,
     seed: int = 0,
+    graph_distances: Optional[Callable[[int], Dict[int, int]]] = None,
 ) -> StretchReport:
     """Check the ``(alpha, beta)`` guarantee of ``emulator`` against ``graph``.
 
@@ -99,13 +100,21 @@ def verify_emulator(
         given number of pairs is sampled deterministically.
     seed:
         Seed for the pair sampling.
+    graph_distances:
+        Optional ``source -> {vertex: distance}`` provider replacing the
+        per-source BFS on ``graph``.  Batched sweep verification
+        (:class:`repro.api.executor.GraphBaseline`) passes a memoized
+        provider here so many results on one graph share the baseline
+        BFS runs.
     """
     if emulator.num_vertices != graph.num_vertices:
         raise ValueError("emulator and graph must have the same vertex set")
+    if graph_distances is None:
+        graph_distances = lambda source: bfs_distances(graph, source)  # noqa: E731
     report = StretchReport(alpha=alpha, beta=beta)
     if sample_pairs is None:
         for source in graph.vertices():
-            d_g = bfs_distances(graph, source)
+            d_g = graph_distances(source)
             d_h = emulator.dijkstra(source)
             for target, dg in d_g.items():
                 if target <= source:
@@ -118,7 +127,7 @@ def verify_emulator(
         for u, v in pairs:
             by_source.setdefault(u, []).append(v)
         for source, targets in sorted(by_source.items()):
-            d_g = bfs_distances(graph, source)
+            d_g = graph_distances(source)
             d_h = emulator.dijkstra(source)
             for target in targets:
                 if target not in d_g:
@@ -135,6 +144,7 @@ def verify_spanner(
     beta: float,
     sample_pairs: Optional[int] = None,
     seed: int = 0,
+    graph_distances: Optional[Callable[[int], Dict[int, int]]] = None,
 ) -> StretchReport:
     """Check the ``(alpha, beta)`` guarantee of a spanner *subgraph*.
 
@@ -147,7 +157,8 @@ def verify_spanner(
     weighted = WeightedGraph(spanner.num_vertices)
     for u, v in spanner.edges():
         weighted.add_edge(u, v, 1.0)
-    return verify_emulator(graph, weighted, alpha, beta, sample_pairs=sample_pairs, seed=seed)
+    return verify_emulator(graph, weighted, alpha, beta, sample_pairs=sample_pairs, seed=seed,
+                           graph_distances=graph_distances)
 
 
 def verify_no_shortening(

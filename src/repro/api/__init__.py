@@ -22,7 +22,12 @@ Pieces
 :func:`build` + :func:`on_build`
     The facade with timing and instrumentation hooks.
 :class:`GridSweep` / :func:`run_sweep`
-    Config-driven product × method × parameter sweeps over the facade.
+    Config-driven product × method × parameter sweeps over the facade,
+    executed sharded (``workers=``), cached (``cache=``) and
+    batch-verified (``verify=``) by :func:`execute_sweep`.
+:class:`ResultCache`
+    Content-addressed on-disk memoization of build results, keyed on
+    ``(graph content hash, spec fingerprint, code version)``.
 
 The legacy ``build_emulator`` / ``build_emulator_fast`` /
 ``build_emulator_congest`` / ``build_near_additive_spanner`` /
@@ -40,6 +45,8 @@ from repro.api.registry import (
 )
 from repro.api.result import BuildResult, BuildResultAdapter, HopsetVerification, adapt_result
 from repro.api.facade import BuildEvent, build, clear_build_hooks, on_build, remove_build_hook
+from repro.api.cache import DEFAULT_CACHE_DIR, ResultCache, resolve_cache, spec_fingerprint
+from repro.api.executor import GraphBaseline, execute_sweep, verify_with_baseline
 from repro.api import builders as _builders  # noqa: F401  (registers the stock builders)
 from repro.api.pipeline import GridSweep, SweepRecord, format_sweep_table, run_sweep
 
@@ -65,4 +72,11 @@ __all__ = [
     "SweepRecord",
     "run_sweep",
     "format_sweep_table",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "resolve_cache",
+    "spec_fingerprint",
+    "GraphBaseline",
+    "execute_sweep",
+    "verify_with_baseline",
 ]

@@ -1,0 +1,290 @@
+"""Content-addressed on-disk cache for facade build results.
+
+A sweep re-runs the same ``(graph, BuildSpec)`` pairs over and over —
+across repeated CLI invocations, across experiments that share workloads,
+and across CI runs.  Because both halves of the unit of work are pure
+values (a :class:`~repro.graphs.graph.Graph` has a canonical
+:meth:`~repro.graphs.graph.Graph.content_hash`, a
+:class:`~repro.api.spec.BuildSpec` is a frozen value object), the result
+of a build is fully determined by
+
+``(graph content hash, spec fingerprint, code version)``
+
+and can be memoized on disk.  :class:`ResultCache` stores one pickled
+:class:`~repro.api.result.BuildResultAdapter` per key under a cache
+directory, written atomically (``os.replace``) so concurrent writers and
+killed processes can never leave a torn entry behind; a corrupted or
+unreadable entry is treated as a miss, evicted, and rebuilt.
+
+The code version participates in the key so that upgrading the package
+(which may change what a builder produces) invalidates every entry
+without any bookkeeping.  It defaults to ``repro.__version__`` and can be
+overridden with the ``REPRO_CACHE_VERSION`` environment variable (useful
+when iterating on a builder locally).
+
+Specs carrying an explicit pre-built ``schedule`` object have no
+canonical serialization, so they are deliberately *uncacheable*:
+:func:`spec_fingerprint` returns ``None`` and the executor bypasses the
+cache for them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.api.result import BuildResultAdapter
+from repro.api.spec import BuildSpec
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "code_version",
+    "resolve_cache",
+    "spec_fingerprint",
+]
+
+#: Directory used when a cache is requested without naming one.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def code_version() -> str:
+    """The code-version component of every cache key.
+
+    ``REPRO_CACHE_VERSION`` overrides the package version, so local
+    builder experiments can segregate (or deliberately share) entries.
+    """
+    override = os.environ.get("REPRO_CACHE_VERSION")
+    if override:
+        return override
+    import repro
+
+    return getattr(repro, "__version__", "0")
+
+
+class _Uncacheable(Exception):
+    """An option value has no canonical serialization."""
+
+
+def _canonical(value):
+    """Recursively order-normalize a value for fingerprinting.
+
+    Mappings become sorted key/value lists, sequences and sets become
+    lists (sets sorted by their canonical form), and JSON scalars pass
+    through.  Anything else raises :class:`_Uncacheable`: an arbitrary
+    object's ``repr`` may hide the state a builder actually reads, and a
+    fingerprint that collapses unequal values would serve *stale cached
+    results* — so such specs are simply not cached (same policy as
+    explicit schedules).
+    """
+    if isinstance(value, dict):
+        return [[_canonical(k), _canonical(v)] for k, v in
+                sorted(value.items(), key=lambda item: repr(item[0]))]
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_canonical(item) for item in value), key=repr)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise _Uncacheable(f"option value {value!r} has no canonical serialization")
+
+
+def spec_fingerprint(spec: BuildSpec) -> Optional[str]:
+    """Canonical string fingerprint of a spec, or ``None`` if uncacheable.
+
+    The fingerprint covers every field that influences the build output
+    (product, method, eps, kappa, rho, beta, seed, options).  Option
+    values are recursively order-normalized (see :func:`_canonical`) so
+    neither top-level nor nested insertion order matters.  Specs with an
+    explicit ``schedule``, or with option values that have no canonical
+    serialization (arbitrary objects), are uncacheable.
+    """
+    if spec.schedule is not None:
+        return None
+    try:
+        options = _canonical(dict(spec.options))
+    except _Uncacheable:
+        return None
+    payload = {
+        "product": spec.product,
+        "method": spec.method,
+        "eps": spec.eps,
+        "kappa": spec.kappa,
+        "rho": spec.rho,
+        "beta": spec.beta,
+        "seed": spec.seed,
+        "options": options,
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+class ResultCache:
+    """On-disk, content-addressed store of facade build results.
+
+    Parameters
+    ----------
+    directory:
+        Where entries live.  Created on first use.  Entries are sharded
+        into 256 two-hex-digit subdirectories to keep listings small.
+    version:
+        Code-version component of every key; defaults to
+        :func:`code_version`.
+
+    Attributes
+    ----------
+    hits, misses, stores, evictions:
+        Lifetime counters for this cache object (not persisted).
+    """
+
+    def __init__(
+        self, directory: Union[str, Path] = DEFAULT_CACHE_DIR, *, version: Optional[str] = None
+    ) -> None:
+        self.directory = Path(directory)
+        self.version = version if version is not None else code_version()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+    def key(self, graph_hash: str, spec: BuildSpec) -> Optional[str]:
+        """The content-addressed key for ``(graph, spec)`` under this version.
+
+        Returns ``None`` when the spec is uncacheable (explicit schedule).
+        """
+        fingerprint = spec_fingerprint(spec)
+        if fingerprint is None:
+            return None
+        material = f"{self.version}|{graph_hash}|{fingerprint}"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def path(self, key: str) -> Path:
+        """Filesystem location of the entry for ``key``."""
+        return self.directory / key[:2] / f"{key[2:]}.pkl"
+
+    # ------------------------------------------------------------------
+    # Store operations
+    # ------------------------------------------------------------------
+    def get(self, key: Optional[str]) -> Optional[BuildResultAdapter]:
+        """Fetch the cached result for ``key``, or ``None`` on a miss.
+
+        A corrupted entry (truncated pickle, wrong type, unreadable file)
+        is evicted and reported as a miss — callers rebuild, never crash.
+        """
+        if key is None:
+            return None
+        path = self.path(key)
+        try:
+            with open(path, "rb") as handle:
+                result = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self._evict(path)
+            self.misses += 1
+            return None
+        if not isinstance(result, BuildResultAdapter):
+            self._evict(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: Optional[str], result: BuildResultAdapter) -> bool:
+        """Store ``result`` under ``key``; returns whether it was written.
+
+        Unpicklable results (a builder extension may attach arbitrary raw
+        objects) are skipped silently — caching is an optimization, never
+        a correctness requirement.  Writes go through a temporary file and
+        ``os.replace`` so a concurrent reader can never observe a torn
+        entry.
+        """
+        if key is None:
+            return False
+        try:
+            payload = pickle.dumps(result)
+        except Exception:
+            return False
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            return False
+        self.stores += 1
+        return True
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed.
+
+        Also sweeps up orphaned ``*.tmp`` files left by writers killed
+        between ``mkstemp`` and ``os.replace`` (those never count as
+        entries but would otherwise accumulate forever).
+        """
+        removed = 0
+        if not self.directory.is_dir():
+            return 0
+        for entry in self.directory.glob("??/*.pkl"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for orphan in self.directory.glob("??/*.tmp"):
+            try:
+                orphan.unlink()
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("??/*.pkl"))
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({str(self.directory)!r}, version={self.version!r}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+    # ------------------------------------------------------------------
+    def _evict(self, path: Path) -> None:
+        self.evictions += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+def resolve_cache(
+    cache: Union[None, bool, str, Path, ResultCache],
+) -> Optional[ResultCache]:
+    """Coerce the user-facing ``cache=`` argument into a :class:`ResultCache`.
+
+    ``None`` / ``False`` disable caching; ``True`` uses
+    :data:`DEFAULT_CACHE_DIR`; a string or path names the cache
+    directory; an existing :class:`ResultCache` passes through.
+    """
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return ResultCache(DEFAULT_CACHE_DIR)
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)

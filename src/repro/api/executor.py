@@ -1,0 +1,384 @@
+"""Sharded, cached execution of ``(graph, BuildSpec)`` work grids.
+
+:func:`execute_sweep` is the execution engine behind
+:func:`repro.api.pipeline.run_sweep` (and, transitively, the CLI ``sweep``
+sub-command and the experiment harness).  It takes the fully expanded grid
+— named graphs × specs — and runs it through three layers:
+
+1. **Content-addressed caching** (:mod:`repro.api.cache`).  Each task's
+   key is ``(graph content hash, spec fingerprint, code version)``; hits
+   skip the builder entirely and are tagged ``cache_hit`` in the record's
+   stats.
+2. **Sharded building.**  With ``workers > 1`` the remaining tasks are
+   sharded across a :class:`concurrent.futures.ProcessPoolExecutor`.
+   Tasks whose graph or spec cannot be pickled fall back to serial
+   in-process execution, as does any task whose *result* cannot be sent
+   back from a worker — parallelism is an optimization, never a
+   correctness requirement, and ``workers=1`` never touches
+   ``multiprocessing`` at all.
+3. **Batched verification.**  Verification of every result on the same
+   graph shares one :class:`GraphBaseline`, so the graph-side BFS
+   distances (the expensive half of every stretch check) are computed
+   once per graph instead of once per spec.
+
+The records come back in deterministic grid order (graphs outer, specs
+inner) regardless of worker scheduling, so parallel runs are
+reproducible: the only fields that may differ from a serial run are the
+timing / provenance stats (``elapsed``, ``worker``, ``cache_hit``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.api.cache import ResultCache, resolve_cache
+from repro.api.facade import build, clear_build_hooks, emit_build_event
+from repro.api.result import BuildResultAdapter
+from repro.api.spec import BuildSpec
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import bfs_distances
+
+__all__ = ["GraphBaseline", "execute_sweep", "verify_with_baseline"]
+
+#: A single unit of work: (task index, graph, spec).
+_Task = Tuple[int, Graph, BuildSpec]
+
+GraphsArg = Union[Graph, Mapping[str, Graph], Iterable[Tuple[str, Graph]]]
+
+
+def named_graphs(graphs: GraphsArg) -> List[Tuple[str, Graph]]:
+    """Normalize the ``graphs`` argument to an ordered ``(name, graph)`` list."""
+    if isinstance(graphs, Graph):
+        return [("graph", graphs)]
+    if isinstance(graphs, Mapping):
+        return list(graphs.items())
+    return list(graphs)
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution
+# ----------------------------------------------------------------------
+#: One unit of worker shipment: a graph and the (index, spec) pairs to
+#: build on it.  Chunking per graph means a k-spec sweep ships the graph
+#: once per chunk instead of once per spec.
+_Chunk = Tuple[Graph, List[Tuple[int, BuildSpec]]]
+
+
+def _execute_chunk(chunk: _Chunk) -> List[Tuple[int, int, Optional[bytes]]]:
+    """Build one chunk of specs on one graph (runs inside a worker process).
+
+    Returns ``(index, worker pid, pickled result)`` triples — results are
+    serialized exactly once here and the parent unpickles them, instead
+    of a probe pickle plus a second pool-level pickle.  A payload slot is
+    ``None`` when the result cannot be pickled, in which case the parent
+    rebuilds that task serially rather than crashing the pool.
+    """
+    graph, pairs = chunk
+    pid = os.getpid()
+    out: List[Tuple[int, int, Optional[bytes]]] = []
+    for index, spec in pairs:
+        result = build(graph, spec)
+        try:
+            payload: Optional[bytes] = pickle.dumps(result)
+        except Exception:
+            payload = None
+        out.append((index, pid, payload))
+    return out
+
+
+def _run_serial(tasks: List[_Task]) -> List[Tuple[int, int, BuildResultAdapter]]:
+    """Build every task in-process (facade hooks fire normally)."""
+    pid = os.getpid()
+    return [(index, pid, build(graph, spec)) for index, graph, spec in tasks]
+
+
+def _chunk_tasks(tasks: List[_Task], workers: int) -> List[_Chunk]:
+    """Group tasks by graph, then split each group into at most ``workers`` chunks."""
+    groups: Dict[int, _Chunk] = {}
+    for index, graph, spec in tasks:
+        key = id(graph)
+        if key not in groups:
+            groups[key] = (graph, [])
+        groups[key][1].append((index, spec))
+    chunks: List[_Chunk] = []
+    for graph, pairs in groups.values():
+        per_chunk = max(1, -(-len(pairs) // workers))  # ceil division
+        for start in range(0, len(pairs), per_chunk):
+            chunks.append((graph, pairs[start:start + per_chunk]))
+    return chunks
+
+
+class _NullSink:
+    """Write target that discards everything (picklability probe)."""
+
+    def write(self, data) -> int:
+        return len(data)
+
+
+def _picklable(value) -> bool:
+    """Whether ``value`` pickles, without materializing the bytes."""
+    try:
+        pickle.Pickler(_NullSink(), protocol=pickle.HIGHEST_PROTOCOL).dump(value)
+    except Exception:
+        return False
+    return True
+
+
+def _run_parallel(
+    tasks: List[_Task], workers: int
+) -> List[Tuple[int, int, BuildResultAdapter]]:
+    """Shard ``tasks`` across a process pool, falling back serially as needed."""
+    parallelizable: List[_Task] = []
+    serial: List[_Task] = []
+    graph_picklable: Dict[int, bool] = {}  # memoized per graph object, not per task
+    for task in tasks:
+        graph, spec = task[1], task[2]
+        picklable = graph_picklable.get(id(graph))
+        if picklable is None:
+            picklable = graph_picklable[id(graph)] = _picklable(graph)
+        if picklable:
+            picklable = _picklable(spec)
+        (parallelizable if picklable else serial).append(task)
+
+    outcomes: List[Tuple[int, int, BuildResultAdapter]] = []
+    if parallelizable:
+        by_index = {task[0]: task for task in parallelizable}
+        try:
+            # Fork-started workers inherit the parent's registered
+            # on_build hooks; clear them so each build's event fires
+            # exactly once — in the parent, via the replay in
+            # execute_sweep — regardless of start method.
+            pool = ProcessPoolExecutor(
+                max_workers=workers, initializer=clear_build_hooks
+            )
+        except (OSError, ValueError, NotImplementedError) as error:
+            # Process pools are unavailable on some platforms/sandboxes
+            # (missing semaphores, fork restrictions); degrade gracefully.
+            warnings.warn(
+                f"process pool unavailable ({error}); running the sweep serially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            serial.extend(parallelizable)
+        else:
+            finished: set = set()
+            try:
+                with pool:
+                    for chunk_results in pool.map(
+                        _execute_chunk, _chunk_tasks(parallelizable, workers)
+                    ):
+                        for index, pid, payload in chunk_results:
+                            finished.add(index)
+                            if payload is None:
+                                serial.append(by_index[index])
+                            else:
+                                outcomes.append((index, pid, pickle.loads(payload)))
+            except BrokenProcessPool as error:
+                # A worker died mid-sweep (OOM kill, sandbox restriction).
+                # Parallelism is never a correctness requirement: rebuild
+                # everything that did not come back.
+                warnings.warn(
+                    f"process pool broke mid-sweep ({error}); finishing serially",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                serial.extend(task for task in parallelizable if task[0] not in finished)
+    outcomes.extend(_run_serial(serial))
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# Batched verification
+# ----------------------------------------------------------------------
+class GraphBaseline:
+    """Per-graph verification baselines, computed once and shared.
+
+    Every stretch check needs the true BFS distances of the input graph
+    from each checked source; across a sweep the same graph is verified
+    once per spec, so those BFS runs dominate verification cost.  This
+    object memoizes ``bfs_distances`` per source; ``distances`` is passed
+    as the ``graph_distances`` provider of the stock validators, turning
+    per-spec verification into per-graph baseline work plus a cheap
+    per-result distance query.
+
+    The memo is bounded (``max_sources``, FIFO eviction) so that full
+    verification of a large graph cannot retain O(n^2) distance entries;
+    past the cap the baseline degrades gracefully toward the old
+    recompute-per-result behaviour.
+    """
+
+    #: Default bound on memoized sources (~each dict has up to n entries).
+    DEFAULT_MAX_SOURCES = 4096
+
+    def __init__(self, graph: Graph, max_sources: int = DEFAULT_MAX_SOURCES) -> None:
+        self.graph = graph
+        self.max_sources = max_sources
+        self._distances: Dict[int, Dict[int, int]] = {}
+
+    def distances(self, source: int) -> Dict[int, int]:
+        """Memoized ``bfs_distances(graph, source)`` (bounded, FIFO eviction)."""
+        cached = self._distances.get(source)
+        if cached is None:
+            cached = bfs_distances(self.graph, source)
+            if len(self._distances) >= self.max_sources:
+                self._distances.pop(next(iter(self._distances)))
+            self._distances[source] = cached
+        return cached
+
+
+def verify_with_baseline(
+    result: BuildResultAdapter,
+    baseline: GraphBaseline,
+    *,
+    sample_pairs: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Any:
+    """Check ``result``'s guarantee against ``baseline.graph``.
+
+    Exactly ``result.verify(baseline.graph, ...)``, but with the
+    baseline's memoized ``graph_distances`` provider handed to the
+    validators, so verifying many results on one graph pays for each
+    graph-side BFS only once.
+    """
+    return result.verify(
+        baseline.graph, sample_pairs=sample_pairs, seed=seed,
+        graph_distances=baseline.distances,
+    )
+
+
+# ----------------------------------------------------------------------
+# The execution engine
+# ----------------------------------------------------------------------
+def execute_sweep(
+    graphs: GraphsArg,
+    specs: Iterable[BuildSpec],
+    *,
+    workers: Optional[int] = 1,
+    cache: Union[None, bool, str, "os.PathLike[str]", ResultCache] = None,
+    verify: Union[None, bool, int] = None,
+):
+    """Run every spec on every graph; return :class:`SweepRecord` objects.
+
+    Parameters
+    ----------
+    graphs:
+        A graph, a ``{name: graph}`` mapping, or ``(name, graph)`` pairs.
+    specs:
+        The expanded grid (see :meth:`repro.api.pipeline.GridSweep.specs`).
+    workers:
+        Number of worker processes; ``1`` (the default) runs serially
+        in-process, ``None`` means ``os.cpu_count()``.
+    cache:
+        Result cache: ``None``/``False`` disables, ``True`` uses the
+        default directory, a path selects a directory, or pass a
+        :class:`~repro.api.cache.ResultCache` directly.
+    verify:
+        ``None``/``False`` skips verification, an ``int`` checks that
+        many sampled pairs per result, ``True`` checks every pair.
+        Verification is batched per graph (see :class:`GraphBaseline`).
+
+    Returns
+    -------
+    list of SweepRecord
+        In deterministic grid order (graphs outer, specs inner).  Each
+        record's ``stats`` carry ``worker`` (builder pid, or ``None`` for
+        a cache hit), ``elapsed``, and — only when caching is enabled —
+        ``cache_hit``.
+
+    Notes
+    -----
+    ``on_build`` hooks registered in this process fire for every build
+    of the sweep: in-process builds fire them at the facade, and
+    worker-built results have their event replayed in the parent.  Cache
+    hits never fire hooks — no build happened.
+    """
+    from repro.api.pipeline import SweepRecord
+
+    named = named_graphs(graphs)
+    spec_list = list(specs)
+    store = resolve_cache(cache)
+    if workers is None:
+        workers = os.cpu_count() or 1
+
+    grid: List[Tuple[int, str, Graph, BuildSpec]] = []
+    index = 0
+    for name, graph in named:
+        for spec in spec_list:
+            grid.append((index, name, graph, spec))
+            index += 1
+
+    outcomes: Dict[int, Tuple[BuildResultAdapter, Dict[str, Any]]] = {}
+    keys: Dict[int, Optional[str]] = {}
+    pending: List[_Task] = []
+    graph_hashes: Dict[int, str] = {}
+    for task_index, _name, graph, spec in grid:
+        if store is not None:
+            graph_key = id(graph)
+            if graph_key not in graph_hashes:
+                graph_hashes[graph_key] = graph.content_hash()
+            key = store.key(graph_hashes[graph_key], spec)
+            cached = store.get(key)
+            if cached is not None:
+                outcomes[task_index] = (cached, {"cache_hit": True, "worker": None})
+                continue
+            keys[task_index] = key
+        pending.append((task_index, graph, spec))
+
+    if pending:
+        if workers > 1 and len(pending) > 1:
+            built = _run_parallel(pending, workers)
+        else:
+            built = _run_serial(pending)
+        parent_pid = os.getpid()
+        for task_index, worker_pid, result in built:
+            if worker_pid != parent_pid:
+                # In-process builds fire hooks at the facade; replay the
+                # event in the parent for worker-built results so
+                # on_build instrumentation observes every build of the
+                # sweep regardless of which process ran it.
+                emit_build_event(result)
+            stats: Dict[str, Any] = {"worker": worker_pid}
+            key = keys.get(task_index)
+            if store is not None and key is not None:
+                # cache_hit is only meaningful when a cache was actually
+                # consulted; uncacheable specs (explicit schedule) carry
+                # no cache_hit at all rather than reading as eternal
+                # misses.
+                stats["cache_hit"] = False
+                store.put(key, result)
+            outcomes[task_index] = (result, stats)
+
+    records: List[SweepRecord] = []
+    baselines: Dict[int, GraphBaseline] = {}
+    for task_index, name, graph, spec in grid:
+        result, stats = outcomes[task_index]
+        verified: Optional[bool] = None
+        if verify is not None and verify is not False:
+            baseline = baselines.setdefault(id(graph), GraphBaseline(graph))
+            pairs = None if verify is True else int(verify)
+            verified = bool(
+                verify_with_baseline(result, baseline, sample_pairs=pairs).valid
+            )
+        stats = dict(stats)
+        stats["elapsed"] = result.elapsed
+        records.append(
+            SweepRecord(
+                graph_name=name, spec=spec, result=result, verified=verified,
+                stats=stats,
+            )
+        )
+    return records

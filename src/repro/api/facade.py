@@ -33,7 +33,14 @@ from repro.api.result import BuildResultAdapter, adapt_result
 from repro.api.spec import BuildSpec
 from repro.graphs.graph import Graph
 
-__all__ = ["BuildEvent", "build", "on_build", "remove_build_hook", "clear_build_hooks"]
+__all__ = [
+    "BuildEvent",
+    "build",
+    "emit_build_event",
+    "on_build",
+    "remove_build_hook",
+    "clear_build_hooks",
+]
 
 
 @dataclass(frozen=True)
@@ -67,6 +74,21 @@ def remove_build_hook(hook: BuildHook) -> None:
 def clear_build_hooks() -> None:
     """Remove every registered hook (mainly for tests)."""
     _HOOKS.clear()
+
+
+def emit_build_event(result: BuildResultAdapter) -> BuildEvent:
+    """Fire the registered hooks for ``result`` and return the event.
+
+    :func:`build` calls this after every in-process construction; the
+    sweep executor (:mod:`repro.api.executor`) calls it from the parent
+    process for results built in worker processes, so hooks registered
+    here observe every build of a sweep regardless of which process ran
+    it.
+    """
+    event = BuildEvent(spec=result.spec, result=result, elapsed=result.elapsed)
+    for hook in list(_HOOKS):
+        hook(event)
+    return event
 
 
 def build(graph: Graph, spec: Optional[BuildSpec] = None, **params: Any) -> BuildResultAdapter:
@@ -116,7 +138,5 @@ def build(graph: Graph, spec: Optional[BuildSpec] = None, **params: Any) -> Buil
             f"{spec.product}/{spec.method} with these parameters guarantees "
             f"beta = {result.beta:g}; decrease eps or raise the budget"
         )
-    event = BuildEvent(spec=spec, result=result, elapsed=elapsed)
-    for hook in list(_HOOKS):
-        hook(event)
+    emit_build_event(result)
     return result

@@ -16,9 +16,12 @@ literal instead of a bespoke module::
     records = run_sweep({"grid": grid_graph}, sweep)
     print(format_sweep_table(records))
 
-This is the substrate later PRs build sharded / batched / cached sweep
-execution on: the unit of work is a ``(graph name, BuildSpec)`` pair and
-nothing else.
+Because the unit of work is a pure ``(graph name, BuildSpec)`` pair,
+:func:`run_sweep` delegates execution to the sharded, cached engine in
+:mod:`repro.api.executor`: ``workers=`` shards the grid across a process
+pool, ``cache=`` memoizes results content-addressed on
+``(graph hash, spec, code version)``, and ``verify=`` batch-verifies all
+results per graph against shared BFS baselines.
 """
 
 from __future__ import annotations
@@ -26,7 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
-from repro.api.facade import build
+from repro.api.cache import ResultCache
+from repro.api.executor import execute_sweep
 from repro.api.registry import available_builders, is_supported
 from repro.api.result import BuildResultAdapter
 from repro.api.spec import METHODS, PRODUCTS, BuildSpec
@@ -80,12 +84,25 @@ class GridSweep:
 
 @dataclass(frozen=True)
 class SweepRecord:
-    """One (graph, spec) build outcome of a sweep."""
+    """One (graph, spec) build outcome of a sweep.
+
+    ``stats`` carries execution provenance: ``worker`` (pid of the
+    process that built the result, ``None`` for cache hits), ``elapsed``
+    (the build's wall-clock seconds), and — only when the sweep ran with
+    a cache — ``cache_hit`` (whether the result came out of the
+    content-addressed cache).
+    """
 
     graph_name: str
     spec: BuildSpec
     result: BuildResultAdapter
     verified: Optional[bool] = None
+    stats: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def cache_hit(self) -> bool:
+        """Whether this record was served from the result cache."""
+        return bool(self.stats.get("cache_hit"))
 
     @property
     def row(self) -> List[Any]:
@@ -108,8 +125,15 @@ def run_sweep(
     sweep: GridSweep,
     *,
     verify_pairs: Optional[int] = None,
+    workers: Optional[int] = 1,
+    cache: Union[None, bool, str, ResultCache] = None,
+    verify: Union[None, bool, int] = None,
 ) -> List[SweepRecord]:
     """Run every spec of ``sweep`` on every graph; return flat records.
+
+    Execution is delegated to :func:`repro.api.executor.execute_sweep`;
+    records come back in deterministic grid order (graphs outer, specs
+    inner) regardless of ``workers``.
 
     Parameters
     ----------
@@ -120,14 +144,20 @@ def run_sweep(
         The grid to expand.
     verify_pairs:
         When given, each result is verified on that many sampled pairs and
-        the outcome recorded in :attr:`SweepRecord.verified`.
+        the outcome recorded in :attr:`SweepRecord.verified`.  (Kept for
+        backward compatibility; ``verify=`` is the general form.)
+    workers:
+        Number of worker processes to shard the grid across; ``1`` (the
+        default) runs serially in-process, ``None`` uses every CPU.
+    cache:
+        Content-addressed result cache: ``None``/``False`` disables,
+        ``True`` uses the default directory, a path selects a directory,
+        or pass a :class:`~repro.api.cache.ResultCache`.
+    verify:
+        ``None``/``False`` skips verification, an ``int`` checks that many
+        sampled pairs, ``True`` checks every pair.  Overrides
+        ``verify_pairs`` when both are given.
     """
-    if isinstance(graphs, Graph):
-        named: Iterable[Tuple[str, Graph]] = [("graph", graphs)]
-    elif isinstance(graphs, Mapping):
-        named = list(graphs.items())
-    else:
-        named = list(graphs)
     specs = list(sweep.specs())
     if not specs:
         combos = ", ".join(f"{p}/{m}" for p, m in available_builders())
@@ -135,25 +165,40 @@ def run_sweep(
             f"sweep matches no supported (product, method) combination; "
             f"supported combinations: {combos}"
         )
-    records: List[SweepRecord] = []
-    for name, graph in named:
-        for spec in specs:
-            result = build(graph, spec)
-            verified: Optional[bool] = None
-            if verify_pairs is not None:
-                verified = bool(result.verify(graph, sample_pairs=verify_pairs).valid)
-            records.append(
-                SweepRecord(graph_name=name, spec=spec, result=result, verified=verified)
-            )
-    return records
+    if verify is None and verify_pairs is not None:
+        verify = verify_pairs
+    return execute_sweep(graphs, specs, workers=workers, cache=cache, verify=verify)
 
 
 def format_sweep_table(records: List[SweepRecord], title: str = "scenario sweep") -> str:
-    """Render sweep records with the shared table formatter."""
+    """Render sweep records with the shared table formatter.
+
+    When the records carry execution stats (they always do when produced
+    by :func:`run_sweep`), a summary line of cache hits / misses and the
+    total build time is appended under the table.
+    """
     from repro.analysis.reporting import format_table
 
-    return format_table(
+    table = format_table(
         ["graph", "product", "method", "edges", "bound", "alpha", "beta", "seconds", "ok"],
         [record.row for record in records],
         title=title,
     )
+    with_stats = [record for record in records if record.stats]
+    if with_stats:
+        # Cache hits carry the *recorded* elapsed of the original build;
+        # only time actually spent building in this run is summed.
+        elapsed = sum(
+            record.result.elapsed for record in records if not record.cache_hit
+        )
+        summary = f"total build time: {elapsed:.3f}s"
+        # Hit/miss counts are only meaningful for records that actually
+        # consulted a cache (the executor omits cache_hit otherwise).
+        cache_aware = [record for record in with_stats if "cache_hit" in record.stats]
+        if cache_aware:
+            hits = sum(1 for record in cache_aware if record.cache_hit)
+            summary = (
+                f"cache: {hits} hit(s), {len(cache_aware) - hits} miss(es) | " + summary
+            )
+        table += "\n" + summary
+    return table

@@ -65,7 +65,7 @@ class BuildResult(Protocol):
     def stats(self) -> Dict[str, Any]: ...
 
     def verify(self, graph: Graph, *, sample_pairs: Optional[int] = None,
-               seed: Optional[int] = None) -> Any: ...
+               seed: Optional[int] = None, graph_distances: Optional[Any] = None) -> Any: ...
 
 
 @dataclass(frozen=True)
@@ -220,12 +220,17 @@ class BuildResultAdapter:
         *,
         sample_pairs: Optional[int] = None,
         seed: Optional[int] = None,
+        graph_distances: Optional[Any] = None,
     ) -> Any:
         """Check the product's guarantee against ``graph``.
 
         Dispatches to ``verify_emulator`` / ``verify_spanner`` /
         ``verify_hopset``; the returned report always has a boolean
         ``.valid``.  ``seed`` defaults to ``spec.seed``.
+        ``graph_distances`` is an optional memoized
+        ``source -> {vertex: distance}`` provider forwarded to the
+        validators so batched sweeps (:mod:`repro.api.executor`) can
+        share the graph-side BFS across many results.
         """
         from repro.analysis.validation import verify_emulator, verify_spanner
 
@@ -234,19 +239,19 @@ class BuildResultAdapter:
         if self.product == "emulator":
             return verify_emulator(
                 graph, self.raw.emulator, self.alpha, self.beta,
-                sample_pairs=sample_pairs, seed=seed,
+                sample_pairs=sample_pairs, seed=seed, graph_distances=graph_distances,
             )
         if self.product == "spanner":
             return verify_spanner(
                 graph, self.raw.spanner, self.alpha, self.beta,
-                sample_pairs=sample_pairs, seed=seed,
+                sample_pairs=sample_pairs, seed=seed, graph_distances=graph_distances,
             )
         from repro.hopsets.hopset import verify_hopset
 
         hopbound = int(self.raw.hopbound_estimate)
         valid, worst = verify_hopset(
             graph, self.raw.hopset, hopbound, self.alpha, self.beta,
-            sample_pairs=sample_pairs, seed=seed,
+            sample_pairs=sample_pairs, seed=seed, graph_distances=graph_distances,
         )
         return HopsetVerification(
             valid=valid, worst_excess=worst, hopbound=hopbound,

@@ -21,14 +21,13 @@ stream with pass / memory accounting — plus two reference constructions:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.api import BuildSpec, build as facade_build
 from repro.core.emulator import EmulatorResult
 from repro.core.parameters import CentralizedSchedule, ultra_sparse_kappa
 from repro.graphs.graph import Graph
-from repro.graphs.weighted_graph import WeightedGraph
 
 __all__ = [
     "EdgeStream",

@@ -21,7 +21,7 @@ construction).  It is used as a comparator in experiment E4.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import List, Optional, Set
 
 from repro.core.clusters import Cluster, Partition
 from repro.core.parameters import CentralizedSchedule

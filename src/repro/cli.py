@@ -116,6 +116,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rho grid (default: builder defaults)")
     sweep.add_argument("--verify-pairs", type=int, default=None,
                        help="verify each result on this many sampled pairs")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="shard the grid across this many worker processes (1 = serial)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="content-addressed result cache directory "
+                            "(default: $REPRO_CACHE_DIR if set, else no caching)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache even if --cache-dir or "
+                            "$REPRO_CACHE_DIR is set")
 
     verify = subparsers.add_parser("verify", help="verify an emulator against its graph")
     verify.add_argument("--graph", required=True, help="edge-list file of the original graph")
@@ -125,11 +133,14 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--sample-pairs", type=int, default=None,
                         help="check only this many sampled pairs (default: all pairs)")
 
-    experiments = subparsers.add_parser("experiments", help="run the E1-E13 experiment suite")
+    experiments = subparsers.add_parser("experiments", help="run the E1-E14 experiment suite")
     experiments.add_argument("--only", choices=available_experiments(), default=None,
                              help="run a single experiment")
     experiments.add_argument("--full", action="store_true",
                              help="use the larger (slower) workload sizes")
+    experiments.add_argument("--workers", type=int, default=1,
+                             help="worker processes for the executor-backed experiments "
+                                  "(E1, E7, E14)")
 
     hopset = subparsers.add_parser("hopset", help="build an emulator-derived hopset")
     hopset.add_argument("--input", help="edge-list file (header 'n m', lines 'u v')")
@@ -234,6 +245,8 @@ def _command_build(args: argparse.Namespace) -> int:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
+    import os
+
     graph = _load_graph(args)
     name = args.input or (args.family or "erdos-renyi")
     sweep = GridSweep(
@@ -244,7 +257,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
         rhos=tuple(args.rhos) if args.rhos else (None,),
         seed=args.seed,
     )
-    records = run_sweep({name: graph}, sweep, verify_pairs=args.verify_pairs)
+    cache = None if args.no_cache else (args.cache_dir or os.environ.get("REPRO_CACHE_DIR"))
+    records = run_sweep(
+        {name: graph}, sweep, verify_pairs=args.verify_pairs,
+        workers=args.workers, cache=cache,
+    )
     print(format_sweep_table(records))
     return 0
 
@@ -308,9 +325,9 @@ def _command_oracle(args: argparse.Namespace) -> int:
 def _command_experiments(args: argparse.Namespace) -> int:
     quick = not args.full
     if args.only:
-        print(run_experiment(args.only, quick=quick))
+        print(run_experiment(args.only, quick=quick, workers=args.workers))
         return 0
-    for experiment_id, table in run_all(quick=quick).items():
+    for experiment_id, table in run_all(quick=quick, workers=args.workers).items():
         print(table)
         print()
     return 0

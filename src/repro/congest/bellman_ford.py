@@ -23,7 +23,7 @@ is the round count of the paper's round-by-round execution.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.congest.network import SynchronousNetwork

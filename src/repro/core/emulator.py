@@ -34,7 +34,7 @@ so the tests can check the charging invariants the size proof relies on.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.charging import ChargeLedger, EdgeKind

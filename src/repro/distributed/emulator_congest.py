@@ -34,12 +34,12 @@ from __future__ import annotations
 
 import math
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.congest.bellman_ford import detect_popular_clusters
 from repro.congest.network import SynchronousNetwork
-from repro.congest.primitives import BfsForest, distributed_bfs
+from repro.congest.primitives import distributed_bfs
 from repro.congest.ruling_sets import bitwise_ruling_set, greedy_ruling_set
 from repro.core.charging import ChargeLedger, EdgeKind
 from repro.core.clusters import Cluster, Partition

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable, List
 
 from repro.analysis.reporting import format_table
 from repro.analysis.sampling import sample_vertex_pairs

@@ -49,7 +49,8 @@ def _baseline_hops(workload: Workload, sample_pairs: Optional[int], seed: int = 
     """Largest graph distance among the checked pairs (hops needed without a hopset)."""
     graph = workload.graph
     if sample_pairs is None:
-        pairs = [(u, v) for u in range(graph.num_vertices) for v in range(u + 1, graph.num_vertices)]
+        n = graph.num_vertices
+        pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
     else:
         pairs = sample_vertex_pairs(graph, sample_pairs, seed=seed)
     by_source = {}

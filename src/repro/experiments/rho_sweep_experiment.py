@@ -16,7 +16,7 @@ is visible at a glance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.plotting import ascii_multi_series
 from repro.analysis.reporting import format_table

@@ -1,13 +1,18 @@
 """Run every experiment and collect the tables (used by the CLI and docs).
 
-``run_all()`` executes E1-E7 with small default workloads (a few seconds of
-wall-clock on a laptop) and returns the rendered tables keyed by experiment
-id; ``python -m repro experiments`` prints them.
+``run_all()`` executes E1-E14 with small default workloads (a few seconds
+of wall-clock on a laptop) and returns the rendered tables keyed by
+experiment id; ``python -m repro experiments`` prints them.
+
+The grid-shaped experiments (E1 size sweep, E7 runtime scaling, E14
+facade sweep) run through the sharded sweep executor
+(:mod:`repro.api.executor`); pass ``workers=`` to fan their builds out
+across processes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional
 
 from repro.api import GridSweep, format_sweep_table, run_sweep
 from repro.experiments.ablation_experiment import format_ablation_table, run_ablation_experiment
@@ -51,12 +56,18 @@ def available_experiments() -> List[str]:
             "E14"]
 
 
-def run_experiment(experiment_id: str, quick: bool = True) -> str:
-    """Run a single experiment by id and return its rendered table."""
+def run_experiment(experiment_id: str, quick: bool = True,
+                   workers: Optional[int] = 1) -> str:
+    """Run a single experiment by id and return its rendered table.
+
+    ``workers`` shards the executor-backed experiments (E1, E7, E14)
+    across that many worker processes; the remaining experiments ignore
+    it.
+    """
     experiment_id = experiment_id.upper()
     small = standard_workloads(n=128 if quick else 256)
     if experiment_id == "E1":
-        return format_size_table(run_size_experiment(small, kappas=(2, 4, 8)))
+        return format_size_table(run_size_experiment(small, kappas=(2, 4, 8), workers=workers))
     if experiment_id == "E2":
         sizes = [64, 128, 256] if quick else [128, 256, 512, 1024]
         return format_ultrasparse_table(
@@ -73,15 +84,21 @@ def run_experiment(experiment_id: str, quick: bool = True) -> str:
         return format_spanner_table(run_spanner_experiment(small))
     if experiment_id == "E7":
         sizes = [64, 128, 256] if quick else [128, 256, 512]
-        return format_runtime_table(run_runtime_experiment(scaling_workloads(sizes=sizes)))
+        return format_runtime_table(
+            run_runtime_experiment(scaling_workloads(sizes=sizes), workers=workers)
+        )
     if experiment_id == "E8":
-        return format_ablation_table(run_ablation_experiment(standard_workloads(n=96 if quick else 192)))
+        return format_ablation_table(
+            run_ablation_experiment(standard_workloads(n=96 if quick else 192))
+        )
     if experiment_id == "E9":
         workload = workload_by_name("erdos-renyi", 96 if quick else 192, seed=0)
         rows = run_beta_tradeoff_experiment(workload=workload)
         return format_beta_tradeoff_table(rows) + "\n\n" + format_beta_tradeoff_figure(rows)
     if experiment_id == "E10":
-        return format_hopset_table(run_hopset_experiment(standard_workloads(n=64 if quick else 128)))
+        return format_hopset_table(
+            run_hopset_experiment(standard_workloads(n=64 if quick else 128))
+        )
     if experiment_id == "E11":
         return format_source_detection_table(
             run_source_detection_experiment(standard_workloads(n=64 if quick else 96))
@@ -96,16 +113,19 @@ def run_experiment(experiment_id: str, quick: bool = True) -> str:
         )
     if experiment_id == "E14":
         # The full supported product x method surface, as one config-driven
-        # sweep through the unified facade (repro.api.pipeline).
+        # sweep through the unified facade, sharded by the executor and
+        # batch-verified per graph (repro.api.executor).
         workload = workload_by_name("erdos-renyi", 36 if quick else 96, seed=0)
         sweep = GridSweep()  # all registered (product, method) combos, default params
-        records = run_sweep({workload.name: workload.graph}, sweep, verify_pairs=50)
+        records = run_sweep({workload.name: workload.graph}, sweep, verify_pairs=50,
+                            workers=workers)
         return format_sweep_table(
             records, title="E14: unified facade sweep (product x method, defaults)"
         )
     raise ValueError(f"unknown experiment id {experiment_id!r}")
 
 
-def run_all(quick: bool = True) -> Dict[str, str]:
+def run_all(quick: bool = True, workers: Optional[int] = 1) -> Dict[str, str]:
     """Run all experiments and return ``{experiment id: rendered table}``."""
-    return {eid: run_experiment(eid, quick=quick) for eid in available_experiments()}
+    return {eid: run_experiment(eid, quick=quick, workers=workers)
+            for eid in available_experiments()}

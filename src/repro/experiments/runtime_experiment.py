@@ -12,10 +12,10 @@ parameters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import Iterable, List, Optional, Union
 
 from repro.analysis.reporting import format_table
-from repro.api import BuildSpec, build as facade_build
+from repro.api import BuildSpec, ResultCache, execute_sweep
 from repro.experiments.workloads import Workload, scaling_workloads
 
 __all__ = ["RuntimeRow", "run_runtime_experiment", "format_runtime_table"]
@@ -48,29 +48,47 @@ def run_runtime_experiment(
     kappa: float = 4.0,
     eps: float = 0.1,
     rho: float = 0.45,
+    workers: Optional[int] = 1,
+    cache: Union[None, bool, str, ResultCache] = None,
 ) -> List[RuntimeRow]:
-    """Run E7 and return one row per workload size."""
+    """Run E7 and return one row per workload size.
+
+    Both constructions of every workload run through the sweep executor:
+    ``workers`` shards them across processes (each build is still timed
+    individually at the facade).  Two timing caveats: ``workers > 1``
+    makes concurrent builds contend for cores, adding scheduling noise
+    to the measured seconds — keep ``workers=1`` when the absolute
+    Alg.1-vs-Sec.3.3 ratio matters; and ``cache`` serves *recorded*
+    timings for cache hits — only pass a cache when comparing against a
+    baseline measured on the same machine.
+    """
     if workloads is None:
         workloads = scaling_workloads(sizes=[128, 256, 512])
+    workloads = list(workloads)
+    specs = [
+        BuildSpec(product="emulator", method="centralized", eps=eps, kappa=kappa),
+        BuildSpec(product="emulator", method="fast", eps=min(eps, 0.01), kappa=kappa,
+                  rho=rho),
+    ]
+    records = execute_sweep(
+        [(workload.name, workload.graph) for workload in workloads],
+        specs, workers=workers, cache=cache,
+    )
+    # The facade times every construction; use its measurements directly.
+    # Records come back in grid order (workloads outer, specs inner), so
+    # pair them positionally — workload names need not be unique.
     rows: List[RuntimeRow] = []
-    for workload in workloads:
-        # The facade times every construction; use its measurements directly.
-        algorithm1_seconds = facade_build(
-            workload.graph, BuildSpec(product="emulator", eps=eps, kappa=kappa)
-        ).elapsed
-        fast_seconds = facade_build(
-            workload.graph,
-            BuildSpec(product="emulator", method="fast", eps=min(eps, 0.01), kappa=kappa,
-                      rho=rho),
-        ).elapsed
+    for i, workload in enumerate(workloads):
+        centralized, fast = records[2 * i], records[2 * i + 1]
+        assert (centralized.spec.method, fast.spec.method) == ("centralized", "fast")
         rows.append(
             RuntimeRow(
                 workload=workload.name,
                 n=workload.n,
                 m=workload.m,
                 kappa=kappa,
-                algorithm1_seconds=algorithm1_seconds,
-                fast_seconds=fast_seconds,
+                algorithm1_seconds=centralized.result.elapsed,
+                fast_seconds=fast.result.elapsed,
             )
         )
     return rows

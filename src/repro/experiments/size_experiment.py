@@ -9,10 +9,10 @@ reports the ratio ``edges / n^(1+1/kappa)``, which must never exceed 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence, Union
 
 from repro.analysis.reporting import format_table
-from repro.api import BuildSpec, build as facade_build
+from repro.api import BuildSpec, ResultCache, execute_sweep
 from repro.core.parameters import size_bound
 from repro.experiments.workloads import Workload, standard_workloads
 
@@ -46,25 +46,37 @@ def run_size_experiment(
     workloads: Iterable[Workload] = None,
     kappas: Sequence[float] = (2, 3, 4, 8, 16),
     eps: float = 0.1,
+    workers: Optional[int] = 1,
+    cache: Union[None, bool, str, ResultCache] = None,
 ) -> List[SizeRow]:
-    """Run E1 and return one row per (workload, kappa)."""
+    """Run E1 and return one row per (workload, kappa).
+
+    The (workload × kappa) grid runs through the sweep executor, so
+    ``workers`` shards the builds across processes and ``cache`` memoizes
+    them content-addressed (see :mod:`repro.api.executor`).
+    """
     if workloads is None:
         workloads = standard_workloads(n=256)
+    workloads = list(workloads)
+    specs = [BuildSpec(product="emulator", eps=eps, kappa=kappa) for kappa in kappas]
+    records = execute_sweep(
+        [(workload.name, workload.graph) for workload in workloads],
+        specs, workers=workers, cache=cache,
+    )
+    # Records come back in grid order (workloads outer, kappas inner);
+    # pair positionally so duplicate workload names cannot collapse rows.
     rows: List[SizeRow] = []
-    for workload in workloads:
-        for kappa in kappas:
-            result = facade_build(
-                workload.graph, BuildSpec(product="emulator", eps=eps, kappa=kappa)
-            ).raw
+    for i, workload in enumerate(workloads):
+        for record in records[i * len(specs):(i + 1) * len(specs)]:
             rows.append(
                 SizeRow(
                     workload=workload.name,
                     n=workload.n,
                     m=workload.m,
-                    kappa=kappa,
+                    kappa=record.spec.kappa,
                     eps=eps,
-                    edges=result.num_edges,
-                    bound=size_bound(workload.n, kappa),
+                    edges=record.result.raw.num_edges,
+                    bound=size_bound(workload.n, record.spec.kappa),
                 )
             )
     return rows

@@ -10,6 +10,7 @@ interoperability with generators and validation code.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, Iterator, List, Set, Tuple
 
 __all__ = ["Graph"]
@@ -159,6 +160,24 @@ class Graph:
                         stack.append(v)
             components.append(sorted(comp))
         return components
+
+    def content_hash(self) -> str:
+        """Canonical SHA-256 fingerprint of the graph's content.
+
+        Two graphs get the same hash exactly when they are equal (same
+        vertex count, same edge set) — edge insertion order, removals, and
+        the identity of the Python object are irrelevant.  This is the
+        graph half of the content-addressed result-cache key
+        (:mod:`repro.api.cache`), so it must stay stable across processes
+        and interpreter versions; only the graph content goes in.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"n={self._n}".encode("ascii"))
+        for u in range(self._n):
+            for v in sorted(self._adj[u]):
+                if u < v:
+                    digest.update(f";{u},{v}".encode("ascii"))
+        return digest.hexdigest()
 
     def degree_histogram(self) -> Dict[int, int]:
         """Map degree value -> number of vertices with that degree."""

@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 import warnings
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.sampling import sample_vertex_pairs
 from repro.core.emulator import EmulatorResult
@@ -161,6 +161,7 @@ def verify_hopset(
     beta: float,
     sample_pairs: Optional[int] = None,
     seed: int = 0,
+    graph_distances: Optional[Callable[[int], Dict[int, int]]] = None,
 ) -> Tuple[bool, float]:
     """Check the ``(hopbound, alpha, beta)`` hopset guarantee.
 
@@ -168,13 +169,17 @@ def verify_hopset(
     checked pair satisfies ``d^{(hopbound)}_{G ∪ H} <= alpha d_G + beta`` and
     ``worst_excess`` is the largest observed ``d^{(hopbound)} - (alpha d_G +
     beta)`` (non-positive when valid).  Hop-limited distances are also
-    checked never to undershoot ``d_G``.
+    checked never to undershoot ``d_G``.  ``graph_distances`` optionally
+    replaces the per-source BFS (see :func:`verify_emulator`'s parameter
+    of the same name).
     """
+    if graph_distances is None:
+        graph_distances = lambda source: bfs_distances(graph, source)  # noqa: E731
     union = union_with_graph(graph, hopset)
     worst_excess = float("-inf")
     valid = True
     for source, targets in sorted(_pairs_by_source(graph, sample_pairs, seed).items()):
-        d_g = bfs_distances(graph, source)
+        d_g = graph_distances(source)
         d_t = hop_limited_distances(union, source, hopbound)
         for target in targets:
             if target not in d_g:

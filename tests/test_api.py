@@ -35,6 +35,7 @@ EXPECTED_COMBOS = [
     ("hopset", "fast"),
     ("spanner", "centralized"),
     ("spanner", "congest"),
+    ("spanner", "fast"),
 ]
 
 
@@ -101,19 +102,20 @@ class TestRegistry:
 
     def test_available_builders_filter_by_product(self):
         assert available_builders("spanner") == [
-            ("spanner", "centralized"), ("spanner", "congest"),
+            ("spanner", "centralized"), ("spanner", "congest"), ("spanner", "fast"),
         ]
 
     def test_unknown_combo_raises_keyerror_listing_valid(self):
         with pytest.raises(KeyError) as excinfo:
-            get_builder("spanner", "fast")
+            get_builder("spanner", "quantum")
         message = str(excinfo.value)
         for product, method in EXPECTED_COMBOS:
             assert f"{product}/{method}" in message
 
     def test_is_supported(self):
         assert is_supported("emulator", "fast")
-        assert not is_supported("spanner", "fast")
+        assert is_supported("spanner", "fast")
+        assert not is_supported("spanner", "quantum")
 
     def test_register_rejects_unknown_vocabulary(self):
         with pytest.raises(ValueError):
@@ -156,8 +158,22 @@ class TestFacade:
         assert report.valid
 
     def test_unknown_combo_raises_keyerror(self, grid25):
-        with pytest.raises(KeyError, match="spanner"):
-            build(grid25, BuildSpec(product="spanner", method="fast"))
+        # Every vocabulary combo is registered now, so deregister one to
+        # exercise the facade's KeyError path.
+        from repro.api import registry as registry_module
+
+        removed = registry_module._REGISTRY.pop(("spanner", "fast"))
+        try:
+            with pytest.raises(KeyError, match="spanner"):
+                build(grid25, BuildSpec(product="spanner", method="fast"))
+        finally:
+            registry_module._REGISTRY[("spanner", "fast")] = removed
+
+    def test_fast_spanner_is_subgraph(self, grid25):
+        result = build(grid25, BuildSpec(product="spanner", method="fast"))
+        assert result.raw.is_subgraph_of(grid25)
+        assert result.raw.superclustering_edges == 0
+        assert result.raw.interconnection_edges == result.size
 
     def test_keyword_shorthand(self, grid25):
         result = build(grid25, product="spanner", eps=0.01, kappa=4.0)
@@ -345,7 +361,9 @@ class TestGridSweep:
         assert "emulator" in table and "spanner" in table
 
     def test_run_sweep_with_no_supported_combo_raises(self, grid25):
-        sweep = GridSweep(products=("spanner",), methods=("fast",))
+        # The full product x method vocabulary is registered, so an empty
+        # grid is the remaining way to match nothing.
+        sweep = GridSweep(products=(), methods=METHODS)
         with pytest.raises(KeyError, match="supported combinations"):
             run_sweep(grid25, sweep)
 

@@ -6,7 +6,6 @@ import pytest
 
 from repro.congest.bellman_ford import detect_popular_clusters
 from repro.congest.network import SynchronousNetwork
-from repro.graphs import generators
 from repro.graphs.shortest_paths import bfs_distances
 
 

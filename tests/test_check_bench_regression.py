@@ -1,0 +1,98 @@
+"""Tests for scripts/check_bench_regression.py (the CI benchmark gate)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[1] / "scripts" / "check_bench_regression.py"
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location("check_bench_regression", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write(path, payload):
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def _pytest_benchmark_json(means):
+    """The schema pytest-benchmark emits with --benchmark-json."""
+    return {
+        "benchmarks": [
+            {"fullname": name, "stats": {"mean": mean, "stddev": 0.0}}
+            for name, mean in means.items()
+        ]
+    }
+
+
+class TestLoadMeans:
+    def test_pytest_benchmark_schema(self, checker, tmp_path):
+        path = _write(tmp_path / "bench.json",
+                      _pytest_benchmark_json({"bench::a": 0.5, "bench::b": 0.01}))
+        assert checker.load_means(path) == {"bench::a": 0.5, "bench::b": 0.01}
+
+    def test_flat_baseline_schema(self, checker, tmp_path):
+        path = _write(tmp_path / "baseline.json",
+                      {"tier": "small", "benchmarks": {"bench::a": 0.25}})
+        assert checker.load_means(path) == {"bench::a": 0.25}
+
+
+class TestFindRegressions:
+    def test_no_regression_within_threshold(self, checker):
+        assert checker.find_regressions(
+            {"a": 0.19}, {"a": 0.10}, threshold=2.0) == []
+
+    def test_injected_3x_slowdown_detected(self, checker):
+        regressions = checker.find_regressions(
+            {"a": 0.30, "b": 0.10}, {"a": 0.10, "b": 0.10}, threshold=2.0)
+        assert [name for name, _, _, _ in regressions] == ["a"]
+        assert regressions[0][3] == pytest.approx(3.0)
+
+    def test_missing_benchmarks_do_not_fail(self, checker):
+        assert checker.find_regressions({"new": 9.9}, {"old": 0.1}, threshold=2.0) == []
+
+    def test_zero_baseline_ignored(self, checker):
+        assert checker.find_regressions({"a": 1.0}, {"a": 0.0}, threshold=2.0) == []
+
+    def test_sub_floor_baselines_exempt(self, checker):
+        # Sub-millisecond ratios measure machine noise, not the code.
+        assert checker.find_regressions(
+            {"a": 0.004, "b": 0.05}, {"a": 0.001, "b": 0.01},
+            threshold=2.0, min_seconds=0.005) == [("b", 0.01, 0.05, 5.0)]
+
+
+class TestMain:
+    def test_exit_zero_when_clean(self, checker, tmp_path, capsys):
+        bench = _write(tmp_path / "bench.json", _pytest_benchmark_json({"a": 0.11}))
+        baseline = _write(tmp_path / "baseline.json", {"benchmarks": {"a": 0.10}})
+        assert checker.main([bench, baseline]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_injected_3x_slowdown(self, checker, tmp_path, capsys):
+        bench = _write(tmp_path / "bench.json", _pytest_benchmark_json({"a": 0.30}))
+        baseline = _write(tmp_path / "baseline.json", {"benchmarks": {"a": 0.10}})
+        assert checker.main([bench, baseline]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "3.00x" in out
+
+    def test_threshold_flag(self, checker, tmp_path):
+        bench = _write(tmp_path / "bench.json", _pytest_benchmark_json({"a": 0.30}))
+        baseline = _write(tmp_path / "baseline.json", {"benchmarks": {"a": 0.10}})
+        assert checker.main([bench, baseline, "--threshold", "4.0"]) == 0
+
+    def test_checked_in_baseline_matches_current_suite(self, checker, tmp_path):
+        """The real baseline.json stays loadable and regression-free vs itself."""
+        baseline_path = _SCRIPT.parents[1] / "benchmarks" / "baseline.json"
+        means = checker.load_means(str(baseline_path))
+        assert means, "benchmarks/baseline.json must not be empty"
+        bench = _write(tmp_path / "bench.json", _pytest_benchmark_json(means))
+        assert checker.main([bench, str(baseline_path)]) == 0

@@ -8,6 +8,12 @@ from repro.cli import build_parser, main
 from repro.graphs import generators, io
 
 
+@pytest.fixture(autouse=True)
+def _isolate_cache_env(monkeypatch):
+    """Keep the developer's real $REPRO_CACHE_DIR out of CLI tests."""
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -66,7 +72,14 @@ class TestBuildCommand:
         assert code == 0
         assert "rounds" in capsys.readouterr().out
 
-    def test_build_unsupported_combo_clean_error(self, capsys):
+    def test_build_unsupported_combo_clean_error(self, capsys, monkeypatch):
+        # Every vocabulary combo is registered now; deregister one so the
+        # CLI's clean KeyError handling stays covered.
+        from repro.api import registry as registry_module
+
+        registry = dict(registry_module._REGISTRY)
+        registry.pop(("spanner", "fast"))
+        monkeypatch.setattr(registry_module, "_REGISTRY", registry)
         code = main(["build", "--family", "grid", "--n", "16", "--product", "spanner",
                      "--method", "fast"])
         assert code == 2
@@ -74,16 +87,25 @@ class TestBuildCommand:
         assert "supported combinations" in err
         assert "Traceback" not in err
 
+    def test_build_fast_spanner(self, capsys):
+        code = main(["build", "--family", "grid", "--n", "16", "--product", "spanner",
+                     "--method", "fast"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spanner" in out and "subgraph of input: True" in out
+
     def test_build_invalid_kappa_clean_error(self, capsys):
         code = main(["build", "--family", "grid", "--n", "16", "--kappa", "1"])
         assert code == 2
         assert "kappa" in capsys.readouterr().err
 
-    def test_sweep_with_no_supported_combo_clean_error(self, capsys):
+    def test_sweep_spanner_fast_now_supported(self, capsys):
+        # spanner/fast used to be the one registry hole; it is a real
+        # builder now, so the full-surface sweep includes it.
         code = main(["sweep", "--family", "grid", "--n", "16", "--products", "spanner",
                      "--methods", "fast"])
-        assert code == 2
-        assert "supported combinations" in capsys.readouterr().err
+        assert code == 0
+        assert "spanner" in capsys.readouterr().out
 
     def test_sweep_command(self, capsys):
         code = main(["sweep", "--family", "grid", "--n", "16", "--products", "emulator",
@@ -91,6 +113,47 @@ class TestBuildCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "emulator" in out and "fast" in out and "True" in out
+
+    def test_sweep_parallel_workers(self, capsys):
+        code = main(["sweep", "--family", "grid", "--n", "16", "--products", "emulator",
+                     "--methods", "centralized", "fast", "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total build time" in out
+        assert "hit(s)" not in out  # no cache configured, no cache summary
+
+    def test_sweep_cache_dir_second_run_hits(self, tmp_path, capsys):
+        argv = ["sweep", "--family", "grid", "--n", "16", "--products", "emulator",
+                "--methods", "centralized", "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        assert "0 hit(s), 1 miss(es)" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "1 hit(s), 0 miss(es)" in capsys.readouterr().out
+
+    def test_sweep_no_cache_overrides_cache_dir(self, tmp_path, capsys):
+        argv = ["sweep", "--family", "grid", "--n", "16", "--products", "emulator",
+                "--methods", "centralized", "--cache-dir", str(tmp_path / "cache"),
+                "--no-cache"]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        assert not (tmp_path / "cache").exists()
+        out = capsys.readouterr().out
+        assert "total build time" in out
+        assert "hit(s)" not in out  # cache disabled, no cache summary
+
+    def test_sweep_cache_dir_from_environment(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        argv = ["sweep", "--family", "grid", "--n", "16", "--products", "emulator",
+                "--methods", "centralized"]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        assert (tmp_path / "env-cache").is_dir()
+        assert "1 hit(s), 0 miss(es)" in capsys.readouterr().out
+
+    def test_experiments_workers_flag(self, capsys):
+        code = main(["experiments", "--only", "E14", "--workers", "2"])
+        assert code == 0
+        assert "unified facade sweep" in capsys.readouterr().out
 
     def test_build_spanner_with_output(self, tmp_path, capsys):
         out_path = tmp_path / "spanner.txt"

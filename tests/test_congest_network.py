@@ -6,8 +6,6 @@ import pytest
 
 from repro.congest.message import MAX_WORDS_PER_MESSAGE, Message, payload_words
 from repro.congest.network import BandwidthViolation, SynchronousNetwork
-from repro.graphs import generators
-from repro.graphs.graph import Graph
 
 
 class TestMessage:

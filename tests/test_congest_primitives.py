@@ -11,7 +11,6 @@ from repro.congest.primitives import (
     convergecast_on_tree,
     distributed_bfs,
 )
-from repro.graphs import generators
 from repro.graphs.shortest_paths import bfs_distances, multi_source_bfs
 
 

@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.graphs import generators
-from repro.graphs.graph import Graph
 from repro.graphs.shortest_paths import bfs_distances
 from repro.graphs.weighted_graph import WeightedGraph
 from repro.hopsets import (

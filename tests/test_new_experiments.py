@@ -24,7 +24,7 @@ from repro.experiments.source_detection_experiment import (
     format_source_detection_table,
     run_source_detection_experiment,
 )
-from repro.experiments.workloads import standard_workloads, workload_by_name
+from repro.experiments.workloads import workload_by_name
 
 
 @pytest.fixture(scope="module")

@@ -12,7 +12,6 @@ from repro.congest.ruling_sets import (
     greedy_ruling_set,
     verify_ruling_set,
 )
-from repro.graphs import generators
 from repro.graphs.shortest_paths import bfs_distances
 
 

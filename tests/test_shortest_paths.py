@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.graphs import generators
 from repro.graphs.graph import Graph
 from repro.graphs.shortest_paths import (
     all_pairs_shortest_paths,

@@ -10,7 +10,6 @@ from repro.congest.source_detection import (
     detect_popular_via_source_detection,
     source_detection,
 )
-from repro.graphs import generators
 from repro.graphs.shortest_paths import bfs_distances
 
 

@@ -12,7 +12,6 @@ from repro.applications.streaming import (
 )
 from repro.core.emulator import build_emulator
 from repro.graphs import generators
-from repro.graphs.graph import Graph
 
 
 class TestEdgeStream:

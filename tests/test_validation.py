@@ -13,7 +13,6 @@ from repro.analysis.validation import (
     verify_no_shortening,
     verify_spanner,
 )
-from repro.graphs import generators
 from repro.graphs.graph import Graph
 from repro.graphs.weighted_graph import WeightedGraph
 
