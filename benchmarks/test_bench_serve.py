@@ -1,0 +1,66 @@
+"""Benchmark / table E15 — the serving layer under load.
+
+Regenerates the E15 table (oracle size / latency / stretch trade-off
+across every registered backend) and times the two serving hot paths the
+regression gate watches: preprocessing (``repro.serve.load``) and steady-
+state query throughput on a Zipf stream through the bounded-LRU engine.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.serve_experiment import format_serve_table, run_serve_experiment
+from repro.experiments.workloads import workload_by_name
+from repro.serve import ServeSpec, generate_queries, load, run_load_test
+
+
+def test_bench_e15_serve_table(benchmark, tier_n):
+    """Run every oracle backend over the shared Zipf stream and print E15."""
+    workload = workload_by_name("erdos-renyi", tier_n(128), seed=0)
+
+    def run():
+        return run_serve_experiment(workload=workload, num_queries=300, stretch_sample=60)
+
+    served, rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(format_serve_table(served, rows))
+    # The harness' guarantee check must hold for every backend.
+    assert all(row.ok for row in rows)
+    # The exact reference backend is stretch-free by definition.
+    assert next(r for r in rows if r.backend == "exact").max_stretch == 1.0
+
+
+def test_bench_serve_load_emulator(benchmark, single_random_workload):
+    """Time the one-time preprocessing of the default emulator serving stack."""
+    graph = single_random_workload.graph
+    engine = benchmark(load, graph, ServeSpec())
+    assert engine.space_in_edges > 0
+
+
+def test_bench_serve_zipf_queries(benchmark, single_random_workload):
+    """Time 2000 Zipf-skewed queries through the bounded-LRU engine."""
+    graph = single_random_workload.graph
+    engine = load(graph, ServeSpec())
+    queries = generate_queries(graph, "zipf", 2000, seed=0)
+
+    def run():
+        return engine.query_batch(queries)
+
+    answers = benchmark(run)
+    assert len(answers) == len(queries)
+
+
+def test_bench_serve_harness_report(benchmark, tier_n):
+    """Time a full load-harness pass (stream + latency + stretch check)."""
+    workload = workload_by_name("erdos-renyi", tier_n(128), seed=0)
+
+    def run():
+        return run_load_test(
+            workload.graph, ServeSpec(), workload="mixed", num_queries=1000,
+            stretch_sample=80,
+        )
+
+    report = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(report.summary())
+    assert report.stretch_ok
+    assert report.throughput_qps > 0

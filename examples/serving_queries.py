@@ -1,0 +1,58 @@
+"""Serve approximate distance queries from a preprocessed oracle.
+
+The build layer constructs the sparse product once; the serving layer
+(`repro.serve`) loads it behind a bounded-LRU query engine and answers
+distance queries under load.  This example:
+
+1. loads three serving stacks (emulator, hopset, exact reference) for the
+   same graph,
+2. answers a few ad-hoc queries and shows the guarantee sandwich
+   ``d_G <= answer <= alpha * d_G + beta``, and
+3. runs the load harness on a Zipf-skewed query stream and prints the
+   throughput / latency / stretch report every backend is judged by.
+
+Run with::
+
+    PYTHONPATH=src python examples/serving_queries.py
+"""
+
+from __future__ import annotations
+
+from repro.graphs import generators
+from repro.graphs.shortest_paths import bfs_distances
+from repro.serve import ServeSpec, load, run_load_test
+
+
+def main() -> None:
+    graph = generators.connected_erdos_renyi(200, 0.03, seed=7)
+    print(f"graph: n={graph.num_vertices}, m={graph.num_edges}")
+
+    print("\n-- ad-hoc queries ------------------------------------------")
+    exact = bfs_distances(graph, 0)
+    for backend in ("emulator", "hopset", "exact"):
+        engine = load(graph, ServeSpec(backend=backend))
+        answer = engine.query(0, 150)
+        print(
+            f"{backend:>8}: {engine.space_in_edges:4d} stored edges, "
+            f"d(0, 150) <= {answer:g} "
+            f"(exact {exact[150]}, guarantee alpha={engine.alpha:.2f}, "
+            f"beta={engine.beta:g})"
+        )
+
+    print("\n-- load harness (zipf stream, 2000 queries) ----------------")
+    for backend in ("emulator", "exact"):
+        report = run_load_test(
+            graph,
+            ServeSpec(backend=backend),
+            workload="zipf",
+            num_queries=2000,
+            stretch_sample=100,
+        )
+        print(report.summary())
+        hits = report.engine_stats["cache_hits"]
+        misses = report.engine_stats["cache_misses"]
+        print(f"          LRU memo: {hits} hit(s), {misses} miss(es)")
+
+
+if __name__ == "__main__":
+    main()

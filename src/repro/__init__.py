@@ -22,6 +22,14 @@ All constructions are reachable through the unified facade::
     result = build(graph, BuildSpec(product="emulator", method="fast"))
     result.verify(graph, sample_pairs=500)
 
+and every built product can be served as an approximate distance oracle
+through the serving layer (:mod:`repro.serve`)::
+
+    from repro import ServeSpec, serve
+
+    engine = serve.load(graph, ServeSpec(product="emulator"))
+    engine.query(0, 17)
+
 The per-construction ``build_*`` functions remain as deprecated shims.
 """
 
@@ -54,8 +62,10 @@ from repro.api import (
     register_builder,
     run_sweep,
 )
+from repro import serve
+from repro.serve import DistanceOracle, QueryEngine, ServeSpec
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Graph",
@@ -80,6 +90,11 @@ __all__ = [
     "get_builder",
     "available_builders",
     "on_build",
+    # the query-serving layer
+    "serve",
+    "ServeSpec",
+    "DistanceOracle",
+    "QueryEngine",
     # deprecated per-construction entry points
     "build_emulator",
     "build_emulator_fast",

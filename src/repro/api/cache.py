@@ -134,22 +134,50 @@ class ResultCache:
     version:
         Code-version component of every key; defaults to
         :func:`code_version`.
+    max_entries:
+        Bound on the number of stored entries; every :meth:`put` that
+        pushes the store past the bound LRU-evicts the
+        least-recently-used entries (recency is the entry file's mtime,
+        which :meth:`get` refreshes on every hit).  ``None`` (the
+        default) keeps the historical unbounded behaviour.
+    max_bytes:
+        Bound on the total size of stored entries, enforced the same
+        way.  Both bounds may be combined; eviction stops once both are
+        satisfied.
 
     Attributes
     ----------
     hits, misses, stores, evictions:
         Lifetime counters for this cache object (not persisted).
+        ``evictions`` counts both corrupt-entry evictions and LRU
+        capacity evictions.
     """
 
     def __init__(
-        self, directory: Union[str, Path] = DEFAULT_CACHE_DIR, *, version: Optional[str] = None
+        self,
+        directory: Union[str, Path] = DEFAULT_CACHE_DIR,
+        *,
+        version: Optional[str] = None,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
     ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be at least 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be at least 1, got {max_bytes}")
         self.directory = Path(directory)
         self.version = version if version is not None else code_version()
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        # Approximate (count, bytes) of the store, maintained incrementally
+        # so bounded puts stay O(1); the full directory scan happens only
+        # when a bound is exceeded (and resyncs the approximation).
+        self._approx_count: Optional[int] = None
+        self._approx_bytes = 0
 
     # ------------------------------------------------------------------
     # Keys and paths
@@ -196,6 +224,7 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        self._touch(path)
         return result
 
     def put(self, key: Optional[str], result: BuildResultAdapter) -> bool:
@@ -227,6 +256,7 @@ class ResultCache:
                 pass
             return False
         self.stores += 1
+        self._enforce_limits(keep=path, added_bytes=len(payload))
         return True
 
     def clear(self) -> int:
@@ -250,6 +280,8 @@ class ResultCache:
                 orphan.unlink()
             except OSError:
                 pass
+        self._approx_count = None
+        self._approx_bytes = 0
         return removed
 
     def __len__(self) -> int:
@@ -266,10 +298,87 @@ class ResultCache:
     # ------------------------------------------------------------------
     def _evict(self, path: Path) -> None:
         self.evictions += 1
+        if self._approx_count is not None:
+            # Size unknown for corrupt-entry evictions; the next
+            # over-bound scan resyncs the byte approximation.
+            self._approx_count = max(0, self._approx_count - 1)
         try:
             path.unlink()
         except OSError:
             pass
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh an entry's mtime so capacity eviction is LRU, not FIFO."""
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+
+    def _enforce_limits(self, keep: Optional[Path] = None, added_bytes: int = 0) -> None:
+        """LRU-evict entries until ``max_entries`` / ``max_bytes`` hold.
+
+        The store size is tracked incrementally, so a put that stays
+        within the bounds never touches the filesystem beyond its own
+        write; only an exceeded bound triggers the authoritative
+        directory scan (which also resyncs the tracked totals — e.g.
+        after another process wrote or evicted entries concurrently).
+
+        ``keep`` (the entry just written) is evicted last: a cache whose
+        bounds are smaller than one entry still serves that entry for the
+        duration of the current sweep.  Entries that vanish concurrently
+        (another process evicting the same directory) are simply skipped.
+        """
+        if self.max_entries is None and self.max_bytes is None:
+            return
+        if self._approx_count is None:
+            self._rescan()
+        else:
+            self._approx_count += 1
+            self._approx_bytes += added_bytes
+        over_entries = self.max_entries is not None and self._approx_count > self.max_entries
+        over_bytes = self.max_bytes is not None and self._approx_bytes > self.max_bytes
+        if not (over_entries or over_bytes):
+            return
+
+        keep_str = str(keep) if keep is not None else None
+        candidates = []
+        total_bytes = 0
+        count = 0
+        for path in self.directory.glob("??/*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            count += 1
+            total_bytes += stat.st_size
+            if str(path) != keep_str:
+                candidates.append((stat.st_mtime, str(path), path, stat.st_size))
+        # Oldest first; tie-break on the path string for determinism.
+        candidates.sort(key=lambda item: (item[0], item[1]))
+        for _, _, path, size in candidates:
+            over_entries = self.max_entries is not None and count > self.max_entries
+            over_bytes = self.max_bytes is not None and total_bytes > self.max_bytes
+            if not (over_entries or over_bytes):
+                break
+            self._evict(path)
+            count -= 1
+            total_bytes -= size
+        self._approx_count = count
+        self._approx_bytes = total_bytes
+
+    def _rescan(self) -> None:
+        """Initialize the tracked (count, bytes) from the directory."""
+        count = 0
+        total_bytes = 0
+        for path in self.directory.glob("??/*.pkl"):
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue
+            count += 1
+        self._approx_count = count
+        self._approx_bytes = total_bytes
 
 
 def resolve_cache(

@@ -6,9 +6,10 @@ oracles, almost-shortest-path computation in streaming / distributed /
 dynamic settings).  This package contains reference implementations of the
 two most direct applications:
 
-* :class:`repro.applications.distance_oracle.EmulatorDistanceOracle` — a
-  preprocess-once / query-many approximate distance oracle whose space is the
-  emulator size (``n + o(n)`` words in the ultra-sparse regime).
+* :class:`repro.applications.distance_oracle.EmulatorDistanceOracle` — the
+  deprecated shim over the serving layer (:mod:`repro.serve`), which now owns
+  the preprocess-once / query-many approximate distance oracles (space is the
+  emulator size, ``n + o(n)`` words in the ultra-sparse regime).
 * :func:`repro.applications.almost_shortest_paths.almost_shortest_path_lengths`
   — single-source almost-shortest path lengths computed on the emulator
   instead of the (denser) input graph.

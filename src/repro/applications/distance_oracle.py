@@ -1,37 +1,41 @@
-"""Approximate distance oracle backed by an ultra-sparse emulator.
+"""Deprecated shim: :class:`EmulatorDistanceOracle` over the serving layer.
 
-A classic use of near-additive emulators (see the applications cited in the
-paper's introduction, e.g. [EP15], [ASZ20]): preprocess the graph once into a
-sparse emulator, then answer distance queries by running searches on the
-emulator instead of on the graph.  The answer for a pair ``(u, v)`` satisfies
+The approximate distance oracle now lives in :mod:`repro.serve` — an
+oracle backend registry, a bounded-LRU query engine, and a load harness.
+This module keeps the historical class importable::
 
-    d_G(u, v) <= answer <= (1 + eps') d_G(u, v) + beta
+    from repro.serve import ServeSpec, load
 
-where ``(1 + eps', beta)`` is the emulator's stretch guarantee.  In the
-ultra-sparse regime the oracle stores only ``n + o(n)`` weighted edges.
+    engine = load(graph, ServeSpec(product="emulator", eps=0.1))
+    engine.query(u, v)
 
-Two query modes are provided:
+:class:`EmulatorDistanceOracle` is now a thin wrapper over exactly that
+stack (the ``emulator`` backend + :class:`~repro.serve.engine.QueryEngine`)
+with the legacy defaults preserved: ultra-sparse ``kappa = omega(log n)``
+when none is given, and a per-source memo bounded by ``cache_sources``
+(the memo is the engine's true LRU — reads refresh recency — rather than
+the old insertion-order eviction).
 
-* :meth:`EmulatorDistanceOracle.query` — on-demand Dijkstra from the source,
-  memoized per source (good when queries cluster on few sources);
-* :meth:`EmulatorDistanceOracle.query_batch` — answer many pairs at once,
-  grouping by source.
+.. deprecated:: 1.3.0
+    Use ``repro.serve.load(graph, ServeSpec(...))`` instead.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.api import BuildSpec, build as facade_build
 from repro.core.emulator import EmulatorResult
-from repro.core.parameters import CentralizedSchedule, ultra_sparse_kappa
+from repro.core.parameters import ultra_sparse_kappa
 from repro.graphs.graph import Graph
+from repro.serve.service import load as serve_load
+from repro.serve.spec import ServeSpec
 
 __all__ = ["EmulatorDistanceOracle"]
 
 
 class EmulatorDistanceOracle:
-    """Preprocess-once, query-many approximate distance oracle.
+    """Preprocess-once, query-many approximate distance oracle (deprecated).
 
     Parameters
     ----------
@@ -43,8 +47,11 @@ class EmulatorDistanceOracle:
         Sparsity parameter; ``None`` selects the ultra-sparse regime
         ``kappa = omega(log n)`` automatically.
     cache_sources:
-        Maximum number of per-source Dijkstra result maps kept in the memo
-        cache (LRU-ish: oldest inserted evicted first).
+        Bound on the per-source memo of the underlying query engine
+        (LRU eviction).
+
+    .. deprecated:: 1.3.0
+        Use ``repro.serve.load(graph, ServeSpec(product="emulator", ...))``.
     """
 
     def __init__(
@@ -54,16 +61,25 @@ class EmulatorDistanceOracle:
         kappa: Optional[float] = None,
         cache_sources: int = 64,
     ) -> None:
+        warnings.warn(
+            "EmulatorDistanceOracle is deprecated; use repro.serve.load(graph, "
+            "ServeSpec(product='emulator', ...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if kappa is None:
             kappa = ultra_sparse_kappa(max(2, graph.num_vertices))
-        schedule = CentralizedSchedule(n=max(1, graph.num_vertices), eps=eps, kappa=kappa)
         self._graph = graph
-        self._result: EmulatorResult = facade_build(
-            graph, BuildSpec(product="emulator", method="centralized", schedule=schedule)
-        ).raw
-        self._cache: Dict[int, Dict[int, float]] = {}
-        self._cache_order: List[int] = []
-        self._cache_limit = max(1, cache_sources)
+        self._engine = serve_load(
+            graph,
+            ServeSpec(
+                product="emulator",
+                method="centralized",
+                eps=eps,
+                kappa=kappa,
+                cache_sources=max(1, cache_sources),
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -71,71 +87,39 @@ class EmulatorDistanceOracle:
     @property
     def emulator_result(self) -> EmulatorResult:
         """The underlying emulator construction result."""
-        return self._result
+        return self._engine.oracle.result.raw
 
     @property
     def space_in_edges(self) -> int:
         """Number of weighted emulator edges stored by the oracle."""
-        return self._result.num_edges
+        return self._engine.space_in_edges
 
     @property
     def alpha(self) -> float:
         """Multiplicative term of the answer guarantee."""
-        return self._result.alpha
+        return self._engine.alpha
 
     @property
     def beta(self) -> float:
         """Additive term of the answer guarantee."""
-        return self._result.beta
+        return self._engine.beta
+
+    @property
+    def engine(self):
+        """The backing :class:`~repro.serve.engine.QueryEngine`."""
+        return self._engine
 
     # ------------------------------------------------------------------
-    # Queries
+    # Queries (delegated to the engine)
     # ------------------------------------------------------------------
     def query(self, u: int, v: int) -> float:
         """Approximate distance between ``u`` and ``v`` (``inf`` if disconnected)."""
-        self._check_vertex(u)
-        self._check_vertex(v)
-        if u == v:
-            return 0.0
-        dist = self._distances_from(u)
-        return dist.get(v, float("inf"))
+        return self._engine.query(u, v)
 
     def query_batch(self, pairs: Iterable[Tuple[int, int]]) -> List[float]:
         """Approximate distances for many pairs, grouped by source."""
-        pairs = list(pairs)
-        by_source: Dict[int, List[int]] = {}
-        for u, v in pairs:
-            self._check_vertex(u)
-            self._check_vertex(v)
-            by_source.setdefault(u, [])
-        answers: List[float] = []
-        for u, v in pairs:
-            if u == v:
-                answers.append(0.0)
-            else:
-                answers.append(self._distances_from(u).get(v, float("inf")))
-        return answers
+        return self._engine.query_batch(pairs)
 
     def single_source(self, source: int) -> Dict[int, float]:
         """All approximate distances from ``source`` (a copy of the memoized map)."""
-        self._check_vertex(source)
-        return dict(self._distances_from(source))
-
-    # ------------------------------------------------------------------
-    # Internal helpers
-    # ------------------------------------------------------------------
-    def _distances_from(self, source: int) -> Dict[int, float]:
-        cached = self._cache.get(source)
-        if cached is not None:
-            return cached
-        dist = self._result.emulator.dijkstra(source)
-        self._cache[source] = dist
-        self._cache_order.append(source)
-        if len(self._cache_order) > self._cache_limit:
-            evicted = self._cache_order.pop(0)
-            self._cache.pop(evicted, None)
-        return dist
-
-    def _check_vertex(self, v: int) -> None:
-        if not (0 <= v < self._graph.num_vertices):
-            raise ValueError(f"vertex {v} out of range [0, {self._graph.num_vertices})")
+        return self._engine.single_source(source)

@@ -12,12 +12,14 @@ The scheme implemented here uses the emulator's own cluster hierarchy:
   ``deg_ell`` by Lemma 2.3);
 * every vertex ``v`` stores its nearest landmark ``l(v)`` and the exact
   distance ``d_G(v, l(v))``;
-* landmark-to-landmark distances are taken from the ultra-sparse emulator,
-  so the global table has ``O(|landmarks|^2)`` entries but each entry was
-  computed on a graph with ``n + o(n)`` edges.
+* landmark-to-landmark distances are answered by a serving-layer
+  :class:`~repro.serve.oracles.DistanceOracle` (by default the
+  ``emulator`` backend), so the global table has ``O(|landmarks|^2)``
+  entries but each entry was computed on a structure with ``n + o(n)``
+  edges.
 
 A query for ``(u, v)`` returns ``d(u, l(u)) + d_H(l(u), l(v)) + d(v, l(v))``
-— an upper bound on a real path, never an underestimate beyond the emulator
+— an upper bound on a real path, never an underestimate beyond the oracle
 guarantee, with stretch governed by how well the landmarks cover the graph.
 The point of the experiment built on top of this module (E13) is to show the
 emulator makes the preprocessing cheap, not to compete with specialized
@@ -29,12 +31,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.api import BuildSpec, build as facade_build
 from repro.core.emulator import EmulatorResult
-from repro.core.parameters import CentralizedSchedule, ultra_sparse_kappa
+from repro.core.parameters import ultra_sparse_kappa
 from repro.graphs.graph import Graph
 from repro.graphs.shortest_paths import bfs_distances, multi_source_bfs
-from repro.graphs.weighted_graph import WeightedGraph
+from repro.serve.oracles import DistanceOracle
+from repro.serve.service import load as serve_load
+from repro.serve.spec import ServeSpec
 
 __all__ = ["RoutingTables", "LandmarkRoutingScheme"]
 
@@ -52,7 +55,7 @@ class RoutingTables:
     distance_to_landmark:
         ``vertex -> d_G(vertex, nearest landmark)``.
     landmark_distances:
-        ``(landmark, landmark) -> emulator distance`` for ordered pairs with
+        ``(landmark, landmark) -> oracle distance`` for ordered pairs with
         ``first <= second``.
     """
 
@@ -84,14 +87,20 @@ class LandmarkRoutingScheme:
         The unweighted input graph.
     eps:
         Working epsilon of the emulator schedule used for the landmark
-        distance table.
+        distance table (ignored when ``oracle`` is given).
     kappa:
-        Sparsity parameter of the emulator; ``None`` selects the ultra-sparse
-        regime.
+        Sparsity parameter of the emulator; ``None`` selects the
+        ultra-sparse regime (ignored when ``oracle`` is given).
     landmarks:
         Explicit landmark set; when omitted, the centers of the last
         non-empty partition of the emulator construction are used (falling
         back to vertex 0 for graphs where every partition is singleton).
+        An oracle without an emulator hierarchy (e.g. the ``exact`` or
+        ``spanner`` backends) requires explicit landmarks.
+    oracle:
+        Any :class:`~repro.serve.oracles.DistanceOracle` answering the
+        landmark-to-landmark distances; ``None`` builds the stock
+        ``emulator`` serving stack from ``eps`` / ``kappa``.
     """
 
     def __init__(
@@ -100,23 +109,40 @@ class LandmarkRoutingScheme:
         eps: float = 0.1,
         kappa: Optional[float] = None,
         landmarks: Optional[Iterable[int]] = None,
+        oracle: Optional[DistanceOracle] = None,
     ) -> None:
         if graph.num_vertices == 0:
             raise ValueError("cannot build a routing scheme on the empty graph")
-        if kappa is None:
-            kappa = ultra_sparse_kappa(max(2, graph.num_vertices))
-        schedule = CentralizedSchedule(n=graph.num_vertices, eps=eps, kappa=kappa)
+        if oracle is None:
+            if kappa is None:
+                kappa = ultra_sparse_kappa(max(2, graph.num_vertices))
+            oracle = serve_load(
+                graph,
+                ServeSpec(product="emulator", method="centralized", eps=eps, kappa=kappa),
+            )
         self._graph = graph
-        self._result: EmulatorResult = facade_build(
-            graph, BuildSpec(product="emulator", method="centralized", schedule=schedule)
-        ).raw
+        self._oracle = oracle
         if landmarks is None:
-            landmarks = self._default_landmarks(self._result)
-        self._tables = self._build_tables(graph, self._result.emulator, sorted(set(landmarks)))
+            emulator_result = self._emulator_result_of(oracle)
+            if emulator_result is None:
+                raise ValueError(
+                    "the given oracle exposes no emulator cluster hierarchy; "
+                    "pass an explicit landmark set"
+                )
+            landmarks = self._default_landmarks(emulator_result)
+        self._tables = self._build_tables(graph, oracle, sorted(set(landmarks)))
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    @staticmethod
+    def _emulator_result_of(oracle: DistanceOracle) -> Optional[EmulatorResult]:
+        """The emulator construction behind ``oracle``, if there is one."""
+        backend = getattr(oracle, "oracle", oracle)  # unwrap a QueryEngine
+        result = getattr(backend, "result", None)
+        raw = getattr(result, "raw", None)
+        return raw if isinstance(raw, EmulatorResult) else None
+
     @staticmethod
     def _default_landmarks(result: EmulatorResult) -> List[int]:
         """Centers of the last non-empty partial partition of the construction."""
@@ -128,7 +154,7 @@ class LandmarkRoutingScheme:
 
     @staticmethod
     def _build_tables(
-        graph: Graph, emulator: WeightedGraph, landmarks: List[int]
+        graph: Graph, oracle: DistanceOracle, landmarks: List[int]
     ) -> RoutingTables:
         """Compute nearest-landmark assignments and landmark-pair distances."""
         if not landmarks:
@@ -141,7 +167,7 @@ class LandmarkRoutingScheme:
         distance_to = {v: float(d) for v, d in dist.items()}
         landmark_distances: Dict[Tuple[int, int], float] = {}
         for landmark in landmarks:
-            from_landmark = emulator.dijkstra(landmark)
+            from_landmark = oracle.single_source(landmark)
             for other in landmarks:
                 if other < landmark:
                     continue
@@ -166,9 +192,14 @@ class LandmarkRoutingScheme:
         return self._tables
 
     @property
-    def emulator_result(self) -> EmulatorResult:
-        """The emulator construction the landmark distances were computed on."""
-        return self._result
+    def oracle(self) -> DistanceOracle:
+        """The distance oracle the landmark distances were computed on."""
+        return self._oracle
+
+    @property
+    def emulator_result(self) -> Optional[EmulatorResult]:
+        """The emulator construction behind the oracle (``None`` if not emulator-backed)."""
+        return self._emulator_result_of(self._oracle)
 
     @property
     def num_landmarks(self) -> int:

@@ -1,8 +1,9 @@
 """Command-line interface: ``python -m repro`` / ``repro``.
 
 Every construction goes through the unified facade
-(:func:`repro.api.build`); sub-commands select a ``(product, method)``
-pair and the paper parameters.
+(:func:`repro.api.build`) and every query-serving stack through the
+serving layer (:func:`repro.serve.load`); sub-commands select a
+``(product, method)`` pair, an oracle backend, and the paper parameters.
 
 Sub-commands
 ------------
@@ -14,16 +15,22 @@ Sub-commands
 ``verify``
     Check a previously built emulator against its graph.
 ``experiments``
-    Run the experiment suite (E1-E14) and print the result tables.
+    Run the experiment suite (E1-E15) and print the result tables.
 ``sweep``
     Run a config-driven product x method x parameter grid through the
     facade and print one table row per build.
 ``hopset``
     Build an emulator-derived hopset (any emulator method) and report its
     size and measured hopbound.
+``query``
+    Load a serving stack (any product, any oracle backend) and answer a
+    list of ``u:v`` distance queries.
+``bench-serve``
+    Drive a serving stack with a seeded query workload and print the load
+    harness' JSON report (throughput, p50/p95/p99 latency, observed vs
+    guaranteed stretch).
 ``oracle``
-    Preprocess a graph into an approximate distance oracle and answer a list
-    of ``u:v`` queries.
+    Legacy alias of ``query`` pinned to the ultra-sparse emulator backend.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ from repro.api import (
     PRODUCTS,
     BuildSpec,
     GridSweep,
+    ResultCache,
     build,
     format_sweep_table,
     run_sweep,
@@ -46,6 +54,9 @@ from repro.experiments.runner import available_experiments, run_all, run_experim
 from repro.experiments.workloads import workload_by_name
 from repro.graphs import io as graph_io
 from repro.graphs.graph import Graph
+from repro.serve import ServeSpec, available_oracles, available_workloads
+from repro.serve import load as serve_load
+from repro.serve import run_load_test
 
 __all__ = ["main", "build_parser"]
 
@@ -56,6 +67,33 @@ _ALGORITHM_ALIASES = {
     "congest": ("emulator", "congest"),
     "spanner": ("spanner", "centralized"),
 }
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser, default_n: int = 256) -> None:
+    """The shared graph-input arguments (edge-list file or generated family)."""
+    parser.add_argument("--input", help="edge-list file (header 'n m', lines 'u v')")
+    parser.add_argument("--family", help="generate a workload family instead of reading a file")
+    parser.add_argument("--n", type=int, default=default_n,
+                        help="size of the generated workload")
+    parser.add_argument("--seed", type=int, default=0, help="workload generator seed")
+
+
+def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared serving-stack arguments (product/method/backend + engine knobs)."""
+    parser.add_argument("--product", choices=list(PRODUCTS), default="emulator",
+                        help="preprocessed product backing the oracle")
+    parser.add_argument("--method", choices=list(METHODS), default="centralized",
+                        help="construction method of the backing build")
+    parser.add_argument("--backend", choices=available_oracles(), default=None,
+                        help="oracle backend (default: the one named after --product)")
+    parser.add_argument("--eps", type=float, default=None,
+                        help="epsilon parameter (default: builder default)")
+    parser.add_argument("--kappa", type=float, default=None,
+                        help="kappa parameter (default: builder default)")
+    parser.add_argument("--rho", type=float, default=None,
+                        help="rho parameter (fast/congest methods)")
+    parser.add_argument("--cache-sources", type=int, default=256,
+                        help="bound on the engine's per-source LRU memo")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,10 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
     build_cmd = subparsers.add_parser(
         "build", help="build an emulator, spanner, or hopset via the unified facade"
     )
-    build_cmd.add_argument("--input", help="edge-list file (header 'n m', lines 'u v')")
-    build_cmd.add_argument("--family", help="generate a workload family instead of reading a file")
-    build_cmd.add_argument("--n", type=int, default=256, help="size of the generated workload")
-    build_cmd.add_argument("--seed", type=int, default=0, help="workload generator seed")
+    _add_graph_arguments(build_cmd)
     build_cmd.add_argument(
         "--product",
         choices=list(PRODUCTS),
@@ -92,7 +127,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="legacy alias for --product/--method (ignored when those are given)",
     )
     build_cmd.add_argument("--eps", type=float, default=0.1, help="epsilon parameter")
-    build_cmd.add_argument("--kappa", type=float, default=4.0, help="kappa (sparsity) parameter")
+    build_cmd.add_argument("--kappa", type=float, default=4.0,
+                           help="kappa (sparsity) parameter")
     build_cmd.add_argument("--rho", type=float, default=0.45,
                            help="rho parameter (fast/congest methods)")
     build_cmd.add_argument("--output", help="write the result as a (weighted) edge list")
@@ -100,10 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = subparsers.add_parser(
         "sweep", help="run a product x method x parameter grid through the facade"
     )
-    sweep.add_argument("--input", help="edge-list file (header 'n m', lines 'u v')")
-    sweep.add_argument("--family", help="generate a workload family instead of reading a file")
-    sweep.add_argument("--n", type=int, default=128, help="size of the generated workload")
-    sweep.add_argument("--seed", type=int, default=0, help="workload generator seed")
+    _add_graph_arguments(sweep, default_n=128)
     sweep.add_argument("--products", nargs="+", choices=list(PRODUCTS), default=list(PRODUCTS),
                        help="products to sweep")
     sweep.add_argument("--methods", nargs="+", choices=list(METHODS), default=list(METHODS),
@@ -121,19 +154,23 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache-dir", default=None,
                        help="content-addressed result cache directory "
                             "(default: $REPRO_CACHE_DIR if set, else no caching)")
+    sweep.add_argument("--cache-max-entries", type=int, default=None,
+                       help="LRU-evict cache entries past this count "
+                            "(default: unbounded)")
     sweep.add_argument("--no-cache", action="store_true",
                        help="disable the result cache even if --cache-dir or "
                             "$REPRO_CACHE_DIR is set")
 
     verify = subparsers.add_parser("verify", help="verify an emulator against its graph")
     verify.add_argument("--graph", required=True, help="edge-list file of the original graph")
-    verify.add_argument("--emulator", required=True, help="weighted edge-list file of the emulator")
+    verify.add_argument("--emulator", required=True,
+                        help="weighted edge-list file of the emulator")
     verify.add_argument("--alpha", type=float, required=True, help="multiplicative stretch bound")
     verify.add_argument("--beta", type=float, required=True, help="additive stretch bound")
     verify.add_argument("--sample-pairs", type=int, default=None,
                         help="check only this many sampled pairs (default: all pairs)")
 
-    experiments = subparsers.add_parser("experiments", help="run the E1-E14 experiment suite")
+    experiments = subparsers.add_parser("experiments", help="run the E1-E15 experiment suite")
     experiments.add_argument("--only", choices=available_experiments(), default=None,
                              help="run a single experiment")
     experiments.add_argument("--full", action="store_true",
@@ -143,10 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
                                   "(E1, E7, E14)")
 
     hopset = subparsers.add_parser("hopset", help="build an emulator-derived hopset")
-    hopset.add_argument("--input", help="edge-list file (header 'n m', lines 'u v')")
-    hopset.add_argument("--family", help="generate a workload family instead of reading a file")
-    hopset.add_argument("--n", type=int, default=256, help="size of the generated workload")
-    hopset.add_argument("--seed", type=int, default=0, help="workload generator seed")
+    _add_graph_arguments(hopset)
     hopset.add_argument(
         "--method",
         choices=list(METHODS),
@@ -162,11 +196,35 @@ def build_parser() -> argparse.ArgumentParser:
                         help="pairs used when measuring the hopbound")
     hopset.add_argument("--output", help="write the hopset as a weighted edge list")
 
-    oracle = subparsers.add_parser("oracle", help="answer approximate distance queries")
-    oracle.add_argument("--input", help="edge-list file (header 'n m', lines 'u v')")
-    oracle.add_argument("--family", help="generate a workload family instead of reading a file")
-    oracle.add_argument("--n", type=int, default=256, help="size of the generated workload")
-    oracle.add_argument("--seed", type=int, default=0, help="workload generator seed")
+    query = subparsers.add_parser(
+        "query", help="serve approximate distance queries from any oracle backend"
+    )
+    _add_graph_arguments(query)
+    _add_serve_arguments(query)
+    query.add_argument("--queries", nargs="+", default=[],
+                       help="queries as 'u:v' pairs, e.g. 0:17 3:42")
+
+    bench_serve = subparsers.add_parser(
+        "bench-serve",
+        help="drive a serving stack with a query workload and print the JSON report",
+    )
+    _add_graph_arguments(bench_serve)
+    _add_serve_arguments(bench_serve)
+    bench_serve.add_argument("--workload", choices=available_workloads(), default="uniform",
+                             help="query-stream shape")
+    bench_serve.add_argument("--queries", type=int, default=10000,
+                             help="length of the query stream")
+    bench_serve.add_argument("--workers", type=int, default=1,
+                             help="answer the stream in sharded batches on this many "
+                                  "worker processes (1 = serial)")
+    bench_serve.add_argument("--stretch-sample", type=int, default=100,
+                             help="distinct stream pairs re-checked against exact BFS")
+    bench_serve.add_argument("--output", help="also write the JSON report to this file")
+
+    oracle = subparsers.add_parser(
+        "oracle", help="answer approximate distance queries (legacy ultra-sparse emulator)"
+    )
+    _add_graph_arguments(oracle)
     oracle.add_argument("--eps", type=float, default=0.1, help="epsilon parameter")
     oracle.add_argument("--kappa", type=float, default=None,
                         help="kappa parameter (default: ultra-sparse omega(log n))")
@@ -204,6 +262,23 @@ def _clamped_eps(eps: float, product: str, method: str) -> float:
     if method == "centralized" and product != "spanner":
         return eps
     return min(eps, 0.01)
+
+
+def _serve_spec(args: argparse.Namespace) -> ServeSpec:
+    """Build the :class:`ServeSpec` of a ``query`` / ``bench-serve`` invocation."""
+    eps = args.eps
+    if eps is not None:
+        eps = _clamped_eps(eps, args.product, args.method)
+    return ServeSpec(
+        product=args.product,
+        method=args.method,
+        eps=eps,
+        kappa=args.kappa,
+        rho=args.rho,
+        seed=args.seed,
+        backend=args.backend,
+        cache_sources=args.cache_sources,
+    )
 
 
 def _command_build(args: argparse.Namespace) -> int:
@@ -258,6 +333,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     cache = None if args.no_cache else (args.cache_dir or os.environ.get("REPRO_CACHE_DIR"))
+    if cache is not None and args.cache_max_entries is not None:
+        cache = ResultCache(cache, max_entries=args.cache_max_entries)
     records = run_sweep(
         {name: graph}, sweep, verify_pairs=args.verify_pairs,
         workers=args.workers, cache=cache,
@@ -305,20 +382,66 @@ def _parse_query(raw: str) -> tuple:
     return int(parts[0]), int(parts[1])
 
 
-def _command_oracle(args: argparse.Namespace) -> int:
-    from repro.applications.distance_oracle import EmulatorDistanceOracle
-
-    graph = _load_graph(args)
+def _parse_queries(raw_queries: List[str]) -> List[tuple]:
     try:
-        queries = [_parse_query(raw) for raw in args.queries]
+        return [_parse_query(raw) for raw in raw_queries]
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
-        raise SystemExit(2)
-    oracle = EmulatorDistanceOracle(graph, eps=args.eps, kappa=args.kappa)
-    print(f"oracle: {oracle.space_in_edges} stored edges "
-          f"(alpha {oracle.alpha:.3f}, beta {oracle.beta:.1f})")
+        raise SystemExit(2) from None
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    queries = _parse_queries(args.queries)
+    spec = _serve_spec(args)
+    engine = serve_load(graph, spec)
+    print(f"serving {spec.describe()}: {engine.space_in_edges} stored edges "
+          f"(alpha {engine.alpha:.3f}, beta {engine.beta:.1f})")
     for u, v in queries:
-        print(f"d({u}, {v}) <= {oracle.query(u, v)}")
+        print(f"d({u}, {v}) <= {engine.query(u, v)}")
+    stats = engine.stats()
+    print(f"engine: {stats['queries']} queries, {stats['cache_hits']} hit(s), "
+          f"{stats['cache_misses']} miss(es), {stats['cache_evictions']} eviction(s)")
+    return 0
+
+
+def _command_bench_serve(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    report = run_load_test(
+        graph,
+        _serve_spec(args),
+        workload=args.workload,
+        num_queries=args.queries,
+        seed=args.seed,
+        workers=args.workers,
+        stretch_sample=args.stretch_sample,
+    )
+    text = report.to_json()
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0 if report.stretch_ok else 1
+
+
+def _command_oracle(args: argparse.Namespace) -> int:
+    from repro.core.parameters import ultra_sparse_kappa
+
+    graph = _load_graph(args)
+    queries = _parse_queries(args.queries)
+    kappa = args.kappa
+    if kappa is None:
+        kappa = ultra_sparse_kappa(max(2, graph.num_vertices))
+    engine = serve_load(
+        graph,
+        ServeSpec(product="emulator", method="centralized", eps=args.eps, kappa=kappa,
+                  seed=args.seed),
+    )
+    print(f"oracle: {engine.space_in_edges} stored edges "
+          f"(alpha {engine.alpha:.3f}, beta {engine.beta:.1f})")
+    for u, v in queries:
+        print(f"d({u}, {v}) <= {engine.query(u, v)}")
     return 0
 
 
@@ -357,8 +480,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_experiments(args)
     if args.command == "hopset":
         return _run_facade_command(_command_hopset, args)
+    if args.command == "query":
+        return _run_facade_command(_command_query, args)
+    if args.command == "bench-serve":
+        return _run_facade_command(_command_bench_serve, args)
     if args.command == "oracle":
-        return _command_oracle(args)
+        return _run_facade_command(_command_oracle, args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

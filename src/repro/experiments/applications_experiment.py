@@ -24,12 +24,14 @@ from typing import Iterable, List
 
 from repro.analysis.reporting import format_table
 from repro.analysis.sampling import sample_vertex_pairs
-from repro.applications.distance_oracle import EmulatorDistanceOracle
 from repro.applications.dynamic import DecrementalEmulatorOracle
 from repro.applications.routing import LandmarkRoutingScheme
 from repro.applications.streaming import EdgeStream, StreamingEmulatorBuilder
+from repro.core.parameters import ultra_sparse_kappa
 from repro.experiments.workloads import Workload, standard_workloads
 from repro.graphs.shortest_paths import bfs_distances
+from repro.serve import DistanceOracle, ServeSpec
+from repro.serve import load as serve_load
 
 __all__ = ["ApplicationsRow", "run_applications_experiment", "format_applications_table"]
 
@@ -54,7 +56,7 @@ class ApplicationsRow:
 
 
 def _oracle_stretch(
-    workload: Workload, oracle: EmulatorDistanceOracle, sample_pairs: int, seed: int = 0
+    workload: Workload, oracle: DistanceOracle, sample_pairs: int, seed: int = 0
 ) -> tuple:
     """Mean and max multiplicative stretch of oracle answers on sampled pairs."""
     pairs = sample_vertex_pairs(workload.graph, sample_pairs, seed=seed)
@@ -89,7 +91,17 @@ def run_applications_experiment(
         workloads = standard_workloads(n=128)
     rows: List[ApplicationsRow] = []
     for workload in workloads:
-        oracle = EmulatorDistanceOracle(workload.graph, eps=eps)
+        # The serving-layer emulator stack with the historical oracle
+        # defaults (ultra-sparse kappa, bounded per-source memo).
+        oracle = serve_load(
+            workload.graph,
+            ServeSpec(
+                product="emulator",
+                method="centralized",
+                eps=eps,
+                kappa=ultra_sparse_kappa(max(2, workload.graph.num_vertices)),
+            ),
+        )
         mean_stretch, max_stretch = _oracle_stretch(workload, oracle, sample_pairs, seed=seed)
 
         routing = LandmarkRoutingScheme(workload.graph, eps=eps)

@@ -1,6 +1,6 @@
 """Run every experiment and collect the tables (used by the CLI and docs).
 
-``run_all()`` executes E1-E14 with small default workloads (a few seconds
+``run_all()`` executes E1-E15 with small default workloads (a few seconds
 of wall-clock on a laptop) and returns the rendered tables keyed by
 experiment id; ``python -m repro experiments`` prints them.
 
@@ -34,6 +34,7 @@ from repro.experiments.rho_sweep_experiment import (
     run_rho_sweep_experiment,
 )
 from repro.experiments.runtime_experiment import format_runtime_table, run_runtime_experiment
+from repro.experiments.serve_experiment import format_serve_table, run_serve_experiment
 from repro.experiments.size_experiment import format_size_table, run_size_experiment
 from repro.experiments.source_detection_experiment import (
     format_source_detection_table,
@@ -53,7 +54,7 @@ __all__ = ["run_all", "available_experiments", "run_experiment"]
 def available_experiments() -> List[str]:
     """The experiment ids accepted by :func:`run_experiment`."""
     return ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-            "E14"]
+            "E14", "E15"]
 
 
 def run_experiment(experiment_id: str, quick: bool = True,
@@ -122,6 +123,14 @@ def run_experiment(experiment_id: str, quick: bool = True,
         return format_sweep_table(
             records, title="E14: unified facade sweep (product x method, defaults)"
         )
+    if experiment_id == "E15":
+        # The serving layer's size / latency / stretch trade-off: every
+        # registered oracle backend answers the same Zipf query stream.
+        workload = workload_by_name("erdos-renyi", 64 if quick else 128, seed=0)
+        served, rows = run_serve_experiment(
+            workload=workload, num_queries=300 if quick else 1000
+        )
+        return format_serve_table(served, rows)
     raise ValueError(f"unknown experiment id {experiment_id!r}")
 
 

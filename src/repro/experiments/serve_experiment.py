@@ -1,0 +1,107 @@
+"""Experiment E15 — the oracle size / latency / stretch trade-off.
+
+The paper's oracle application promises a trade: preprocess into a
+sparser structure, pay (bounded) stretch, answer queries faster than the
+graph.  E15 makes that trade visible by running the *same* seeded query
+workload through every registered oracle backend on one graph and
+tabulating, per backend,
+
+* the space actually stored (``space_in_edges``),
+* the one-time build cost,
+* serving throughput and p50 / p99 per-query latency, and
+* the observed worst-case stretch vs. the advertised ``(alpha, beta)``
+  guarantee (the ``ok`` column is the guarantee check of the load
+  harness).
+
+The ``exact`` backend anchors both ends: maximal space/latency on dense
+graphs, stretch exactly 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.experiments.workloads import Workload, workload_by_name
+from repro.serve import ServeSpec, available_oracles, run_load_test
+from repro.serve.harness import ServeReport
+
+__all__ = ["ServeRow", "run_serve_experiment", "format_serve_table"]
+
+
+@dataclass
+class ServeRow:
+    """One row of the E15 table (one oracle backend on the shared workload)."""
+
+    backend: str
+    space_in_edges: int
+    alpha: float
+    beta: float
+    build_seconds: float
+    throughput_qps: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    max_stretch: float
+    ok: bool
+
+    @classmethod
+    def from_report(cls, report: ServeReport) -> "ServeRow":
+        """Project a load-harness report onto the E15 columns."""
+        return cls(
+            backend=report.backend,
+            space_in_edges=report.space_in_edges,
+            alpha=report.alpha,
+            beta=report.beta,
+            build_seconds=report.build_seconds,
+            throughput_qps=report.throughput_qps,
+            latency_p50_ms=report.latency_p50_ms,
+            latency_p99_ms=report.latency_p99_ms,
+            max_stretch=report.max_multiplicative_stretch,
+            ok=report.stretch_ok,
+        )
+
+
+def run_serve_experiment(
+    workload: Optional[Workload] = None,
+    backends: Optional[Iterable[str]] = None,
+    query_workload: str = "zipf",
+    num_queries: int = 400,
+    stretch_sample: int = 100,
+    seed: int = 0,
+) -> Tuple[Workload, List[ServeRow]]:
+    """Run E15: one row per oracle backend on a shared query stream."""
+    if workload is None:
+        workload = workload_by_name("erdos-renyi", 96, seed=seed)
+    if backends is None:
+        backends = available_oracles()
+    rows: List[ServeRow] = []
+    for backend in backends:
+        report = run_load_test(
+            workload.graph,
+            ServeSpec(backend=backend, seed=seed),
+            workload=query_workload,
+            num_queries=num_queries,
+            stretch_sample=stretch_sample,
+            seed=seed,
+        )
+        rows.append(ServeRow.from_report(report))
+    return workload, rows
+
+
+def format_serve_table(workload: Workload, rows: List[ServeRow]) -> str:
+    """Render the E15 table."""
+    return format_table(
+        ["backend", "edges stored", "alpha", "beta", "build s", "q/s", "p50 ms",
+         "p99 ms", "max stretch", "ok"],
+        [
+            [r.backend, r.space_in_edges, r.alpha, r.beta, r.build_seconds,
+             r.throughput_qps, r.latency_p50_ms, r.latency_p99_ms, r.max_stretch,
+             str(r.ok)]
+            for r in rows
+        ],
+        title=(
+            f"E15: oracle serving trade-off on {workload.name} "
+            f"(n={workload.n}, m={workload.m})"
+        ),
+    )

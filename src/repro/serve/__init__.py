@@ -1,0 +1,80 @@
+"""Production query serving: oracle registry, query engine, load harness.
+
+The build layer (:mod:`repro.api`) stops at *construction*; this
+subsystem is the missing half of the paper's oracle application story —
+it loads a built product and serves approximate distance queries under
+load::
+
+    from repro import Graph
+    from repro.serve import ServeSpec, load
+
+    engine = load(graph, ServeSpec(product="emulator", method="fast"))
+    engine.query(0, 17)                      # single pair
+    engine.query_batch(pairs, workers=4)     # sharded across processes
+    engine.stats()                           # hits / misses / evictions
+
+Pieces
+------
+:class:`ServeSpec`
+    Frozen serving configuration: the backing ``product`` × ``method`` ×
+    parameters, the oracle ``backend``, and engine knobs.
+:func:`register_oracle` / :func:`get_oracle` / :func:`available_oracles`
+    The oracle backend registry (mirrors the builder registry); stock
+    backends are ``emulator``, ``spanner``, ``hopset`` and ``exact``.
+:class:`DistanceOracle`
+    The protocol every backend and the engine satisfy: ``query`` /
+    ``query_batch`` / ``single_source`` / ``stats`` + ``alpha`` / ``beta``.
+:class:`QueryEngine`
+    Bounded per-source LRU memoization, source-grouped batches, and a
+    multi-worker mode sharding batches across a process pool.
+:func:`load`
+    The entry point: ``ServeSpec`` -> preprocessed, query-ready engine.
+:func:`generate_queries` + :func:`run_load_test` / :class:`ServeReport`
+    Seeded query workloads (uniform / zipf / local / mixed) and the load
+    harness measuring throughput, p50/p95/p99 latency and observed vs.
+    guaranteed stretch into a JSON-round-trippable report.
+"""
+
+from repro.serve.spec import ServeSpec
+from repro.serve.registry import (
+    RegisteredOracle,
+    available_oracles,
+    get_oracle,
+    is_oracle_registered,
+    register_oracle,
+)
+from repro.serve.oracles import (
+    DistanceOracle,
+    EmulatorOracle,
+    ExactOracle,
+    HopsetOracle,
+    OracleBackend,
+    SpannerOracle,
+)
+from repro.serve.engine import QueryEngine
+from repro.serve.service import load
+from repro.serve.workloads import QUERY_WORKLOADS, available_workloads, generate_queries
+from repro.serve.harness import ServeReport, nearest_rank_percentile, run_load_test
+
+__all__ = [
+    "ServeSpec",
+    "RegisteredOracle",
+    "register_oracle",
+    "get_oracle",
+    "available_oracles",
+    "is_oracle_registered",
+    "DistanceOracle",
+    "OracleBackend",
+    "EmulatorOracle",
+    "SpannerOracle",
+    "HopsetOracle",
+    "ExactOracle",
+    "QueryEngine",
+    "load",
+    "QUERY_WORKLOADS",
+    "available_workloads",
+    "generate_queries",
+    "ServeReport",
+    "nearest_rank_percentile",
+    "run_load_test",
+]

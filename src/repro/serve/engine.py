@@ -1,0 +1,356 @@
+"""The query engine: bounded memoization, batching, multi-worker sharding.
+
+Backends (:mod:`repro.serve.oracles`) answer every call from scratch; the
+:class:`QueryEngine` wraps one backend with the serving-side machinery a
+query front end actually needs:
+
+* a **bounded per-source LRU memo** — production query streams cluster on
+  few sources (the Zipf workloads of :mod:`repro.serve.workloads` model
+  this), so memoizing single-source maps converts most queries into one
+  dictionary lookup.  The memo is bounded (``cache_sources``, true LRU:
+  reads refresh recency) so a long-tailed stream cannot grow it past
+  ``O(cache_sources * n)`` entries — unlike the unbounded per-source dict
+  the legacy ``EmulatorDistanceOracle`` started out with.
+* **source-grouped batch execution** — a batch is answered with one
+  single-source computation per distinct source, never one per query,
+  even when the batch touches more sources than the memo holds (the
+  batch's fresh maps live in a batch-local overlay for the duration of
+  the answer loop).
+* a **multi-worker mode** — ``query_batch(pairs, workers=k)`` shards the
+  distinct uncached sources across a process pool.  The pool (and the
+  pickled oracle that seeds its workers) is created once and reused by
+  subsequent batches, since pool startup would otherwise dominate
+  per-batch cost.  Following the sweep executor
+  (:mod:`repro.api.executor`), parallelism is an optimization and never
+  a correctness requirement: an unpicklable oracle, an unavailable pool,
+  or a pool that breaks mid-batch all degrade to the serial path, and
+  parallel answers are exactly the serial answers in the same order.
+
+The engine itself satisfies the :class:`~repro.serve.oracles.DistanceOracle`
+protocol, so anything written against the protocol (the load harness, the
+routing scheme, user code) can take either a bare backend or an engine.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.serve.oracles import DistanceOracle
+
+__all__ = ["QueryEngine"]
+
+#: Oracle object used by pool workers, installed by the pool initializer.
+_WORKER_ORACLE: Optional[DistanceOracle] = None
+
+
+def _init_query_worker(payload: bytes) -> None:
+    """Install the engine's oracle in a freshly started pool worker."""
+    global _WORKER_ORACLE
+    _WORKER_ORACLE = pickle.loads(payload)
+
+
+def _worker_single_sources(sources: List[int]) -> List[Tuple[int, Dict[int, float]]]:
+    """Compute single-source maps for one shard (runs inside a pool worker)."""
+    oracle = _WORKER_ORACLE
+    assert oracle is not None, "pool worker used before initialization"
+    return [(source, oracle.single_source(source)) for source in sources]
+
+
+def _shard(sources: List[int], shards: int) -> List[List[int]]:
+    """Split ``sources`` into at most ``shards`` contiguous chunks."""
+    per_shard = max(1, -(-len(sources) // shards))  # ceil division
+    return [sources[start : start + per_shard] for start in range(0, len(sources), per_shard)]
+
+
+class QueryEngine:
+    """A :class:`DistanceOracle` with bounded LRU memoization and batching.
+
+    Parameters
+    ----------
+    oracle:
+        The backend answering cache misses.
+    cache_sources:
+        Bound on the number of memoized single-source maps (>= 1).
+    workers:
+        Default process count for :meth:`query_batch`; ``1`` stays
+        in-process.  Can be overridden per batch.
+
+    Notes
+    -----
+    The first multi-worker batch lazily starts a process pool that stays
+    alive for the engine's lifetime; call :meth:`close` (or use the
+    engine as a context manager) to release it early.
+    """
+
+    def __init__(self, oracle: DistanceOracle, *, cache_sources: int = 256,
+                 workers: int = 1) -> None:
+        if cache_sources < 1:
+            raise ValueError(f"cache_sources must be at least 1, got {cache_sources}")
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        self._oracle = oracle
+        self._cache: "OrderedDict[int, Dict[int, float]]" = OrderedDict()
+        self._cache_limit = cache_sources
+        self._workers = workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
+        self._pool_unusable = False
+        self.queries = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+        self.parallel_batches = 0
+
+    # ------------------------------------------------------------------
+    # Introspection (protocol passthrough + engine counters)
+    # ------------------------------------------------------------------
+    @property
+    def oracle(self) -> DistanceOracle:
+        """The wrapped backend."""
+        return self._oracle
+
+    @property
+    def alpha(self) -> float:
+        """Multiplicative term of the answer guarantee."""
+        return self._oracle.alpha
+
+    @property
+    def beta(self) -> float:
+        """Additive term of the answer guarantee."""
+        return self._oracle.beta
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices of the served graph."""
+        return self._oracle.num_vertices
+
+    @property
+    def space_in_edges(self) -> int:
+        """Edges stored by the backend (the memo is not counted)."""
+        return self._oracle.space_in_edges
+
+    @property
+    def cache_sources(self) -> int:
+        """The LRU memo bound."""
+        return self._cache_limit
+
+    def stats(self) -> Dict[str, Any]:
+        """Engine counters plus the backend's own statistics."""
+        return {
+            "queries": self.queries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cached_sources": len(self._cache),
+            "cache_sources_limit": self._cache_limit,
+            "parallel_batches": self.parallel_batches,
+            "oracle": self._oracle.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, u: int, v: int) -> float:
+        """Approximate distance between ``u`` and ``v`` (``inf`` if disconnected)."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        self.queries += 1
+        if u == v:
+            return 0.0
+        return self._distances_from(u).get(v, float("inf"))
+
+    def single_source(self, source: int) -> Dict[int, float]:
+        """All approximate distances from ``source`` (a copy of the memoized map)."""
+        self._check_vertex(source)
+        return dict(self._distances_from(source))
+
+    def query_batch(
+        self, pairs: Iterable[Tuple[int, int]], *, workers: Optional[int] = None
+    ) -> List[float]:
+        """Approximate distances for many pairs, grouped by source.
+
+        One single-source computation per distinct source, however many
+        pairs share it and however small the memo is (the batch's fresh
+        maps are kept in a batch-local overlay).  With ``workers > 1``
+        the distinct uncached sources are sharded across the engine's
+        process pool; answers are identical to the serial path and come
+        back in input order regardless of worker scheduling.
+
+        Counters: each distinct source not already memoized counts one
+        miss; every other non-self query of the batch counts one hit.
+        """
+        pairs = list(pairs)
+        for u, v in pairs:
+            self._check_vertex(u)
+            self._check_vertex(v)
+        self.queries += len(pairs)
+        if workers is None:
+            workers = self._workers
+
+        needed: List[int] = []
+        seen = set()
+        non_self = 0
+        for u, v in pairs:
+            if u == v:
+                continue
+            non_self += 1
+            if u not in self._cache and u not in seen:
+                seen.add(u)
+                needed.append(u)
+        self.cache_misses += len(needed)
+        self.cache_hits += non_self - len(needed)
+
+        # Maps computed for this batch.  Also the overflow overlay: when
+        # the batch touches more sources than the memo holds, evicted
+        # maps stay reachable here for the rest of the batch instead of
+        # being recomputed per pair.
+        fresh: Dict[int, Dict[int, float]] = {}
+        if workers > 1 and len(needed) > 1:
+            fresh = self._fill_cache_parallel(needed, workers)
+        else:
+            for source in needed:
+                dist = self._oracle.single_source(source)
+                self._store(source, dist)
+                fresh[source] = dist
+
+        answers: List[float] = []
+        for u, v in pairs:
+            if u == v:
+                answers.append(0.0)
+                continue
+            dist = self._cache.get(u)
+            if dist is not None:
+                self._cache.move_to_end(u)
+            else:
+                dist = fresh.get(u)
+                if dist is None:
+                    # Cached at batch start but evicted by the fill;
+                    # recompute once per source, not once per pair.
+                    dist = self._oracle.single_source(u)
+                    fresh[u] = dist
+            answers.append(dist.get(v, float("inf")))
+        return answers
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the engine's process pool, if one was started."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._pool_workers = 0
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-exit ordering
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _distances_from(self, source: int) -> Dict[int, float]:
+        cached = self._cache.get(source)
+        if cached is not None:
+            self.cache_hits += 1
+            self._cache.move_to_end(source)
+            return cached
+        self.cache_misses += 1
+        dist = self._oracle.single_source(source)
+        self._store(source, dist)
+        return dist
+
+    def _store(self, source: int, dist: Dict[int, float]) -> None:
+        self._cache[source] = dist
+        self._cache.move_to_end(source)
+        while len(self._cache) > self._cache_limit:
+            self._cache.popitem(last=False)
+            self.cache_evictions += 1
+
+    def _get_pool(self, workers: int) -> Optional[ProcessPoolExecutor]:
+        """The engine's persistent pool, (re)created on demand.
+
+        Returns ``None`` when pools are unusable here (unpicklable
+        oracle, platform without process pools); the decision is
+        remembered so later batches skip straight to the serial path.
+        """
+        if self._pool_unusable:
+            return None
+        if self._pool is not None and self._pool_workers >= workers:
+            return self._pool
+        try:
+            payload = pickle.dumps(self._oracle)
+        except Exception:
+            self._pool_unusable = True
+            return None
+        self.close()
+        try:
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_query_worker,
+                initargs=(payload,),
+            )
+            self._pool_workers = workers
+        except (OSError, ValueError, NotImplementedError) as error:
+            warnings.warn(
+                f"process pool unavailable ({error}); answering batches serially",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            self._pool_unusable = True
+            self._pool = None
+        return self._pool
+
+    def _fill_cache_parallel(
+        self, sources: List[int], workers: int
+    ) -> Dict[int, Dict[int, float]]:
+        """Compute single-source maps for ``sources`` on the process pool.
+
+        Returns the computed maps (also stored in the LRU memo).  Any
+        failure mode — unpicklable oracle, unavailable pool, pool broken
+        mid-batch — falls back to computing the remaining sources
+        serially, mirroring :mod:`repro.api.executor`.
+        """
+        fresh: Dict[int, Dict[int, float]] = {}
+
+        def fill_serially(remaining: Iterable[int]) -> None:
+            for source in remaining:
+                dist = self._oracle.single_source(source)
+                self._store(source, dist)
+                fresh[source] = dist
+
+        pool = self._get_pool(workers)
+        if pool is None:
+            fill_serially(sources)
+            return fresh
+        try:
+            for shard_result in pool.map(_worker_single_sources, _shard(sources, workers)):
+                for source, dist in shard_result:
+                    self._store(source, dist)
+                    fresh[source] = dist
+            self.parallel_batches += 1
+        except BrokenProcessPool as error:
+            warnings.warn(
+                f"process pool broke mid-batch ({error}); finishing serially",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self.close()
+            fill_serially(source for source in sources if source not in fresh)
+        return fresh
+
+    def _check_vertex(self, v: int) -> None:
+        if not (0 <= v < self._oracle.num_vertices):
+            raise ValueError(f"vertex {v} out of range [0, {self._oracle.num_vertices})")

@@ -1,0 +1,272 @@
+"""Workload-driven load harness: throughput, tail latency, observed stretch.
+
+:func:`run_load_test` drives a query engine with a seeded workload stream
+(:mod:`repro.serve.workloads`) and measures what a serving deployment is
+judged on:
+
+* **throughput** (queries per second over the whole stream),
+* **tail latency** (p50 / p95 / p99 per-query milliseconds), and
+* **observed vs. guaranteed stretch**: a sample of the stream's distinct
+  pairs is re-checked against exact BFS distances — every answer must
+  satisfy ``d_G(u, v) <= answer <= alpha * d_G(u, v) + beta`` for the
+  backend's advertised ``(alpha, beta)``, and pairs in different
+  components must answer ``inf``.
+
+The result is a :class:`ServeReport`, a flat value object that
+round-trips through JSON (``to_json`` / ``from_json``) so CI jobs and the
+``bench-serve`` CLI can persist and diff reports.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import bfs_distances
+from repro.serve.service import load
+from repro.serve.spec import ServeSpec
+from repro.serve.workloads import generate_queries
+
+__all__ = ["ServeReport", "run_load_test", "nearest_rank_percentile"]
+
+
+def nearest_rank_percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample (0 for empty).
+
+    Distinct from :func:`repro.analysis.statistics.percentile`, which
+    takes ``q`` in 0-100 and linearly interpolates; this one is the
+    latency-reporting convention (fraction in (0, 1], no interpolation).
+    """
+    if not sorted_values:
+        return 0.0
+    if not (0.0 < fraction <= 1.0):
+        raise ValueError(f"fraction must lie in (0, 1], got {fraction}")
+    rank = min(len(sorted_values) - 1, max(0, math.ceil(fraction * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """One load-test outcome; flat and JSON-round-trippable.
+
+    Latencies are per-query milliseconds.  In multi-worker mode the
+    stream is answered in shards via ``query_batch`` and per-query
+    latency is the shard latency amortized over its queries — tail
+    percentiles then describe shard behaviour, not single calls.
+    """
+
+    backend: str
+    workload: str
+    num_queries: int
+    num_vertices: int
+    space_in_edges: int
+    alpha: float
+    beta: float
+    workers: int
+    build_seconds: float
+    elapsed_seconds: float
+    throughput_qps: float
+    latency_mean_ms: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    stretch_pairs_checked: int
+    stretch_violations: int
+    stretch_ok: bool
+    max_multiplicative_stretch: float
+    max_additive_error: float
+    engine_stats: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The report as a plain dict of JSON scalars / dicts."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServeReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls(**data)
+
+    def to_json(self, indent: int = 2) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServeReport":
+        """Parse a report previously produced by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.backend}/{self.workload}: {self.throughput_qps:.0f} q/s, "
+            f"p50 {self.latency_p50_ms:.3f}ms, p99 {self.latency_p99_ms:.3f}ms, "
+            f"stretch ok={self.stretch_ok} "
+            f"(max x{self.max_multiplicative_stretch:.3f} +{self.max_additive_error:.1f})"
+        )
+
+
+def _measure_serial(engine, queries) -> Tuple[List[float], float]:
+    """Per-query latencies (ms) and total wall seconds for a serial run."""
+    latencies: List[float] = []
+    start = time.perf_counter()
+    for u, v in queries:
+        t0 = time.perf_counter()
+        engine.query(u, v)
+        latencies.append((time.perf_counter() - t0) * 1000.0)
+    return latencies, time.perf_counter() - start
+
+
+def _measure_batched(engine, queries, workers: int) -> Tuple[List[float], float]:
+    """Amortized per-query latencies (ms) and wall seconds for sharded batches."""
+    shard_size = max(1, min(1024, len(queries) // max(1, 4 * workers) or 1))
+    latencies: List[float] = []
+    start = time.perf_counter()
+    for begin in range(0, len(queries), shard_size):
+        shard = queries[begin : begin + shard_size]
+        t0 = time.perf_counter()
+        engine.query_batch(shard, workers=workers)
+        per_query = (time.perf_counter() - t0) * 1000.0 / len(shard)
+        latencies.extend([per_query] * len(shard))
+    return latencies, time.perf_counter() - start
+
+
+def _check_stretch(
+    graph: Graph, engine, queries, sample: int
+) -> Tuple[int, int, float, float]:
+    """Re-check up to ``sample`` distinct stream pairs against exact BFS.
+
+    Returns ``(pairs_checked, violations, max_mult_stretch, max_additive)``.
+    """
+    distinct: List[Tuple[int, int]] = []
+    seen = set()
+    for u, v in queries:
+        if u == v or (u, v) in seen:
+            continue
+        seen.add((u, v))
+        distinct.append((u, v))
+        if len(distinct) >= sample:
+            break
+    by_source: Dict[int, List[int]] = {}
+    for u, v in distinct:
+        by_source.setdefault(u, []).append(v)
+    alpha, beta = engine.alpha, engine.beta
+    violations = 0
+    max_mult = 1.0
+    max_additive = 0.0
+    for source, targets in sorted(by_source.items()):
+        exact = bfs_distances(graph, source)
+        for target in targets:
+            answer = engine.query(source, target)
+            if target not in exact:
+                # Different components: the sparse structure never
+                # connects them, so a finite answer is a correctness bug.
+                if answer != float("inf"):
+                    violations += 1
+                continue
+            dg = float(exact[target])
+            if answer < dg - 1e-9 or answer > alpha * dg + beta + 1e-9:
+                violations += 1
+            if dg > 0 and answer != float("inf"):
+                max_mult = max(max_mult, answer / dg)
+                max_additive = max(max_additive, answer - dg)
+    return len(distinct), violations, max_mult, max_additive
+
+
+def run_load_test(
+    graph: Graph,
+    spec: Optional[ServeSpec] = None,
+    *,
+    workload: str = "uniform",
+    num_queries: int = 1000,
+    seed: int = 0,
+    workers: Optional[int] = None,
+    stretch_sample: int = 100,
+    engine=None,
+    workload_options: Optional[Dict[str, Any]] = None,
+) -> ServeReport:
+    """Drive ``graph``'s oracle with a seeded workload and measure it.
+
+    Parameters
+    ----------
+    graph:
+        The unweighted input graph.
+    spec:
+        The :class:`ServeSpec` to load (ignored when ``engine`` is given);
+        ``None`` means the default emulator stack.
+    workload:
+        Query-stream shape (see :mod:`repro.serve.workloads`).
+    num_queries:
+        Length of the stream.
+    seed:
+        Stream seed (the oracle build uses the spec's own seed).
+    workers:
+        ``> 1`` answers the stream in sharded batches on a process pool;
+        ``None`` uses the spec's (or engine's) default.
+    stretch_sample:
+        How many distinct stream pairs to re-check against exact BFS.
+    engine:
+        A pre-loaded :class:`~repro.serve.engine.QueryEngine` to measure
+        (its build time is then read from the backend stats).
+    workload_options:
+        Extra keyword arguments for the workload generator
+        (e.g. ``{"radius": 2}`` for ``local``).
+    """
+    if spec is None:
+        spec = ServeSpec()
+    own_engine = engine is None
+    if own_engine:
+        build_start = time.perf_counter()
+        engine = load(graph, spec)
+        build_seconds = time.perf_counter() - build_start
+    else:
+        oracle_stats = engine.stats().get("oracle", {})
+        build_seconds = float(oracle_stats.get("build_seconds", 0.0))
+    if workers is None:
+        workers = spec.workers
+
+    queries = generate_queries(graph, workload, num_queries, seed=seed,
+                               **(workload_options or {}))
+    try:
+        if workers > 1:
+            latencies, elapsed = _measure_batched(engine, queries, workers)
+        else:
+            latencies, elapsed = _measure_serial(engine, queries)
+        latencies.sort()
+        checked, violations, max_mult, max_additive = _check_stretch(
+            graph, engine, queries, stretch_sample
+        )
+        return ServeReport(
+            backend=getattr(engine.oracle, "name", engine.oracle.__class__.__name__),
+            workload=workload,
+            num_queries=len(queries),
+            num_vertices=graph.num_vertices,
+            space_in_edges=engine.space_in_edges,
+            alpha=engine.alpha,
+            beta=engine.beta,
+            workers=workers,
+            build_seconds=build_seconds,
+            elapsed_seconds=elapsed,
+            throughput_qps=len(queries) / max(elapsed, 1e-9),
+            latency_mean_ms=sum(latencies) / len(latencies) if latencies else 0.0,
+            latency_p50_ms=nearest_rank_percentile(latencies, 0.50),
+            latency_p95_ms=nearest_rank_percentile(latencies, 0.95),
+            latency_p99_ms=nearest_rank_percentile(latencies, 0.99),
+            stretch_pairs_checked=checked,
+            stretch_violations=violations,
+            stretch_ok=violations == 0,
+            max_multiplicative_stretch=max_mult,
+            max_additive_error=max_additive,
+            engine_stats=engine.stats(),
+        )
+    finally:
+        # A caller-provided engine keeps its pool for further batches;
+        # the harness' own engine releases it with the run.
+        if own_engine:
+            engine.close()

@@ -1,0 +1,93 @@
+"""The oracle backend registry of the serving layer.
+
+Mirrors the builder registry (:mod:`repro.api.registry`): every distance
+oracle backend registers itself under a name with the
+:func:`register_oracle` decorator, and :func:`repro.serve.service.load`
+looks backends up here.  The registry — not any hard-coded table — is the
+source of truth for which backends exist, so alternative oracles (a
+compressed oracle, a remote-shard client, a learned index) plug in without
+touching the engine, the CLI, or the load harness.
+
+A registered backend is a callable ``fn(graph, spec) -> DistanceOracle``
+where ``spec`` is a :class:`~repro.serve.spec.ServeSpec`; the returned
+object must satisfy the :class:`~repro.serve.oracles.DistanceOracle`
+protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+__all__ = [
+    "RegisteredOracle",
+    "register_oracle",
+    "get_oracle",
+    "available_oracles",
+    "is_oracle_registered",
+]
+
+
+@dataclass(frozen=True)
+class RegisteredOracle:
+    """An oracle backend registered under a name."""
+
+    name: str
+    fn: Callable[..., Any]
+    description: str = ""
+
+
+_REGISTRY: Dict[str, RegisteredOracle] = {}
+
+
+def register_oracle(name: str, *, description: str = "") -> Callable[..., Any]:
+    """Class/function decorator registering an oracle backend under ``name``.
+
+    Usage::
+
+        @register_oracle("emulator", description="Dijkstra on the emulator")
+        def _make(graph, spec):
+            return EmulatorOracle(graph, spec)
+
+    Re-registering a name overwrites the previous entry (deliberate: test
+    doubles and optimized drop-ins replace the stock backend).
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"oracle backend name must be a non-empty string, got {name!r}")
+
+    def decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
+        desc = description
+        if not desc and fn.__doc__:
+            desc = fn.__doc__.strip().splitlines()[0]
+        _REGISTRY[name] = RegisteredOracle(name=name, fn=fn, description=desc)
+        return fn
+
+    return decorator
+
+
+def get_oracle(name: str) -> RegisteredOracle:
+    """Look up the oracle backend registered under ``name``.
+
+    Raises
+    ------
+    KeyError
+        If no backend is registered under ``name``.  The message lists
+        every registered backend so callers can self-correct.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        names = ", ".join(available_oracles())
+        raise KeyError(
+            f"no oracle backend registered under {name!r}; registered backends: {names}"
+        ) from None
+
+
+def available_oracles() -> List[str]:
+    """Sorted list of registered backend names."""
+    return sorted(_REGISTRY)
+
+
+def is_oracle_registered(name: str) -> bool:
+    """Whether an oracle backend is registered under ``name``."""
+    return name in _REGISTRY

@@ -1,0 +1,59 @@
+"""The serving-layer entry point: :func:`load`.
+
+``repro.serve.load(graph, spec)`` is the one call that turns a graph and
+a :class:`~repro.serve.spec.ServeSpec` into a live, query-ready engine:
+
+1. resolve the spec's backend name against the oracle registry,
+2. run the backend factory (which performs the one-time preprocessing
+   build through ``repro.build()``), and
+3. wrap the oracle in a :class:`~repro.serve.engine.QueryEngine`
+   configured from the spec (LRU bound, default worker count).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.graphs.graph import Graph
+from repro.serve.engine import QueryEngine
+from repro.serve.registry import get_oracle
+from repro.serve.spec import ServeSpec
+
+__all__ = ["load"]
+
+
+def load(graph: Graph, spec: Optional[ServeSpec] = None, **params: Any) -> QueryEngine:
+    """Preprocess ``graph`` per ``spec`` and return a query-ready engine.
+
+    Parameters
+    ----------
+    graph:
+        The unweighted input graph ``G``.
+    spec:
+        The :class:`ServeSpec` to serve.  May be omitted, in which case
+        one is constructed from the keyword arguments — so
+        ``load(g, product="hopset")`` is shorthand for
+        ``load(g, ServeSpec(product="hopset"))``.  When both a spec and
+        keyword arguments are given, the keywords are applied on top of
+        the spec via :meth:`ServeSpec.replace`.
+
+    Returns
+    -------
+    QueryEngine
+        A :class:`~repro.serve.oracles.DistanceOracle` with bounded LRU
+        memoization, source-grouped batching and optional multi-worker
+        sharding; the backend stays reachable as ``.oracle``.
+
+    Raises
+    ------
+    KeyError
+        If the spec's backend is not registered; the message lists every
+        registered backend.
+    """
+    if spec is None:
+        spec = ServeSpec(**params)
+    elif params:
+        spec = spec.replace(**params)
+    backend = get_oracle(spec.resolved_backend)
+    oracle = backend.fn(graph, spec)
+    return QueryEngine(oracle, cache_sources=spec.cache_sources, workers=spec.workers)

@@ -1,0 +1,124 @@
+"""Declarative serving configuration: :class:`ServeSpec`.
+
+A :class:`ServeSpec` is to the serving layer what
+:class:`~repro.api.spec.BuildSpec` is to the build layer: a frozen value
+object naming *what* preprocessed product backs the oracle (``product`` ×
+``method`` + the paper parameters), *which* oracle backend answers queries
+on it (``backend``), and how the query engine is configured
+(``cache_sources`` for the per-source LRU memo, ``workers`` for sharded
+batch execution).
+
+``repro.serve.load(graph, spec)`` turns a spec into a live
+:class:`~repro.serve.engine.QueryEngine`; because the spec is pure data,
+serving scenarios (the E15 experiment, the ``bench-serve`` CLI, the load
+harness) are config literals rather than bespoke wiring.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.api.spec import METHODS, PRODUCTS, BuildSpec
+
+__all__ = ["ServeSpec"]
+
+
+@dataclass(frozen=True, eq=True)
+class ServeSpec:
+    """Configuration of one serving stack (oracle backend + query engine).
+
+    Parameters
+    ----------
+    product, method, eps, kappa, rho, seed:
+        The preprocessing run backing the oracle, with exactly the
+        semantics of the same-named :class:`~repro.api.spec.BuildSpec`
+        fields.  The ``exact`` backend ignores them (it never builds).
+    backend:
+        Name of the oracle backend in the serve registry
+        (:mod:`repro.serve.registry`).  ``None`` selects the backend named
+        after ``product`` — the natural pairing (an emulator is queried by
+        Dijkstra on the emulator, a hopset by hop-limited Bellman–Ford on
+        ``G ∪ H``, ...).
+    cache_sources:
+        Bound on the query engine's per-source LRU memo (>= 1).  Each memo
+        entry is one single-source distance map, so memory is
+        ``O(cache_sources * n)`` in the worst case.
+    workers:
+        Default number of worker processes for
+        :meth:`~repro.serve.engine.QueryEngine.query_batch`; ``1`` answers
+        in-process.
+    options:
+        Backend-specific extras (e.g. ``{"hopbound": 8}`` to override the
+        hopset backend's a-priori hop budget).  Must be a mapping with
+        string keys.
+    """
+
+    product: str = "emulator"
+    method: str = "centralized"
+    eps: Optional[float] = None
+    kappa: Optional[float] = None
+    rho: Optional[float] = None
+    seed: int = 0
+    backend: Optional[str] = None
+    cache_sources: int = 256
+    workers: int = 1
+    options: Mapping[str, Any] = field(default_factory=dict, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.product not in PRODUCTS:
+            raise ValueError(
+                f"unknown product {self.product!r}; valid products: {', '.join(PRODUCTS)}"
+            )
+        if self.method not in METHODS:
+            raise ValueError(
+                f"unknown method {self.method!r}; valid methods: {', '.join(METHODS)}"
+            )
+        if not isinstance(self.cache_sources, int) or self.cache_sources < 1:
+            raise ValueError(f"cache_sources must be a positive int, got {self.cache_sources!r}")
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise ValueError(f"workers must be a positive int, got {self.workers!r}")
+        if not isinstance(self.options, Mapping):
+            raise ValueError("options must be a mapping")
+        object.__setattr__(self, "options", dict(self.options))
+
+    # ------------------------------------------------------------------
+    @property
+    def resolved_backend(self) -> str:
+        """The oracle backend name this spec selects (default: ``product``)."""
+        return self.backend if self.backend is not None else self.product
+
+    def build_spec(self) -> BuildSpec:
+        """The :class:`BuildSpec` of the preprocessing run backing the oracle."""
+        return BuildSpec(
+            product=self.product,
+            method=self.method,
+            eps=self.eps,
+            kappa=self.kappa,
+            rho=self.rho,
+            seed=self.seed,
+        )
+
+    def replace(self, **changes: Any) -> "ServeSpec":
+        """A copy of this spec with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    def describe(self) -> str:
+        """Short human-readable summary, e.g. ``emulator via emulator/fast``.
+
+        Names the *effective* backing build: the product-named backends
+        each build their own product regardless of ``product``, and the
+        ``exact`` backend builds nothing at all.
+        """
+        backend = self.resolved_backend
+        if backend == "exact":
+            return "exact (no preprocessing build)"
+        params = []
+        for name in ("eps", "kappa", "rho"):
+            value = getattr(self, name)
+            if value is not None:
+                params.append(f"{name}={value:g}")
+        suffix = f"({', '.join(params)})" if params else ""
+        product = backend if backend in PRODUCTS else self.product
+        return f"{backend} via {product}/{self.method}{suffix}"

@@ -1,0 +1,170 @@
+"""Seeded query-stream generators for the serving layer.
+
+A *query workload* is a finite stream of ``(u, v)`` pairs standing in for
+the traffic a deployed distance oracle would see.  Four shapes are
+provided, chosen to stress different parts of the engine:
+
+``uniform``
+    Independent uniform source/target pairs — the worst case for the
+    per-source memo (no locality at all).
+``zipf``
+    Sources drawn from a Zipf-like rank distribution over a seed-shuffled
+    vertex order, targets uniform — the classic skewed read traffic that
+    the LRU memo is built for.
+``local``
+    Both endpoints close in the graph: a uniform source paired with a
+    target from its BFS ball of radius ``radius`` — models geographically
+    local queries (map/routing front ends).
+``mixed``
+    Read-mostly production shape: ``hot_fraction`` of the stream re-reads
+    a small hot set of pairs (itself Zipf-source shaped), the rest is
+    uniform background traffic.
+
+Every generator is deterministic given ``(graph, num_queries, seed)``;
+the load harness and the tests rely on replayable streams.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.shortest_paths import bounded_bfs
+
+__all__ = ["QUERY_WORKLOADS", "available_workloads", "generate_queries"]
+
+Pair = Tuple[int, int]
+
+
+def _random_pair(rng: random.Random, n: int) -> Pair:
+    u = rng.randrange(n)
+    v = rng.randrange(n)
+    while v == u:
+        v = rng.randrange(n)
+    return u, v
+
+
+def uniform_queries(graph: Graph, num_queries: int, seed: int = 0) -> List[Pair]:
+    """Independent uniform pairs (``u != v``; repeats possible)."""
+    n = graph.num_vertices
+    _require_pairs(n)
+    rng = random.Random(seed)
+    return [_random_pair(rng, n) for _ in range(num_queries)]
+
+
+def zipf_queries(
+    graph: Graph, num_queries: int, seed: int = 0, *, exponent: float = 1.1
+) -> List[Pair]:
+    """Zipf-skewed sources (rank weights ``1 / rank^exponent``), uniform targets.
+
+    The vertex-to-rank assignment is a seed-dependent shuffle, so which
+    vertices are hot varies with the seed while the skew shape does not.
+    """
+    n = graph.num_vertices
+    _require_pairs(n)
+    if exponent <= 0:
+        raise ValueError(f"exponent must be positive, got {exponent}")
+    rng = random.Random(seed)
+    by_rank = list(range(n))
+    rng.shuffle(by_rank)
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(n)]
+    sources = rng.choices(by_rank, weights=weights, k=num_queries)
+    pairs: List[Pair] = []
+    for u in sources:
+        v = rng.randrange(n)
+        while v == u:
+            v = rng.randrange(n)
+        pairs.append((u, v))
+    return pairs
+
+
+def local_queries(
+    graph: Graph, num_queries: int, seed: int = 0, *, radius: int = 4
+) -> List[Pair]:
+    """Uniform sources paired with a target from their BFS ball of ``radius``.
+
+    Isolated sources (empty ball) fall back to a uniform target, so the
+    stream always has ``num_queries`` valid pairs even on disconnected
+    graphs.
+    """
+    n = graph.num_vertices
+    _require_pairs(n)
+    if radius < 1:
+        raise ValueError(f"radius must be at least 1, got {radius}")
+    rng = random.Random(seed)
+    balls: Dict[int, List[int]] = {}
+    pairs: List[Pair] = []
+    for _ in range(num_queries):
+        u = rng.randrange(n)
+        ball = balls.get(u)
+        if ball is None:
+            ball = [v for v in bounded_bfs(graph, u, radius) if v != u]
+            balls[u] = ball
+        if ball:
+            pairs.append((u, ball[rng.randrange(len(ball))]))
+        else:
+            pairs.append(_random_pair(rng, n))
+    return pairs
+
+
+def mixed_queries(
+    graph: Graph,
+    num_queries: int,
+    seed: int = 0,
+    *,
+    hot_fraction: float = 0.9,
+    hot_set_size: int = 32,
+) -> List[Pair]:
+    """Read-mostly mix: a small hot set re-read often, uniform background reads."""
+    n = graph.num_vertices
+    _require_pairs(n)
+    if not (0.0 <= hot_fraction <= 1.0):
+        raise ValueError(f"hot_fraction must lie in [0, 1], got {hot_fraction}")
+    if hot_set_size < 1:
+        raise ValueError(f"hot_set_size must be at least 1, got {hot_set_size}")
+    rng = random.Random(seed)
+    hot_set = zipf_queries(graph, hot_set_size, seed=seed + 1)
+    pairs: List[Pair] = []
+    for _ in range(num_queries):
+        if rng.random() < hot_fraction:
+            pairs.append(hot_set[rng.randrange(len(hot_set))])
+        else:
+            pairs.append(_random_pair(rng, n))
+    return pairs
+
+
+#: Workload name -> generator ``fn(graph, num_queries, seed, **options)``.
+QUERY_WORKLOADS: Dict[str, Callable[..., List[Pair]]] = {
+    "uniform": uniform_queries,
+    "zipf": zipf_queries,
+    "local": local_queries,
+    "mixed": mixed_queries,
+}
+
+
+def available_workloads() -> List[str]:
+    """Sorted list of query-workload names."""
+    return sorted(QUERY_WORKLOADS)
+
+
+def generate_queries(
+    graph: Graph, workload: str, num_queries: int, seed: int = 0, **options
+) -> List[Pair]:
+    """Generate a seeded query stream of shape ``workload``.
+
+    Raises ``ValueError`` for unknown workload names or graphs with fewer
+    than two vertices (no pair to query).
+    """
+    if workload not in QUERY_WORKLOADS:
+        raise ValueError(
+            f"unknown query workload {workload!r}; choose from {available_workloads()}"
+        )
+    if num_queries < 0:
+        raise ValueError(f"num_queries must be non-negative, got {num_queries}")
+    return QUERY_WORKLOADS[workload](graph, num_queries, seed, **options)
+
+
+def _require_pairs(n: int) -> None:
+    if n < 2:
+        raise ValueError(f"query workloads need at least 2 vertices, got {n}")

@@ -17,7 +17,22 @@ class TestDistanceOracle:
     @pytest.fixture(scope="class")
     def oracle_and_graph(self):
         graph = generators.connected_erdos_renyi(100, 0.05, seed=23)
-        return EmulatorDistanceOracle(graph, eps=0.1, kappa=8), graph
+        with pytest.warns(DeprecationWarning):
+            oracle = EmulatorDistanceOracle(graph, eps=0.1, kappa=8)
+        return oracle, graph
+
+    def test_shim_warns_and_delegates_to_the_bounded_engine(self, path10):
+        from repro.serve import QueryEngine
+
+        with pytest.warns(DeprecationWarning, match="repro.serve.load"):
+            oracle = EmulatorDistanceOracle(path10, eps=0.1, kappa=4, cache_sources=3)
+        assert isinstance(oracle.engine, QueryEngine)
+        assert oracle.engine.cache_sources == 3
+        # The memo is bounded: touching many sources evicts, never grows.
+        for source in range(10):
+            oracle.single_source(source)
+        assert oracle.engine.stats()["cached_sources"] == 3
+        assert oracle.engine.stats()["cache_evictions"] == 7
 
     def test_query_guarantee(self, oracle_and_graph):
         oracle, graph = oracle_and_graph

@@ -44,9 +44,83 @@ class TestOracleCommand:
             main(["oracle", "--family", "grid", "--n", "36", "--queries", "zero:one"])
 
 
+class TestQueryCommand:
+    def test_query_answers_from_any_backend(self, capsys):
+        exit_code = main(["query", "--family", "grid", "--n", "36",
+                          "--backend", "exact", "--queries", "0:35", "0:6"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert out.count("d(") == 2
+        assert "serving exact" in out
+        assert "engine:" in out
+
+    def test_query_defaults_backend_to_product(self, capsys):
+        exit_code = main(["query", "--family", "grid", "--n", "25",
+                          "--product", "spanner", "--queries", "0:24"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "serving spanner via spanner/centralized" in out
+
+    def test_query_rejects_malformed_query(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--family", "grid", "--n", "36", "--queries", "zero:one"])
+
+    def test_query_rejects_out_of_range_vertex(self, capsys):
+        exit_code = main(["query", "--family", "grid", "--n", "16",
+                          "--queries", "0:9999"])
+        assert exit_code == 2
+        assert "out of range" in capsys.readouterr().err
+
+
+class TestBenchServeCommand:
+    def test_bench_serve_prints_json_report(self, capsys):
+        exit_code = main(["bench-serve", "--family", "erdos-renyi", "--n", "48",
+                          "--workload", "zipf", "--queries", "300",
+                          "--stretch-sample", "40"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        import json
+
+        report = json.loads(out)
+        assert report["workload"] == "zipf"
+        assert report["num_queries"] == 300
+        assert report["throughput_qps"] > 0
+        assert report["stretch_ok"] is True
+        assert report["latency_p50_ms"] <= report["latency_p99_ms"]
+
+    def test_bench_serve_writes_output_file(self, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        exit_code = main(["bench-serve", "--family", "grid", "--n", "25",
+                          "--backend", "exact", "--queries", "100",
+                          "--output", str(target)])
+        capsys.readouterr()
+        assert exit_code == 0
+        import json
+
+        report = json.loads(target.read_text())
+        assert report["backend"] == "exact"
+
+
+class TestSweepCacheLimit:
+    def test_sweep_accepts_cache_max_entries(self, tmp_path, capsys):
+        exit_code = main(["sweep", "--family", "grid", "--n", "16",
+                          "--products", "emulator", "--methods", "centralized",
+                          "--eps-values", "0.1", "0.2", "0.3",
+                          "--cache-dir", str(tmp_path / "cache"),
+                          "--cache-max-entries", "2"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "cache:" in out
+        # The store never holds more than the bound.
+        stored = list((tmp_path / "cache").glob("??/*.pkl"))
+        assert len(stored) <= 2
+
+
 class TestParser:
     def test_new_subcommands_registered(self):
         parser = build_parser()
         text = parser.format_help()
         assert "hopset" in text
         assert "oracle" in text
+        assert "query" in text
+        assert "bench-serve" in text

@@ -206,6 +206,89 @@ class TestResultCache:
         assert resolve_cache(cache) is cache
 
 
+class TestCacheEviction:
+    """LRU capacity eviction (max_entries / max_bytes) on insert."""
+
+    @staticmethod
+    def _fill(cache, grid16, eps_values):
+        from repro.api import build
+
+        keys = []
+        for eps in eps_values:
+            result = build(grid16, BuildSpec(eps=eps))
+            key = cache.key(grid16.content_hash(), result.spec)
+            assert cache.put(key, result)
+            keys.append(key)
+        return keys
+
+    @staticmethod
+    def _age(cache, keys):
+        """Give the entries strictly increasing mtimes (insert order)."""
+        import os
+
+        for index, key in enumerate(keys):
+            os.utime(cache.path(key), (1_000_000 + index, 1_000_000 + index))
+
+    def test_max_entries_evicts_least_recently_used(self, tmp_path, grid16):
+        cache = ResultCache(tmp_path, max_entries=2)
+        keys = self._fill(cache, grid16, [0.1, 0.2])
+        self._age(cache, keys)
+        extra = self._fill(cache, grid16, [0.3])
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get(keys[0]) is None  # the oldest entry went
+        assert cache.get(keys[1]) is not None
+        assert cache.get(extra[0]) is not None
+
+    def test_get_refreshes_recency(self, tmp_path, grid16):
+        cache = ResultCache(tmp_path, max_entries=2)
+        keys = self._fill(cache, grid16, [0.1, 0.2])
+        self._age(cache, keys)
+        assert cache.get(keys[0]) is not None  # refresh: 0.2 is now LRU
+        self._fill(cache, grid16, [0.3])
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[1]) is None
+
+    def test_max_bytes_bound(self, tmp_path, grid16):
+        probe = ResultCache(tmp_path / "probe")
+        [probe_key] = self._fill(probe, grid16, [0.1])
+        entry_size = probe.path(probe_key).stat().st_size
+
+        cache = ResultCache(tmp_path / "bounded", max_bytes=int(entry_size * 2.5))
+        self._fill(cache, grid16, [0.1, 0.2, 0.3])
+        assert len(cache) <= 2
+        assert cache.evictions >= 1
+        self._fill(cache, grid16, [0.4])
+        assert len(cache) <= 2
+        assert cache.evictions >= 2
+
+    def test_just_written_entry_survives_tiny_bounds(self, tmp_path, grid16):
+        cache = ResultCache(tmp_path, max_entries=1)
+        keys = self._fill(cache, grid16, [0.1, 0.2, 0.3])
+        assert len(cache) == 1
+        assert cache.get(keys[-1]) is not None
+
+    def test_unbounded_by_default(self, tmp_path, grid16):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, grid16, [0.1, 0.2, 0.3])
+        assert len(cache) == 3
+        assert cache.evictions == 0
+
+    def test_invalid_bounds_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_entries=0)
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_bytes=0)
+
+    def test_sweep_executor_respects_the_bound(self, grid16, tmp_path):
+        from repro.api import execute_sweep
+
+        cache = ResultCache(tmp_path, max_entries=2)
+        specs = [BuildSpec(eps=eps) for eps in (0.1, 0.2, 0.3, 0.4)]
+        execute_sweep(grid16, specs, cache=cache)
+        assert len(cache) == 2
+
+
 class TestParallelExecution:
     def test_parallel_matches_serial(self, grid16, small_sweep):
         serial = run_sweep({"grid": grid16}, small_sweep, verify_pairs=20, workers=1)

@@ -1,4 +1,4 @@
-"""Tests for the E9-E13 experiment drivers (tables render, invariants hold)."""
+"""Tests for the E9-E15 experiment drivers (tables render, invariants hold)."""
 
 from __future__ import annotations
 
@@ -36,8 +36,29 @@ def tiny_workloads():
 class TestRunnerRegistration:
     def test_all_experiment_ids_registered(self):
         ids = available_experiments()
-        for eid in ("E8", "E9", "E10", "E11", "E12", "E13"):
+        for eid in ("E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"):
             assert eid in ids
+
+
+class TestServeExperiment:
+    def test_rows_cover_every_backend_and_table_renders(self):
+        from repro.experiments.serve_experiment import (
+            format_serve_table,
+            run_serve_experiment,
+        )
+        from repro.serve import available_oracles
+
+        workload = workload_by_name("erdos-renyi", 48, seed=0)
+        served, rows = run_serve_experiment(
+            workload=workload, num_queries=120, stretch_sample=40
+        )
+        assert [row.backend for row in rows] == available_oracles()
+        assert all(row.ok for row in rows)
+        exact = next(row for row in rows if row.backend == "exact")
+        assert exact.max_stretch == 1.0
+        table = format_serve_table(served, rows)
+        assert "E15" in table
+        assert "q/s" in table
 
 
 class TestBetaTradeoff:

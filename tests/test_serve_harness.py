@@ -1,0 +1,103 @@
+"""Tests for the serving-layer load harness and its JSON report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import generators
+from repro.serve import ServeSpec, load, nearest_rank_percentile, run_load_test
+from repro.serve.harness import ServeReport
+
+
+GRAPH = generators.connected_erdos_renyi(48, 0.1, seed=4)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert nearest_rank_percentile(values, 0.50) == 2.0
+        assert nearest_rank_percentile(values, 0.99) == 4.0
+        assert nearest_rank_percentile(values, 1.0) == 4.0
+
+    def test_empty_sample(self):
+        assert nearest_rank_percentile([], 0.5) == 0.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            nearest_rank_percentile([1.0], 0.0)
+
+
+class TestRunLoadTest:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_load_test(
+            GRAPH, ServeSpec(), workload="zipf", num_queries=300, stretch_sample=60,
+            seed=0,
+        )
+
+    def test_report_shape(self, report):
+        assert report.backend == "emulator"
+        assert report.workload == "zipf"
+        assert report.num_queries == 300
+        assert report.throughput_qps > 0
+        assert report.elapsed_seconds > 0
+        assert report.latency_p50_ms <= report.latency_p95_ms <= report.latency_p99_ms
+
+    def test_guarantee_holds_on_the_sample(self, report):
+        assert report.stretch_pairs_checked > 0
+        assert report.stretch_violations == 0
+        assert report.stretch_ok
+        assert report.max_multiplicative_stretch >= 1.0
+        assert report.max_multiplicative_stretch <= report.alpha + report.beta
+
+    def test_engine_stats_embedded(self, report):
+        assert report.engine_stats["queries"] >= report.num_queries
+        assert report.engine_stats["oracle"]["backend"] == "emulator"
+
+    def test_json_round_trip(self, report):
+        assert ServeReport.from_json(report.to_json()) == report
+
+    def test_dict_round_trip(self, report):
+        assert ServeReport.from_dict(report.to_dict()) == report
+
+    def test_summary_is_one_line(self, report):
+        assert "\n" not in report.summary()
+        assert "q/s" in report.summary()
+
+
+class TestBackendsAndModes:
+    def test_exact_backend_has_stretch_exactly_one(self):
+        report = run_load_test(
+            GRAPH, ServeSpec(backend="exact"), workload="uniform", num_queries=120,
+            stretch_sample=40,
+        )
+        assert report.stretch_ok
+        assert report.max_multiplicative_stretch == 1.0
+        assert report.max_additive_error == 0.0
+
+    def test_pre_loaded_engine_is_reused(self):
+        engine = load(GRAPH, ServeSpec(backend="exact"))
+        report = run_load_test(
+            GRAPH, workload="uniform", num_queries=50, stretch_sample=10, engine=engine
+        )
+        assert report.backend == "exact"
+        assert engine.queries >= 50
+
+    def test_multi_worker_mode_reports_batched_latency(self):
+        report = run_load_test(
+            GRAPH, ServeSpec(), workload="mixed", num_queries=200, stretch_sample=20,
+            workers=2,
+        )
+        assert report.workers == 2
+        assert report.num_queries == 200
+        assert report.stretch_ok
+
+    def test_every_registered_backend_passes_the_harness_check(self):
+        from repro.serve import available_oracles
+
+        for backend in available_oracles():
+            report = run_load_test(
+                GRAPH, ServeSpec(backend=backend), workload="local", num_queries=80,
+                stretch_sample=30,
+            )
+            assert report.stretch_ok, f"{backend}: {report.summary()}"

@@ -1,0 +1,88 @@
+"""Tests for the serving-layer query-stream generators."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.shortest_paths import bfs_distances
+from repro.serve import available_workloads, generate_queries
+
+
+GRAPH = generators.connected_erdos_renyi(64, 0.08, seed=9)
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("workload", available_workloads())
+    def test_streams_are_seed_deterministic(self, workload):
+        a = generate_queries(GRAPH, workload, 200, seed=3)
+        b = generate_queries(GRAPH, workload, 200, seed=3)
+        assert a == b
+
+    @pytest.mark.parametrize("workload", available_workloads())
+    def test_different_seeds_differ(self, workload):
+        a = generate_queries(GRAPH, workload, 200, seed=1)
+        b = generate_queries(GRAPH, workload, 200, seed=2)
+        assert a != b
+
+    @pytest.mark.parametrize("workload", available_workloads())
+    def test_pairs_are_valid_vertices(self, workload):
+        n = GRAPH.num_vertices
+        pairs = generate_queries(GRAPH, workload, 300, seed=0)
+        assert len(pairs) == 300
+        for u, v in pairs:
+            assert 0 <= u < n
+            assert 0 <= v < n
+            assert u != v
+
+    def test_zero_queries(self):
+        assert generate_queries(GRAPH, "uniform", 0) == []
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown query workload"):
+            generate_queries(GRAPH, "nonsense", 10)
+
+    def test_tiny_graph_rejected(self):
+        from repro.graphs.graph import Graph
+
+        with pytest.raises(ValueError):
+            generate_queries(Graph(1), "uniform", 10)
+
+
+class TestShapes:
+    def test_zipf_sources_are_skewed(self):
+        pairs = generate_queries(GRAPH, "zipf", 2000, seed=0)
+        counts = Counter(u for u, _ in pairs)
+        uniform_share = 2000 / GRAPH.num_vertices
+        # The hottest source is far above the uniform expectation.
+        assert counts.most_common(1)[0][1] > 3 * uniform_share
+
+    def test_local_pairs_stay_in_the_ball(self):
+        radius = 3
+        pairs = generate_queries(GRAPH, "local", 150, seed=0, radius=radius)
+        for u, v in pairs:
+            assert bfs_distances(GRAPH, u).get(v, float("inf")) <= radius
+
+    def test_local_falls_back_on_isolated_sources(self):
+        from repro.graphs.graph import Graph
+
+        isolated = Graph(5)  # no edges at all: every ball is empty
+        pairs = generate_queries(isolated, "local", 50, seed=0)
+        assert len(pairs) == 50
+
+    def test_mixed_stream_re_reads_a_hot_set(self):
+        pairs = generate_queries(GRAPH, "mixed", 500, seed=0)
+        # Read-mostly traffic: far fewer distinct pairs than queries.
+        assert len(set(pairs)) < len(pairs) / 2
+
+    def test_generator_options_validated(self):
+        with pytest.raises(ValueError):
+            generate_queries(GRAPH, "zipf", 10, exponent=0.0)
+        with pytest.raises(ValueError):
+            generate_queries(GRAPH, "local", 10, radius=0)
+        with pytest.raises(ValueError):
+            generate_queries(GRAPH, "mixed", 10, hot_fraction=1.5)
+        with pytest.raises(ValueError):
+            generate_queries(GRAPH, "mixed", 10, hot_set_size=0)
