@@ -6,7 +6,6 @@ streaming and decremental numbers per workload.
 
 from __future__ import annotations
 
-from repro.core.parameters import ultra_sparse_kappa
 from repro.experiments.applications_experiment import (
     format_applications_table,
     run_applications_experiment,
@@ -33,14 +32,7 @@ def test_bench_e13_applications_table(benchmark, small_bench_workloads):
 def test_bench_e13_oracle_queries(benchmark, single_random_workload):
     """Time a batch of 500 oracle queries after a single preprocessing pass."""
     graph = single_random_workload.graph
-    oracle = load(
-        graph,
-        ServeSpec(
-            product="emulator",
-            eps=0.1,
-            kappa=ultra_sparse_kappa(max(2, graph.num_vertices)),
-        ),
-    )
+    oracle = load(graph, ServeSpec.ultra_sparse(graph.num_vertices, eps=0.1))
     n = graph.num_vertices
     pairs = [(i % n, (i * 7 + 13) % n) for i in range(500)]
     pairs = [(u, v) for u, v in pairs if u != v]

@@ -138,7 +138,11 @@ class ResultCache:
         Bound on the number of stored entries; every :meth:`put` that
         pushes the store past the bound LRU-evicts the
         least-recently-used entries (recency is the entry file's mtime,
-        which :meth:`get` refreshes on every hit).  ``None`` (the
+        which :meth:`get` refreshes on every hit).  On filesystems with
+        coarse mtime granularity (e.g. 1 s) entries touched within the
+        same tick tie, and ties break by path string — so eviction
+        order is only approximately LRU at sub-tick resolution, which
+        is acceptable for a rebuildable build cache.  ``None`` (the
         default) keeps the historical unbounded behaviour.
     max_bytes:
         Bound on the total size of stored entries, enforced the same
@@ -224,7 +228,8 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
-        self._touch(path)
+        if self.max_entries is not None or self.max_bytes is not None:
+            self._touch(path)
         return result
 
     def put(self, key: Optional[str], result: BuildResultAdapter) -> bool:
@@ -244,6 +249,15 @@ class ResultCache:
             return False
         path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        replaced_bytes: Optional[int] = None
+        if self.max_entries is not None or self.max_bytes is not None:
+            # Overwrites replace an entry rather than adding one; record
+            # the old size so the incremental (count, bytes) tracking
+            # stays exact instead of drifting upward.
+            try:
+                replaced_bytes = path.stat().st_size
+            except OSError:
+                pass
         fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -256,7 +270,9 @@ class ResultCache:
                 pass
             return False
         self.stores += 1
-        self._enforce_limits(keep=path, added_bytes=len(payload))
+        self._enforce_limits(
+            keep=path, added_bytes=len(payload), replaced_bytes=replaced_bytes
+        )
         return True
 
     def clear(self) -> int:
@@ -296,12 +312,16 @@ class ResultCache:
         )
 
     # ------------------------------------------------------------------
-    def _evict(self, path: Path) -> None:
+    def _evict(self, path: Path, size: Optional[int] = None) -> None:
         self.evictions += 1
         if self._approx_count is not None:
-            # Size unknown for corrupt-entry evictions; the next
-            # over-bound scan resyncs the byte approximation.
+            if size is None:
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    size = 0
             self._approx_count = max(0, self._approx_count - 1)
+            self._approx_bytes = max(0, self._approx_bytes - size)
         try:
             path.unlink()
         except OSError:
@@ -309,13 +329,26 @@ class ResultCache:
 
     @staticmethod
     def _touch(path: Path) -> None:
-        """Refresh an entry's mtime so capacity eviction is LRU, not FIFO."""
+        """Refresh an entry's mtime so capacity eviction is LRU, not FIFO.
+
+        Only called on bounded caches — an unbounded cache never consults
+        recency, so its hits skip the metadata write and entry mtimes
+        keep reflecting write time.  Recency resolution is whatever the
+        filesystem stores: with 1 s mtime granularity, hits within the
+        same second tie and eviction among them falls back to path order
+        (see ``max_entries`` docs).
+        """
         try:
             os.utime(path, None)
         except OSError:
             pass
 
-    def _enforce_limits(self, keep: Optional[Path] = None, added_bytes: int = 0) -> None:
+    def _enforce_limits(
+        self,
+        keep: Optional[Path] = None,
+        added_bytes: int = 0,
+        replaced_bytes: Optional[int] = None,
+    ) -> None:
         """LRU-evict entries until ``max_entries`` / ``max_bytes`` hold.
 
         The store size is tracked incrementally, so a put that stays
@@ -333,9 +366,13 @@ class ResultCache:
             return
         if self._approx_count is None:
             self._rescan()
-        else:
+        elif replaced_bytes is None:
             self._approx_count += 1
             self._approx_bytes += added_bytes
+        else:
+            # Overwrite: the entry count is unchanged, only the size delta
+            # between the new and old payload applies.
+            self._approx_bytes = max(0, self._approx_bytes + added_bytes - replaced_bytes)
         over_entries = self.max_entries is not None and self._approx_count > self.max_entries
         over_bytes = self.max_bytes is not None and self._approx_bytes > self.max_bytes
         if not (over_entries or over_bytes):
@@ -361,7 +398,7 @@ class ResultCache:
             over_bytes = self.max_bytes is not None and total_bytes > self.max_bytes
             if not (over_entries or over_bytes):
                 break
-            self._evict(path)
+            self._evict(path, size)
             count -= 1
             total_bytes -= size
         self._approx_count = count

@@ -26,7 +26,6 @@ import warnings
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.emulator import EmulatorResult
-from repro.core.parameters import ultra_sparse_kappa
 from repro.graphs.graph import Graph
 from repro.serve.service import load as serve_load
 from repro.serve.spec import ServeSpec
@@ -67,14 +66,11 @@ class EmulatorDistanceOracle:
             DeprecationWarning,
             stacklevel=2,
         )
-        if kappa is None:
-            kappa = ultra_sparse_kappa(max(2, graph.num_vertices))
         self._graph = graph
         self._engine = serve_load(
             graph,
-            ServeSpec(
-                product="emulator",
-                method="centralized",
+            ServeSpec.ultra_sparse(
+                graph.num_vertices,
                 eps=eps,
                 kappa=kappa,
                 cache_sources=max(1, cache_sources),

@@ -32,14 +32,19 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.emulator import EmulatorResult
-from repro.core.parameters import ultra_sparse_kappa
 from repro.graphs.graph import Graph
 from repro.graphs.shortest_paths import bfs_distances, multi_source_bfs
+from repro.serve.engine import QueryEngine
 from repro.serve.oracles import DistanceOracle
 from repro.serve.service import load as serve_load
 from repro.serve.spec import ServeSpec
 
 __all__ = ["RoutingTables", "LandmarkRoutingScheme"]
+
+
+def _bare_backend(oracle: DistanceOracle) -> DistanceOracle:
+    """Unwrap a :class:`QueryEngine` to its backend; bare backends pass through."""
+    return oracle.oracle if isinstance(oracle, QueryEngine) else oracle
 
 
 @dataclass
@@ -114,11 +119,9 @@ class LandmarkRoutingScheme:
         if graph.num_vertices == 0:
             raise ValueError("cannot build a routing scheme on the empty graph")
         if oracle is None:
-            if kappa is None:
-                kappa = ultra_sparse_kappa(max(2, graph.num_vertices))
             oracle = serve_load(
                 graph,
-                ServeSpec(product="emulator", method="centralized", eps=eps, kappa=kappa),
+                ServeSpec.ultra_sparse(graph.num_vertices, eps=eps, kappa=kappa),
             )
         self._graph = graph
         self._oracle = oracle
@@ -138,7 +141,7 @@ class LandmarkRoutingScheme:
     @staticmethod
     def _emulator_result_of(oracle: DistanceOracle) -> Optional[EmulatorResult]:
         """The emulator construction behind ``oracle``, if there is one."""
-        backend = getattr(oracle, "oracle", oracle)  # unwrap a QueryEngine
+        backend = _bare_backend(oracle)
         result = getattr(backend, "result", None)
         raw = getattr(result, "raw", None)
         return raw if isinstance(raw, EmulatorResult) else None
@@ -166,8 +169,13 @@ class LandmarkRoutingScheme:
         nearest = {v: origin[v] for v in dist}
         distance_to = {v: float(d) for v, d in dist.items()}
         landmark_distances: Dict[Tuple[int, int], float] = {}
+        # One-time table construction goes to the bare backend: the engine
+        # would copy every O(n) map and pin up to cache_sources of them in
+        # its memo for the scheme's lifetime, only to read |landmarks|
+        # entries from each.
+        backend = _bare_backend(oracle)
         for landmark in landmarks:
-            from_landmark = oracle.single_source(landmark)
+            from_landmark = backend.single_source(landmark)
             for other in landmarks:
                 if other < landmark:
                     continue

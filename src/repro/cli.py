@@ -266,19 +266,24 @@ def _clamped_eps(eps: float, product: str, method: str) -> float:
 
 def _serve_spec(args: argparse.Namespace) -> ServeSpec:
     """Build the :class:`ServeSpec` of a ``query`` / ``bench-serve`` invocation."""
-    eps = args.eps
-    if eps is not None:
-        eps = _clamped_eps(eps, args.product, args.method)
-    return ServeSpec(
+    spec = ServeSpec(
         product=args.product,
         method=args.method,
-        eps=eps,
+        eps=args.eps,
         kappa=args.kappa,
         rho=args.rho,
         seed=args.seed,
         backend=args.backend,
         cache_sources=args.cache_sources,
     )
+    # The clamp keys on the product the backend actually builds, which a
+    # --backend differing from --product overrides (the exact backend
+    # builds nothing, so there is nothing to clamp).
+    if args.eps is not None and spec.effective_product is not None:
+        spec = spec.replace(
+            eps=_clamped_eps(args.eps, spec.effective_product, args.method)
+        )
+    return spec
 
 
 def _command_build(args: argparse.Namespace) -> int:
@@ -322,6 +327,16 @@ def _command_build(args: argparse.Namespace) -> int:
 def _command_sweep(args: argparse.Namespace) -> int:
     import os
 
+    # Pure flag logic first, so a misconfiguration errors before the
+    # potentially expensive graph load.
+    cache = None if args.no_cache else (args.cache_dir or os.environ.get("REPRO_CACHE_DIR"))
+    if args.cache_max_entries is not None:
+        if cache is None:
+            raise ValueError(
+                "--cache-max-entries requires a cache; pass --cache-dir "
+                "(or set REPRO_CACHE_DIR) and drop --no-cache"
+            )
+        cache = ResultCache(cache, max_entries=args.cache_max_entries)
     graph = _load_graph(args)
     name = args.input or (args.family or "erdos-renyi")
     sweep = GridSweep(
@@ -332,9 +347,6 @@ def _command_sweep(args: argparse.Namespace) -> int:
         rhos=tuple(args.rhos) if args.rhos else (None,),
         seed=args.seed,
     )
-    cache = None if args.no_cache else (args.cache_dir or os.environ.get("REPRO_CACHE_DIR"))
-    if cache is not None and args.cache_max_entries is not None:
-        cache = ResultCache(cache, max_entries=args.cache_max_entries)
     records = run_sweep(
         {name: graph}, sweep, verify_pairs=args.verify_pairs,
         workers=args.workers, cache=cache,
@@ -426,17 +438,12 @@ def _command_bench_serve(args: argparse.Namespace) -> int:
 
 
 def _command_oracle(args: argparse.Namespace) -> int:
-    from repro.core.parameters import ultra_sparse_kappa
-
     graph = _load_graph(args)
     queries = _parse_queries(args.queries)
-    kappa = args.kappa
-    if kappa is None:
-        kappa = ultra_sparse_kappa(max(2, graph.num_vertices))
     engine = serve_load(
         graph,
-        ServeSpec(product="emulator", method="centralized", eps=args.eps, kappa=kappa,
-                  seed=args.seed),
+        ServeSpec.ultra_sparse(graph.num_vertices, eps=args.eps, kappa=args.kappa,
+                               seed=args.seed),
     )
     print(f"oracle: {engine.space_in_edges} stored edges "
           f"(alpha {engine.alpha:.3f}, beta {engine.beta:.1f})")

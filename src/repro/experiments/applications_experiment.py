@@ -27,7 +27,6 @@ from repro.analysis.sampling import sample_vertex_pairs
 from repro.applications.dynamic import DecrementalEmulatorOracle
 from repro.applications.routing import LandmarkRoutingScheme
 from repro.applications.streaming import EdgeStream, StreamingEmulatorBuilder
-from repro.core.parameters import ultra_sparse_kappa
 from repro.experiments.workloads import Workload, standard_workloads
 from repro.graphs.shortest_paths import bfs_distances
 from repro.serve import DistanceOracle, ServeSpec
@@ -95,16 +94,13 @@ def run_applications_experiment(
         # defaults (ultra-sparse kappa, bounded per-source memo).
         oracle = serve_load(
             workload.graph,
-            ServeSpec(
-                product="emulator",
-                method="centralized",
-                eps=eps,
-                kappa=ultra_sparse_kappa(max(2, workload.graph.num_vertices)),
-            ),
+            ServeSpec.ultra_sparse(workload.graph.num_vertices, eps=eps),
         )
         mean_stretch, max_stretch = _oracle_stretch(workload, oracle, sample_pairs, seed=seed)
 
-        routing = LandmarkRoutingScheme(workload.graph, eps=eps)
+        # Reuse the oracle: the routing scheme's default path would build
+        # the identical emulator stack a second time.
+        routing = LandmarkRoutingScheme(workload.graph, eps=eps, oracle=oracle)
         routing_summary = routing.stretch_summary(sample_sources=6)
 
         stream = EdgeStream.from_graph(workload.graph)

@@ -87,6 +87,11 @@ class QueryEngine:
     engine as a context manager) to release it early.
     """
 
+    #: Monotone counter fields of :meth:`stats`; consumers reporting
+    #: per-run numbers (the load harness) delta exactly these keys.
+    COUNTER_KEYS = ("queries", "cache_hits", "cache_misses",
+                    "cache_evictions", "parallel_batches")
+
     def __init__(self, oracle: DistanceOracle, *, cache_sources: int = 256,
                  workers: int = 1) -> None:
         if cache_sources < 1:
@@ -139,6 +144,11 @@ class QueryEngine:
         """The LRU memo bound."""
         return self._cache_limit
 
+    @property
+    def workers(self) -> int:
+        """Default process count for :meth:`query_batch`."""
+        return self._workers
+
     def stats(self) -> Dict[str, Any]:
         """Engine counters plus the backend's own statistics."""
         return {
@@ -182,7 +192,10 @@ class QueryEngine:
         back in input order regardless of worker scheduling.
 
         Counters: each distinct source not already memoized counts one
-        miss; every other non-self query of the batch counts one hit.
+        miss; every other non-self query of the batch counts one hit.  A
+        source that was memoized at batch start but evicted during the
+        fill counts one extra miss when recomputed, so misses always
+        equal actual backend ``single_source`` invocations.
         """
         pairs = list(pairs)
         for u, v in pairs:
@@ -230,8 +243,12 @@ class QueryEngine:
                 dist = fresh.get(u)
                 if dist is None:
                     # Cached at batch start but evicted by the fill;
-                    # recompute once per source, not once per pair.
+                    # recompute once per source, not once per pair.  This
+                    # is a real oracle invocation, so it counts as a miss
+                    # and is re-memoized.
+                    self.cache_misses += 1
                     dist = self._oracle.single_source(u)
+                    self._store(u, dist)
                     fresh[u] = dist
             answers.append(dist.get(v, float("inf")))
         return answers

@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.graphs.graph import Graph
 from repro.graphs.shortest_paths import bfs_distances
+from repro.serve.engine import QueryEngine
 from repro.serve.service import load
 from repro.serve.spec import ServeSpec
 from repro.serve.workloads import generate_queries
@@ -66,6 +67,10 @@ class ServeReport:
     space_in_edges: int
     alpha: float
     beta: float
+    #: The *requested* batch mode: the stream is measured in sharded
+    #: batches when > 1.  The engine may still answer serially (pool
+    #: fallback, or batches with too few distinct sources) —
+    #: ``engine_stats["parallel_batches"] == 0`` is the tell.
     workers: int
     build_seconds: float
     elapsed_seconds: float
@@ -79,6 +84,12 @@ class ServeReport:
     stretch_ok: bool
     max_multiplicative_stretch: float
     max_additive_error: float
+    #: Engine statistics for the measured stream: the counter fields
+    #: (queries, hits, misses, evictions, parallel batches) are deltas
+    #: over the run — pre-existing traffic on a caller-provided engine
+    #: and the stretch re-check are excluded — while gauges
+    #: (``cached_sources``, limits, the backend's own stats) are the
+    #: post-stream values.
     engine_stats: Dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -147,12 +158,12 @@ def _check_stretch(
     distinct: List[Tuple[int, int]] = []
     seen = set()
     for u, v in queries:
+        if len(distinct) >= sample:
+            break
         if u == v or (u, v) in seen:
             continue
         seen.add((u, v))
         distinct.append((u, v))
-        if len(distinct) >= sample:
-            break
     by_source: Dict[int, List[int]] = {}
     for u, v in distinct:
         by_source.setdefault(u, []).append(v)
@@ -218,6 +229,8 @@ def run_load_test(
         Extra keyword arguments for the workload generator
         (e.g. ``{"radius": 2}`` for ``local``).
     """
+    if stretch_sample < 0:
+        raise ValueError(f"stretch_sample must be >= 0, got {stretch_sample}")
     if spec is None:
         spec = ServeSpec()
     own_engine = engine is None
@@ -229,16 +242,27 @@ def run_load_test(
         oracle_stats = engine.stats().get("oracle", {})
         build_seconds = float(oracle_stats.get("build_seconds", 0.0))
     if workers is None:
-        workers = spec.workers
+        # A caller-provided engine carries its own default; the spec is
+        # ignored for it (and may be the fallback ServeSpec()).
+        workers = spec.workers if own_engine else engine.workers
 
     queries = generate_queries(graph, workload, num_queries, seed=seed,
                                **(workload_options or {}))
     try:
+        counters_before = engine.stats()
         if workers > 1:
             latencies, elapsed = _measure_batched(engine, queries, workers)
         else:
             latencies, elapsed = _measure_serial(engine, queries)
         latencies.sort()
+        # Counter deltas over the measured stream only: pre-stream traffic
+        # on a caller-provided engine and the stretch re-check below are
+        # both excluded.  Gauges (cached_sources, limits, oracle stats)
+        # stay absolute.
+        engine_stats = engine.stats()
+        for key in QueryEngine.COUNTER_KEYS:
+            if key in engine_stats:
+                engine_stats[key] -= counters_before.get(key, 0)
         checked, violations, max_mult, max_additive = _check_stretch(
             graph, engine, queries, stretch_sample
         )
@@ -263,7 +287,7 @@ def run_load_test(
             stretch_ok=violations == 0,
             max_multiplicative_stretch=max_mult,
             max_additive_error=max_additive,
-            engine_stats=engine.stats(),
+            engine_stats=engine_stats,
         )
     finally:
         # A caller-provided engine keeps its pool for further batches;

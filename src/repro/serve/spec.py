@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
 from repro.api.spec import METHODS, PRODUCTS, BuildSpec
+from repro.core.parameters import ultra_sparse_kappa
 
 __all__ = ["ServeSpec"]
 
@@ -84,10 +85,46 @@ class ServeSpec:
         object.__setattr__(self, "options", dict(self.options))
 
     # ------------------------------------------------------------------
+    @classmethod
+    def ultra_sparse(
+        cls,
+        num_vertices: int,
+        *,
+        eps: float = 0.1,
+        kappa: Optional[float] = None,
+        **overrides: Any,
+    ) -> "ServeSpec":
+        """The historical ultra-sparse emulator serving stack.
+
+        The repo-wide legacy oracle default: a centralized emulator build
+        with the ultra-sparse kappa derived from the graph size (the
+        ``max(2, n)`` guard keeps trivial graphs valid).  An explicit
+        ``kappa`` wins; further keyword arguments set any other spec
+        field (``seed``, ``cache_sources``, ...).
+        """
+        if kappa is None:
+            kappa = ultra_sparse_kappa(max(2, num_vertices))
+        return cls(
+            product="emulator", method="centralized", eps=eps, kappa=kappa, **overrides
+        )
+
     @property
     def resolved_backend(self) -> str:
         """The oracle backend name this spec selects (default: ``product``)."""
         return self.backend if self.backend is not None else self.product
+
+    @property
+    def effective_product(self) -> Optional[str]:
+        """The product the resolved backend actually builds.
+
+        The product-named backends each build their own product regardless
+        of ``product``; custom backends fall back to ``product``; the
+        ``exact`` backend builds nothing and yields ``None``.
+        """
+        backend = self.resolved_backend
+        if backend == "exact":
+            return None
+        return backend if backend in PRODUCTS else self.product
 
     def build_spec(self) -> BuildSpec:
         """The :class:`BuildSpec` of the preprocessing run backing the oracle."""
@@ -120,5 +157,4 @@ class ServeSpec:
             if value is not None:
                 params.append(f"{name}={value:g}")
         suffix = f"({', '.join(params)})" if params else ""
-        product = backend if backend in PRODUCTS else self.product
-        return f"{backend} via {product}/{self.method}{suffix}"
+        return f"{backend} via {self.effective_product}/{self.method}{suffix}"

@@ -54,6 +54,14 @@ class TestQueryCommand:
         assert "serving exact" in out
         assert "engine:" in out
 
+    def test_eps_clamp_keys_on_the_backend_build(self, capsys):
+        exit_code = main(["query", "--family", "grid", "--n", "25",
+                          "--product", "emulator", "--backend", "spanner",
+                          "--eps", "0.5", "--queries", "0:24"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "eps=0.01" in out  # the spanner build is what actually runs
+
     def test_query_defaults_backend_to_product(self, capsys):
         exit_code = main(["query", "--family", "grid", "--n", "25",
                           "--product", "spanner", "--queries", "0:24"])
@@ -114,6 +122,15 @@ class TestSweepCacheLimit:
         # The store never holds more than the bound.
         stored = list((tmp_path / "cache").glob("??/*.pkl"))
         assert len(stored) <= 2
+
+    def test_cache_max_entries_without_a_cache_is_an_error(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        exit_code = main(["sweep", "--family", "grid", "--n", "16",
+                          "--products", "emulator", "--methods", "centralized",
+                          "--cache-max-entries", "2"])
+        err = capsys.readouterr().err
+        assert exit_code == 2
+        assert "--cache-max-entries requires a cache" in err
 
 
 class TestParser:

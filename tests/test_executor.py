@@ -274,6 +274,29 @@ class TestCacheEviction:
         assert len(cache) == 3
         assert cache.evictions == 0
 
+    def test_overwrite_does_not_inflate_tracking(self, tmp_path, grid16):
+        from repro.api import build
+
+        cache = ResultCache(tmp_path, max_entries=2)
+        result = build(grid16, BuildSpec(eps=0.1))
+        key = cache.key(grid16.content_hash(), result.spec)
+        assert cache.put(key, result)
+        assert cache.put(key, result)  # overwrite: replaces, does not add
+        assert cache._approx_count == 1
+        assert cache._approx_bytes == cache.path(key).stat().st_size
+        assert len(cache) == 1
+        assert cache.evictions == 0
+
+    def test_corrupt_entry_eviction_updates_tracking(self, tmp_path, grid16):
+        cache = ResultCache(tmp_path, max_entries=4)
+        [key] = self._fill(cache, grid16, [0.1])
+        size = cache.path(key).stat().st_size
+        cache.path(key).write_bytes(b"x" * size)  # same size, corrupt payload
+        assert cache.get(key) is None
+        assert cache.evictions == 1
+        assert cache._approx_count == 0
+        assert cache._approx_bytes == 0
+
     def test_invalid_bounds_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             ResultCache(tmp_path, max_entries=0)

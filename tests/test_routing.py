@@ -29,6 +29,13 @@ class TestConstruction:
         with pytest.raises(ValueError):
             LandmarkRoutingScheme(path10, landmarks=[99])
 
+    def test_table_construction_does_not_fill_the_engine_memo(self, random_graph):
+        # Landmark maps are read transiently from the bare backend, so the
+        # scheme's retained engine must not pin one full distance map per
+        # landmark for its lifetime.
+        scheme = LandmarkRoutingScheme(random_graph, eps=0.1, kappa=4.0)
+        assert scheme.oracle.stats()["cached_sources"] == 0
+
     def test_tables_cover_connected_graph(self, grid6x6):
         scheme = LandmarkRoutingScheme(grid6x6, eps=0.1, kappa=4.0)
         assert set(scheme.tables.nearest_landmark) == set(grid6x6.vertices())

@@ -59,6 +59,28 @@ class TestServeSpec:
         assert "hopset" in text
         assert "eps=0.1" in text
 
+    def test_ultra_sparse_recipe(self):
+        from repro.core.parameters import ultra_sparse_kappa
+
+        spec = ServeSpec.ultra_sparse(100)
+        assert spec.product == "emulator"
+        assert spec.method == "centralized"
+        assert spec.kappa == ultra_sparse_kappa(100)
+        # Explicit kappa wins; other fields pass through.
+        spec = ServeSpec.ultra_sparse(100, kappa=4.0, seed=7, cache_sources=3)
+        assert spec.kappa == 4.0
+        assert spec.seed == 7
+        assert spec.cache_sources == 3
+        # The n guard keeps trivial graphs valid.
+        assert ServeSpec.ultra_sparse(1).kappa == ultra_sparse_kappa(2)
+
+    def test_effective_product_follows_the_backend(self):
+        # Product-named backends build their own product, overriding
+        # ``product``; the exact backend never builds.
+        assert ServeSpec(product="emulator").effective_product == "emulator"
+        assert ServeSpec(product="emulator", backend="spanner").effective_product == "spanner"
+        assert ServeSpec(backend="exact").effective_product is None
+
 
 class TestRegistry:
     def test_stock_backends_registered(self):
@@ -256,6 +278,27 @@ class TestQueryEngine:
         assert len(calls) == 8  # once per source, not once per pair
         assert engine.cache_misses == 8
         assert engine.cache_hits == 8  # the non-self repeats
+
+    def test_mid_batch_eviction_recompute_counts_as_miss(self, path10):
+        backend = load(path10, ServeSpec(backend="exact")).oracle
+        calls = []
+        original = backend.single_source
+
+        def counting(source):
+            calls.append(source)
+            return original(source)
+
+        backend.single_source = counting
+        engine = QueryEngine(backend, cache_sources=1)
+        engine.single_source(0)  # memoize source 0
+        # Filling source 1 evicts source 0 mid-batch, so source 0's pair
+        # triggers a recompute — a real backend invocation that must show
+        # up in the miss counter and re-enter the memo.
+        answers = engine.query_batch([(1, 9), (0, 9)])
+        assert answers == [8.0, 9.0]
+        assert len(calls) == 3  # warm 0, fill 1, recompute 0
+        assert engine.cache_misses == len(calls)
+        assert 0 in engine._cache  # the recompute re-memoized its source
 
     def test_parallel_pool_is_reused_across_batches(self):
         graph = generators.connected_erdos_renyi(40, 0.1, seed=8)

@@ -51,7 +51,9 @@ class TestRunLoadTest:
         assert report.max_multiplicative_stretch <= report.alpha + report.beta
 
     def test_engine_stats_embedded(self, report):
-        assert report.engine_stats["queries"] >= report.num_queries
+        # A fresh engine answered exactly the measured stream: the
+        # snapshot excludes the stretch re-check's extra queries.
+        assert report.engine_stats["queries"] == report.num_queries
         assert report.engine_stats["oracle"]["backend"] == "emulator"
 
     def test_json_round_trip(self, report):
@@ -82,6 +84,37 @@ class TestBackendsAndModes:
         )
         assert report.backend == "exact"
         assert engine.queries >= 50
+
+    def test_engine_stats_are_deltas_for_a_prewarmed_engine(self):
+        engine = load(GRAPH, ServeSpec(backend="exact"))
+        engine.query(0, 5)
+        engine.query(1, 7)
+        report = run_load_test(
+            GRAPH, workload="uniform", num_queries=30, stretch_sample=5, engine=engine
+        )
+        # Pre-stream traffic and the stretch re-check are both excluded.
+        assert report.engine_stats["queries"] == 30
+
+    def test_stretch_sample_zero_skips_the_recheck(self):
+        report = run_load_test(
+            GRAPH, ServeSpec(backend="exact"), workload="uniform", num_queries=40,
+            stretch_sample=0,
+        )
+        assert report.stretch_pairs_checked == 0
+        assert report.stretch_ok  # vacuously: nothing was checked
+
+    def test_negative_stretch_sample_rejected(self):
+        with pytest.raises(ValueError):
+            run_load_test(
+                GRAPH, ServeSpec(backend="exact"), num_queries=10, stretch_sample=-5
+            )
+
+    def test_pre_loaded_engine_keeps_its_workers_default(self):
+        engine = load(GRAPH, ServeSpec(backend="exact", workers=2))
+        report = run_load_test(
+            GRAPH, workload="uniform", num_queries=60, stretch_sample=10, engine=engine
+        )
+        assert report.workers == 2  # from the engine, not the fallback spec
 
     def test_multi_worker_mode_reports_batched_latency(self):
         report = run_load_test(
