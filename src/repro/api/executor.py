@@ -16,10 +16,18 @@ sub-command and the experiment harness).  It takes the fully expanded grid
    back from a worker — parallelism is an optimization, never a
    correctness requirement, and ``workers=1`` never touches
    ``multiprocessing`` at all.
-3. **Batched verification.**  Verification of every result on the same
+3. **Shared explorations.**  Specs chunked onto one graph install a
+   :class:`~repro.graphs.shortest_paths.ExplorationCache` around their
+   builds, so cluster-center explorations repeated across specs at equal
+   radii run once per ``(graph, source, radius)`` instead of once per
+   spec.  Cache hits hand out dict copies with the original insertion
+   order, so records are byte-identical with and without sharing
+   (``share_explorations=False`` turns it off).
+4. **Batched verification.**  Verification of every result on the same
    graph shares one :class:`GraphBaseline`, so the graph-side BFS
    distances (the expensive half of every stretch check) are computed
-   once per graph instead of once per spec.
+   once per graph instead of once per spec — and, when explorations are
+   shared, baselines reuse the builders' unbounded explorations too.
 
 The records come back in deterministic grid order (graphs outer, specs
 inner) regardless of worker scheduling, so parallel runs are
@@ -50,7 +58,11 @@ from repro.api.facade import build, clear_build_hooks, emit_build_event
 from repro.api.result import BuildResultAdapter
 from repro.api.spec import BuildSpec
 from repro.graphs.graph import Graph
-from repro.graphs.shortest_paths import bfs_distances
+from repro.graphs.shortest_paths import (
+    ExplorationCache,
+    bfs_distances,
+    shared_explorations,
+)
 
 __all__ = ["GraphBaseline", "execute_sweep", "verify_with_baseline"]
 
@@ -72,10 +84,11 @@ def named_graphs(graphs: GraphsArg) -> List[Tuple[str, Graph]]:
 # ----------------------------------------------------------------------
 # Worker-side execution
 # ----------------------------------------------------------------------
-#: One unit of worker shipment: a graph and the (index, spec) pairs to
-#: build on it.  Chunking per graph means a k-spec sweep ships the graph
-#: once per chunk instead of once per spec.
-_Chunk = Tuple[Graph, List[Tuple[int, BuildSpec]]]
+#: One unit of worker shipment: a graph, the (index, spec) pairs to build
+#: on it, and whether to share explorations across those specs.  Chunking
+#: per graph means a k-spec sweep ships the graph once per chunk instead
+#: of once per spec — and gives the exploration cache its sharing scope.
+_Chunk = Tuple[Graph, List[Tuple[int, BuildSpec]], bool]
 
 
 def _execute_chunk(chunk: _Chunk) -> List[Tuple[int, int, Optional[bytes]]]:
@@ -86,29 +99,46 @@ def _execute_chunk(chunk: _Chunk) -> List[Tuple[int, int, Optional[bytes]]]:
     of a probe pickle plus a second pool-level pickle.  A payload slot is
     ``None`` when the result cannot be pickled, in which case the parent
     rebuilds that task serially rather than crashing the pool.
+
+    With ``share`` set, every spec of the chunk builds under one
+    :class:`ExplorationCache`, so equal-radius center explorations run
+    once per chunk rather than once per spec.
     """
-    graph, pairs = chunk
+    graph, pairs, share = chunk
     pid = os.getpid()
     out: List[Tuple[int, int, Optional[bytes]]] = []
-    for index, spec in pairs:
-        result = build(graph, spec)
-        try:
-            payload: Optional[bytes] = pickle.dumps(result)
-        except Exception:
-            payload = None
-        out.append((index, pid, payload))
+    with shared_explorations(ExplorationCache(graph) if share else None):
+        for index, spec in pairs:
+            result = build(graph, spec)
+            try:
+                payload: Optional[bytes] = pickle.dumps(result)
+            except Exception:
+                payload = None
+            out.append((index, pid, payload))
     return out
 
 
-def _run_serial(tasks: List[_Task]) -> List[Tuple[int, int, BuildResultAdapter]]:
-    """Build every task in-process (facade hooks fire normally)."""
+def _run_serial(
+    tasks: List[_Task],
+    exploration_caches: Optional[Dict[int, ExplorationCache]] = None,
+) -> List[Tuple[int, int, BuildResultAdapter]]:
+    """Build every task in-process (facade hooks fire normally).
+
+    ``exploration_caches`` maps ``id(graph)`` to the sweep-wide cache for
+    that graph; when provided, each build runs under its graph's cache.
+    """
     pid = os.getpid()
-    return [(index, pid, build(graph, spec)) for index, graph, spec in tasks]
+    outcomes: List[Tuple[int, int, BuildResultAdapter]] = []
+    for index, graph, spec in tasks:
+        cache = exploration_caches.get(id(graph)) if exploration_caches else None
+        with shared_explorations(cache):
+            outcomes.append((index, pid, build(graph, spec)))
+    return outcomes
 
 
-def _chunk_tasks(tasks: List[_Task], workers: int) -> List[_Chunk]:
+def _chunk_tasks(tasks: List[_Task], workers: int, share: bool) -> List[_Chunk]:
     """Group tasks by graph, then split each group into at most ``workers`` chunks."""
-    groups: Dict[int, _Chunk] = {}
+    groups: Dict[int, Tuple[Graph, List[Tuple[int, BuildSpec]]]] = {}
     for index, graph, spec in tasks:
         key = id(graph)
         if key not in groups:
@@ -118,7 +148,7 @@ def _chunk_tasks(tasks: List[_Task], workers: int) -> List[_Chunk]:
     for graph, pairs in groups.values():
         per_chunk = max(1, -(-len(pairs) // workers))  # ceil division
         for start in range(0, len(pairs), per_chunk):
-            chunks.append((graph, pairs[start:start + per_chunk]))
+            chunks.append((graph, pairs[start:start + per_chunk], share))
     return chunks
 
 
@@ -139,7 +169,11 @@ def _picklable(value) -> bool:
 
 
 def _run_parallel(
-    tasks: List[_Task], workers: int
+    tasks: List[_Task],
+    workers: int,
+    *,
+    share: bool = True,
+    exploration_caches: Optional[Dict[int, ExplorationCache]] = None,
 ) -> List[Tuple[int, int, BuildResultAdapter]]:
     """Shard ``tasks`` across a process pool, falling back serially as needed."""
     parallelizable: List[_Task] = []
@@ -179,7 +213,7 @@ def _run_parallel(
             try:
                 with pool:
                     for chunk_results in pool.map(
-                        _execute_chunk, _chunk_tasks(parallelizable, workers)
+                        _execute_chunk, _chunk_tasks(parallelizable, workers, share)
                     ):
                         for index, pid, payload in chunk_results:
                             finished.add(index)
@@ -197,7 +231,7 @@ def _run_parallel(
                     stacklevel=3,
                 )
                 serial.extend(task for task in parallelizable if task[0] not in finished)
-    outcomes.extend(_run_serial(serial))
+    outcomes.extend(_run_serial(serial, exploration_caches))
     return outcomes
 
 
@@ -219,21 +253,39 @@ class GraphBaseline:
     verification of a large graph cannot retain O(n^2) distance entries;
     past the cap the baseline degrades gracefully toward the old
     recompute-per-result behaviour.
+
+    When the sweep shares explorations, the baseline consults the graph's
+    :class:`~repro.graphs.shortest_paths.ExplorationCache` first, so an
+    unbounded exploration a builder already ran doubles as the
+    verification baseline for that source.
     """
 
     #: Default bound on memoized sources (~each dict has up to n entries).
     DEFAULT_MAX_SOURCES = 4096
 
-    def __init__(self, graph: Graph, max_sources: int = DEFAULT_MAX_SOURCES) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        max_sources: int = DEFAULT_MAX_SOURCES,
+        *,
+        explorations: Optional[ExplorationCache] = None,
+    ) -> None:
         self.graph = graph
         self.max_sources = max_sources
+        self._explorations = explorations
         self._distances: Dict[int, Dict[int, int]] = {}
 
     def distances(self, source: int) -> Dict[int, int]:
         """Memoized ``bfs_distances(graph, source)`` (bounded, FIFO eviction)."""
         cached = self._distances.get(source)
         if cached is None:
-            cached = bfs_distances(self.graph, source)
+            if self._explorations is not None:
+                # The shared (uncopied) dict: validators only read it, and
+                # holding the same object in both stores keeps each
+                # exploration in memory once.
+                cached = self._explorations.shared_bounded_bfs(source, None)
+            else:
+                cached = bfs_distances(self.graph, source)
             if len(self._distances) >= self.max_sources:
                 self._distances.pop(next(iter(self._distances)))
             self._distances[source] = cached
@@ -270,6 +322,7 @@ def execute_sweep(
     workers: Optional[int] = 1,
     cache: Union[None, bool, str, "os.PathLike[str]", ResultCache] = None,
     verify: Union[None, bool, int] = None,
+    share_explorations: bool = True,
 ):
     """Run every spec on every graph; return :class:`SweepRecord` objects.
 
@@ -290,6 +343,12 @@ def execute_sweep(
         ``None``/``False`` skips verification, an ``int`` checks that
         many sampled pairs per result, ``True`` checks every pair.
         Verification is batched per graph (see :class:`GraphBaseline`).
+    share_explorations:
+        Share center explorations and verification baselines across the
+        specs built on one graph (one computation per ``(graph, source,
+        radius)`` per chunk).  On by default; records are byte-identical
+        either way, so turning it off is only useful for benchmarking
+        the sharing itself.
 
     Returns
     -------
@@ -313,6 +372,11 @@ def execute_sweep(
     store = resolve_cache(cache)
     if workers is None:
         workers = os.cpu_count() or 1
+    exploration_caches: Optional[Dict[int, ExplorationCache]] = None
+    if share_explorations:
+        exploration_caches = {
+            id(graph): ExplorationCache(graph) for _name, graph in named
+        }
 
     grid: List[Tuple[int, str, Graph, BuildSpec]] = []
     index = 0
@@ -340,9 +404,12 @@ def execute_sweep(
 
     if pending:
         if workers > 1 and len(pending) > 1:
-            built = _run_parallel(pending, workers)
+            built = _run_parallel(
+                pending, workers,
+                share=share_explorations, exploration_caches=exploration_caches,
+            )
         else:
-            built = _run_serial(pending)
+            built = _run_serial(pending, exploration_caches)
         parent_pid = os.getpid()
         for task_index, worker_pid, result in built:
             if worker_pid != parent_pid:
@@ -368,7 +435,12 @@ def execute_sweep(
         result, stats = outcomes[task_index]
         verified: Optional[bool] = None
         if verify is not None and verify is not False:
-            baseline = baselines.setdefault(id(graph), GraphBaseline(graph))
+            if id(graph) not in baselines:
+                explorations = (
+                    exploration_caches.get(id(graph)) if exploration_caches else None
+                )
+                baselines[id(graph)] = GraphBaseline(graph, explorations=explorations)
+            baseline = baselines[id(graph)]
             pairs = None if verify is True else int(verify)
             verified = bool(
                 verify_with_baseline(result, baseline, sample_pairs=pairs).valid

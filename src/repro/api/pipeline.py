@@ -128,6 +128,7 @@ def run_sweep(
     workers: Optional[int] = 1,
     cache: Union[None, bool, str, ResultCache] = None,
     verify: Union[None, bool, int] = None,
+    share_explorations: bool = True,
 ) -> List[SweepRecord]:
     """Run every spec of ``sweep`` on every graph; return flat records.
 
@@ -157,6 +158,11 @@ def run_sweep(
         ``None``/``False`` skips verification, an ``int`` checks that many
         sampled pairs, ``True`` checks every pair.  Overrides
         ``verify_pairs`` when both are given.
+    share_explorations:
+        Share equal-radius center explorations (and verification
+        baselines) across the specs built on one graph; on by default
+        and observationally transparent — records are byte-identical
+        either way.
     """
     specs = list(sweep.specs())
     if not specs:
@@ -167,7 +173,8 @@ def run_sweep(
         )
     if verify is None and verify_pairs is not None:
         verify = verify_pairs
-    return execute_sweep(graphs, specs, workers=workers, cache=cache, verify=verify)
+    return execute_sweep(graphs, specs, workers=workers, cache=cache, verify=verify,
+                         share_explorations=share_explorations)
 
 
 def format_sweep_table(records: List[SweepRecord], title: str = "scenario sweep") -> str:

@@ -160,6 +160,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-cache", action="store_true",
                        help="disable the result cache even if --cache-dir or "
                             "$REPRO_CACHE_DIR is set")
+    sweep.add_argument("--no-shared-explorations", action="store_true",
+                       help="recompute center explorations per spec instead of "
+                            "sharing them across the specs on one graph "
+                            "(results are identical; for benchmarking only)")
 
     verify = subparsers.add_parser("verify", help="verify an emulator against its graph")
     verify.add_argument("--graph", required=True, help="edge-list file of the original graph")
@@ -350,6 +354,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     records = run_sweep(
         {name: graph}, sweep, verify_pairs=args.verify_pairs,
         workers=args.workers, cache=cache,
+        share_explorations=not args.no_shared_explorations,
     )
     print(format_sweep_table(records))
     return 0

@@ -8,6 +8,7 @@ collection of graph-family generators used by the experiment workloads.
 
 from repro.graphs.graph import Graph
 from repro.graphs.weighted_graph import WeightedGraph
+from repro.graphs.csr import CSRGraph, WeightedCSRGraph
 from repro.graphs.shortest_paths import (
     bfs_distances,
     bounded_bfs,
@@ -16,13 +17,18 @@ from repro.graphs.shortest_paths import (
     bounded_dijkstra,
     all_pairs_shortest_paths,
     multi_source_bfs,
+    ExplorationCache,
+    shared_explorations,
 )
 from repro.graphs import generators
 from repro.graphs import io
+from repro.graphs import kernels
 
 __all__ = [
     "Graph",
     "WeightedGraph",
+    "CSRGraph",
+    "WeightedCSRGraph",
     "bfs_distances",
     "bounded_bfs",
     "bfs_tree",
@@ -30,6 +36,9 @@ __all__ = [
     "bounded_dijkstra",
     "all_pairs_shortest_paths",
     "multi_source_bfs",
+    "ExplorationCache",
+    "shared_explorations",
     "generators",
     "io",
+    "kernels",
 ]

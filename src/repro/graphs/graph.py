@@ -33,7 +33,7 @@ class Graph:
     matching the simple-graph model of the paper.
     """
 
-    __slots__ = ("_n", "_adj", "_num_edges")
+    __slots__ = ("_n", "_adj", "_num_edges", "_hash", "_csr")
 
     def __init__(self, num_vertices: int, edges: Iterable[Tuple[int, int]] = ()) -> None:
         if num_vertices < 0:
@@ -41,6 +41,8 @@ class Graph:
         self._n = num_vertices
         self._adj: List[Set[int]] = [set() for _ in range(num_vertices)]
         self._num_edges = 0
+        self._hash: "str | None" = None
+        self._csr = None
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -102,6 +104,8 @@ class Graph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._num_edges += 1
+        self._hash = None
+        self._csr = None
         return True
 
     def remove_edge(self, u: int, v: int) -> bool:
@@ -111,6 +115,8 @@ class Graph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._num_edges -= 1
+        self._hash = None
+        self._csr = None
         return True
 
     # ------------------------------------------------------------------
@@ -121,6 +127,11 @@ class Graph:
         g = Graph(self._n)
         g._adj = [set(neigh) for neigh in self._adj]
         g._num_edges = self._num_edges
+        # Same content, so the memoized digest stays valid; the CSR
+        # snapshot is immutable and safe to share (a later mutation only
+        # drops the mutated instance's reference).
+        g._hash = self._hash
+        g._csr = self._csr
         return g
 
     def subgraph_edges(self, edge_list: Iterable[Tuple[int, int]]) -> "Graph":
@@ -170,14 +181,36 @@ class Graph:
         graph half of the content-addressed result-cache key
         (:mod:`repro.api.cache`), so it must stay stable across processes
         and interpreter versions; only the graph content goes in.
+
+        The digest is memoized after the first computation and dropped by
+        :meth:`add_edge` / :meth:`remove_edge` — a sweep hashes the same
+        graph once per record, and re-sorting every adjacency list each
+        time dominated cache-key cost.
         """
+        if self._hash is not None:
+            return self._hash
         digest = hashlib.sha256()
         digest.update(f"n={self._n}".encode("ascii"))
         for u in range(self._n):
             for v in sorted(self._adj[u]):
                 if u < v:
                     digest.update(f";{u},{v}".encode("ascii"))
-        return digest.hexdigest()
+        self._hash = digest.hexdigest()
+        return self._hash
+
+    def csr(self):
+        """The graph's flat-array CSR snapshot (:class:`repro.graphs.csr.CSRGraph`).
+
+        Compiled on first use and cached on the instance with the same
+        lifecycle as the memoized :meth:`content_hash`: any mutation
+        drops the snapshot, the next kernel call recompiles it.  The
+        snapshot is immutable — callers may hold it across calls.
+        """
+        if self._csr is None:
+            from repro.graphs.csr import CSRGraph
+
+            self._csr = CSRGraph.from_graph(self)
+        return self._csr
 
     def degree_histogram(self) -> Dict[int, int]:
         """Map degree value -> number of vertices with that degree."""
@@ -223,6 +256,20 @@ class Graph:
     # ------------------------------------------------------------------
     # Dunder methods
     # ------------------------------------------------------------------
+    def __getstate__(self):
+        # Only the graph content travels; the memoized digest and CSR
+        # snapshot are rebuilt on demand in the receiving process.
+        return {"_n": self._n, "_adj": self._adj, "_num_edges": self._num_edges}
+
+    def __setstate__(self, state) -> None:
+        if isinstance(state, tuple):  # pre-1.4 slots pickle: (None, slot dict)
+            state = state[1]
+        self._n = state["_n"]
+        self._adj = state["_adj"]
+        self._num_edges = state["_num_edges"]
+        self._hash = None
+        self._csr = None
+
     def __contains__(self, vertex: int) -> bool:
         return 0 <= vertex < self._n
 

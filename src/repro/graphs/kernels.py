@@ -1,0 +1,614 @@
+"""Flat-array exploration kernels over CSR snapshots.
+
+Every construction in the paper is, at runtime, a pile of (bounded) BFS
+explorations from cluster centers; the serving layer answers queries with
+single-source searches.  These kernels run those explorations on the flat
+buffers of :class:`~repro.graphs.csr.CSRGraph` instead of
+``List[Set[int]]`` adjacency with ``Dict[int, int]`` frontiers: distances
+live in preallocated buffers, and an **epoch-stamped visited buffer**
+replaces the per-call membership dict (bumping one integer invalidates
+the whole buffer, so no per-call ``O(n)`` clear and no per-call
+allocation).  Results are converted to plain dicts only at the boundary,
+matching the signatures in :mod:`repro.graphs.shortest_paths`.
+
+Three backends implement the kernels:
+
+``python``
+    Scalar level-synchronous loops over the snapshot's adjacency-list
+    view.  Always available, output-sensitive (cost proportional to the
+    explored ball, like the dict implementations), and measurably faster
+    than the dict path at every size.
+``numpy``
+    Vectorized level-synchronous expansion over zero-copy
+    :func:`numpy.frombuffer` views of the CSR buffers.  Wins on large
+    unbounded searches; used when numpy is importable.
+``scipy``
+    :func:`scipy.sparse.csgraph.dijkstra` over a ``csr_matrix`` sharing
+    the same buffers — C-compiled search, the fastest unbounded backend.
+
+``auto`` (the default) picks per call: bounded explorations stay on the
+scalar backend (output-sensitive — a radius-2 ball on a large graph
+should not pay for a dense ``n``-vector), unbounded searches use scipy,
+then numpy, above :data:`VECTOR_MIN_VERTICES` vertices.  Set
+``REPRO_KERNEL_BACKEND=python|numpy|scipy`` (or call
+:func:`set_backend`) to force one backend, e.g. to run the equivalence
+suite against every implementation.
+
+Determinism
+-----------
+Distances are unique, and multi-source origins are canonical: ties are
+broken toward the **smallest source ID** on every backend.  (With
+sources enqueued in ascending order, the scalar frontier stays grouped
+by origin, so the first claimer of a vertex carries the minimum origin
+among its predecessors; the vectorized backend computes that minimum
+directly.  Both equal the dict implementation's documented behaviour.)
+Dict *iteration order* is canonical too: BFS, multi-source and Dijkstra
+results iterate in ascending ``(distance, vertex)`` order on every
+backend, so seeded consumers that materialize an order (e.g. workload
+generators sampling a BFS ball) are reproducible regardless of which
+backend answered.  The one exception is :func:`hop_limited`, whose
+vectorized path emits ascending vertex order while the scalar loop in
+:mod:`repro.hopsets.bounded_hop` emits discovery order — its consumers
+are lookup-only.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from heapq import heappop, heappush
+from math import floor, isinf, isnan
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.graphs.csr import CSRGraph, WeightedCSRGraph
+
+__all__ = [
+    "bfs_distances",
+    "bounded_bfs",
+    "multi_source_bfs",
+    "dijkstra",
+    "hop_limited",
+    "normalize_radius",
+    "set_backend",
+    "get_backend",
+    "available_backends",
+]
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via REPRO_KERNEL_BACKEND
+    _np = None
+
+try:
+    from scipy.sparse.csgraph import dijkstra as _scipy_csgraph_dijkstra
+except ImportError:  # pragma: no cover - exercised via REPRO_KERNEL_BACKEND
+    _scipy_csgraph_dijkstra = None
+
+_BACKENDS = ("auto", "python", "numpy", "scipy")
+
+#: Unbounded searches below this vertex count stay on the scalar backend:
+#: per-call vectorization overhead beats the saved per-edge work there.
+VECTOR_MIN_VERTICES = 2048
+#: Hop-limited Bellman–Ford vectorizes earlier: its per-round work is
+#: O(frontier edges) with float arithmetic, which the scalar loop pays
+#: dearly for.
+HOP_VECTOR_MIN_VERTICES = 512
+
+#: Weighted-Dijkstra epsilon matching the hop-limited Bellman–Ford
+#: tolerance in :mod:`repro.hopsets.bounded_hop`.
+_EPS = 1e-12
+
+
+def _initial_backend() -> str:
+    name = os.environ.get("REPRO_KERNEL_BACKEND", "auto").strip().lower()
+    if name not in _BACKENDS:
+        warnings.warn(
+            f"unknown REPRO_KERNEL_BACKEND {name!r}; falling back to 'auto' "
+            f"(valid: {', '.join(_BACKENDS)})",
+            RuntimeWarning,
+        )
+        return "auto"
+    # A forced-but-unimportable backend must not silently degrade: a run
+    # that claims to exercise the scipy path had better have scipy.
+    if (name == "numpy" and _np is None) or (
+        name == "scipy" and _scipy_csgraph_dijkstra is None
+    ):
+        warnings.warn(
+            f"REPRO_KERNEL_BACKEND={name} requested but {name} is not "
+            "importable; falling back to 'auto'",
+            RuntimeWarning,
+        )
+        return "auto"
+    return name
+
+
+_BACKEND = _initial_backend()
+
+
+def set_backend(name: str) -> None:
+    """Force a kernel backend (``auto``/``python``/``numpy``/``scipy``).
+
+    Forcing a backend that is not importable raises ``ValueError`` — the
+    equivalence suite relies on a forced backend actually running.
+    """
+    global _BACKEND
+    if name not in _BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; valid: {', '.join(_BACKENDS)}")
+    if name == "numpy" and _np is None:
+        raise ValueError("numpy backend requested but numpy is not importable")
+    if name == "scipy" and _scipy_csgraph_dijkstra is None:
+        raise ValueError("scipy backend requested but scipy is not importable")
+    _BACKEND = name
+
+
+def get_backend() -> str:
+    """The currently selected backend name."""
+    return _BACKEND
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backends usable in this interpreter (``python`` is always present)."""
+    names = ["python"]
+    if _np is not None:
+        names.append("numpy")
+    if _scipy_csgraph_dijkstra is not None:
+        names.append("scipy")
+    return tuple(names)
+
+
+def normalize_radius(radius) -> Optional[int]:
+    """Clamp an exploration radius once, up front.
+
+    ``None`` and ``+inf`` mean unbounded.  Distances on unweighted graphs
+    are integers, so a float radius is equivalent to ``floor(radius)``;
+    clamping here (instead of comparing floats in the hot loop) is both
+    faster and explicit.  Negative radii are rejected — an exploration of
+    negative depth is a caller bug, not an empty result.
+    """
+    if radius is None:
+        return None
+    if isinstance(radius, float):
+        if isnan(radius):
+            raise ValueError("radius must not be NaN")
+        if isinf(radius):
+            if radius < 0:
+                raise ValueError(f"radius must be non-negative, got {radius}")
+            return None
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    return int(floor(radius))
+
+
+# ----------------------------------------------------------------------
+# Epoch-stamped workspace
+# ----------------------------------------------------------------------
+class _Workspace:
+    """Preallocated per-snapshot buffers shared by every kernel call.
+
+    ``stamp[v] == epoch`` means "visited in the current call"; bumping
+    ``epoch`` invalidates every entry at once.  The scalar and vectorized
+    backends keep separate stamp buffers but share the epoch counter, so
+    a buffer can never observe a stale stamp as current.
+    """
+
+    __slots__ = ("n", "epoch", "stamp", "origin", "dist", "settled",
+                 "np_stamp", "np_origin", "np_dist")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.epoch = 0
+        self.stamp = [0] * n
+        self.origin = [0] * n
+        self.dist = [0.0] * n
+        self.settled = [0] * n
+        self.np_stamp = None
+        self.np_origin = None
+        self.np_dist = None
+
+    def next_epoch(self) -> int:
+        self.epoch += 1
+        return self.epoch
+
+    def numpy_buffers(self):
+        if self.np_stamp is None:
+            self.np_stamp = _np.zeros(self.n, dtype=_np.int64)
+            self.np_origin = _np.zeros(self.n, dtype=_np.int64)
+            self.np_dist = _np.zeros(self.n, dtype=_np.float64)
+        return self.np_stamp, self.np_origin, self.np_dist
+
+
+def _workspace(csr: CSRGraph) -> _Workspace:
+    ws = csr._workspace
+    if ws is None or ws.n != csr.num_vertices:
+        ws = csr._workspace = _Workspace(csr.num_vertices)
+    return ws
+
+
+def _check_source(csr: CSRGraph, source: int) -> None:
+    if not (0 <= source < csr.num_vertices):
+        raise ValueError(f"source {source} not in graph")
+
+
+def _scipy_usable(csr: CSRGraph) -> bool:
+    return _scipy_csgraph_dijkstra is not None and csr.scipy_matrix() is not None
+
+
+# ----------------------------------------------------------------------
+# Single-source BFS
+# ----------------------------------------------------------------------
+def bfs_distances(csr: CSRGraph, source: int, *, as_float: bool = False) -> Dict[int, int]:
+    """Hop distances from ``source`` to every reachable vertex."""
+    return bounded_bfs(csr, source, None, as_float=as_float)
+
+
+def bounded_bfs(
+    csr: CSRGraph, source: int, radius=None, *, as_float: bool = False
+) -> Dict[int, int]:
+    """Hop distances from ``source`` to all vertices within ``radius``.
+
+    ``radius=None`` (or ``inf``) is unbounded; float radii are clamped to
+    ``floor(radius)`` once up front; negative radii raise ``ValueError``.
+    With ``as_float=True`` the values are floats (for the serving layer,
+    which speaks float distances throughout).
+    """
+    _check_source(csr, source)
+    r = normalize_radius(radius)
+    backend = _BACKEND
+    if backend == "scipy" or (
+        backend == "auto" and r is None
+        and csr.num_vertices >= VECTOR_MIN_VERTICES and _scipy_usable(csr)
+    ):
+        if _scipy_usable(csr):
+            return _scipy_bfs(csr, source, r, as_float)
+        backend = "numpy" if _np is not None else "python"
+    if backend == "numpy" or (
+        backend == "auto" and r is None
+        and csr.num_vertices >= VECTOR_MIN_VERTICES and _np is not None
+    ):
+        if _np is not None:
+            return _numpy_bfs(csr, source, r, as_float)
+    return _scalar_bfs(csr, source, r, as_float)
+
+
+def _scalar_bfs(csr: CSRGraph, source: int, r: Optional[int], as_float: bool) -> Dict:
+    adjacency = csr.adjacency()
+    ws = _workspace(csr)
+    stamp = ws.stamp
+    epoch = ws.next_epoch()
+    stamp[source] = epoch
+    out = {source: 0.0 if as_float else 0}
+    frontier = [source]
+    depth = 0
+    while frontier and (r is None or depth < r):
+        depth += 1
+        reached: List[int] = []
+        append = reached.append
+        for u in frontier:
+            for v in adjacency[u]:
+                if stamp[v] != epoch:
+                    stamp[v] = epoch
+                    append(v)
+        if not reached:
+            break
+        reached.sort()
+        value = float(depth) if as_float else depth
+        for v in reached:
+            out[v] = value
+        frontier = reached
+    return out
+
+
+def _numpy_bfs(csr: CSRGraph, source: int, r: Optional[int], as_float: bool) -> Dict:
+    indptr, indices = csr.numpy_views()
+    ws = _workspace(csr)
+    stamp, _, _ = ws.numpy_buffers()
+    epoch = ws.next_epoch()
+    stamp[source] = epoch
+    frontier = _np.array([source], dtype=_np.int64)
+    levels = [frontier]
+    depth = 0
+    while frontier.size and (r is None or depth < r):
+        neigh = _gather_neighbors(indptr, indices, frontier)
+        if neigh is None:
+            break
+        neigh = neigh[stamp[neigh] != epoch]
+        if neigh.size == 0:
+            break
+        frontier = _np.unique(neigh)
+        stamp[frontier] = epoch
+        depth += 1
+        levels.append(frontier)
+    keys = _np.concatenate(levels) if len(levels) > 1 else levels[0]
+    counts = [level.shape[0] for level in levels]
+    values = _np.repeat(_np.arange(len(levels), dtype=_np.int64), counts)
+    if as_float:
+        values = values.astype(_np.float64)
+    return dict(zip(keys.tolist(), values.tolist()))
+
+
+def _gather_neighbors(indptr, indices, frontier):
+    """All neighbors of ``frontier`` concatenated (with duplicates), or ``None``."""
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return None
+    cum = _np.empty(counts.shape[0] + 1, dtype=_np.int64)
+    cum[0] = 0
+    _np.cumsum(counts, out=cum[1:])
+    offsets = _np.repeat(starts - cum[:-1], counts) + _np.arange(total)
+    return indices[offsets]
+
+
+def _scipy_bfs(csr: CSRGraph, source: int, r: Optional[int], as_float: bool) -> Dict:
+    matrix = csr.scipy_matrix()
+    limit = _np.inf if r is None else float(r)
+    dense = _scipy_csgraph_dijkstra(matrix, unweighted=True, indices=source, limit=limit)
+    return _dense_to_dict(dense, as_float)
+
+
+def _dense_to_dict(dense, as_float: bool) -> Dict:
+    """Dense distance vector -> dict in canonical ``(distance, vertex)`` order."""
+    unreachable = _np.isinf(dense)
+    if unreachable.any():
+        reached = _np.flatnonzero(~unreachable)
+        values = dense[reached]
+    else:
+        reached = _np.arange(dense.shape[0], dtype=_np.int64)
+        values = dense
+    # Stable two-key sort: distance major, vertex ID minor — the same
+    # iteration order the scalar and numpy backends produce.
+    order = _np.lexsort((reached, values))
+    reached = reached[order]
+    values = values[order]
+    if not as_float:
+        values = values.astype(_np.int64)
+    return dict(zip(reached.tolist(), values.tolist()))
+
+
+# ----------------------------------------------------------------------
+# Multi-source BFS (smallest-source-ID tie-breaking)
+# ----------------------------------------------------------------------
+def multi_source_bfs(
+    csr: CSRGraph, sources: Iterable[int], radius=None, *, normalized: bool = False
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """Multi-source BFS returning ``(dist, origin)``.
+
+    ``origin[v]`` is the closest source, ties broken toward the smallest
+    source ID (the deterministic constructions rely on this).
+
+    ``normalized=True`` promises ``sources`` is already a sorted,
+    deduplicated, in-range sequence (and ``radius`` already clamped) —
+    the dispatchers in :mod:`repro.graphs.shortest_paths` normalize once
+    and skip the repeat here.
+    """
+    n = csr.num_vertices
+    if normalized:
+        source_list = list(sources)
+        r = radius
+    else:
+        source_list = sorted(set(sources))
+        for s in source_list:
+            if not (0 <= s < n):
+                raise ValueError(f"source {s} not in graph")
+        r = normalize_radius(radius)
+    if not source_list:
+        return {}, {}
+    backend = _BACKEND
+    vectorize = False
+    if backend in ("numpy", "scipy"):
+        vectorize = _np is not None
+    elif backend == "auto":
+        vectorize = r is None and n >= VECTOR_MIN_VERTICES and _np is not None
+    if vectorize:
+        return _numpy_multi_source(csr, source_list, r)
+    return _scalar_multi_source(csr, source_list, r)
+
+
+def _scalar_multi_source(
+    csr: CSRGraph, source_list: List[int], r: Optional[int]
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    adjacency = csr.adjacency()
+    ws = _workspace(csr)
+    stamp, origin = ws.stamp, ws.origin
+    epoch = ws.next_epoch()
+    dist_out: Dict[int, int] = {}
+    origin_out: Dict[int, int] = {}
+    for s in source_list:
+        stamp[s] = epoch
+        origin[s] = s
+        dist_out[s] = 0
+        origin_out[s] = s
+    # The frontier is traversed in *claim order* (grouped by origin, the
+    # invariant behind the tie-breaking guarantee); only the emitted
+    # per-level dict entries are sorted by vertex ID.
+    frontier = source_list
+    depth = 0
+    while frontier and (r is None or depth < r):
+        depth += 1
+        reached: List[int] = []
+        append = reached.append
+        for u in frontier:
+            origin_u = origin[u]
+            for v in adjacency[u]:
+                if stamp[v] != epoch:
+                    stamp[v] = epoch
+                    origin[v] = origin_u
+                    append(v)
+        if not reached:
+            break
+        for v in sorted(reached):
+            dist_out[v] = depth
+            origin_out[v] = origin[v]
+        frontier = reached
+    return dist_out, origin_out
+
+
+def _numpy_multi_source(
+    csr: CSRGraph, source_list: List[int], r: Optional[int]
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    indptr, indices = csr.numpy_views()
+    ws = _workspace(csr)
+    stamp, origin, _ = ws.numpy_buffers()
+    epoch = ws.next_epoch()
+    frontier = _np.array(source_list, dtype=_np.int64)
+    stamp[frontier] = epoch
+    origin[frontier] = frontier
+    dist_out: Dict[int, int] = {}
+    origin_out: Dict[int, int] = {}
+    for s in source_list:
+        dist_out[s] = 0
+        origin_out[s] = s
+    depth = 0
+    while frontier.size and (r is None or depth < r):
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        cum = _np.empty(counts.shape[0] + 1, dtype=_np.int64)
+        cum[0] = 0
+        _np.cumsum(counts, out=cum[1:])
+        offsets = _np.repeat(starts - cum[:-1], counts) + _np.arange(total)
+        neigh = indices[offsets]
+        parent_origin = _np.repeat(origin[frontier], counts)
+        fresh = stamp[neigh] != epoch
+        neigh = neigh[fresh]
+        parent_origin = parent_origin[fresh]
+        if neigh.size == 0:
+            break
+        # Per discovered vertex, keep the minimum parent origin — the
+        # canonical smallest-source tie-break.
+        order = _np.lexsort((parent_origin, neigh))
+        neigh = neigh[order]
+        parent_origin = parent_origin[order]
+        first = _np.empty(neigh.shape[0], dtype=bool)
+        first[0] = True
+        _np.not_equal(neigh[1:], neigh[:-1], out=first[1:])
+        frontier = neigh[first].astype(_np.int64)
+        claimed = parent_origin[first]
+        stamp[frontier] = epoch
+        origin[frontier] = claimed
+        depth += 1
+        for v, o in zip(frontier.tolist(), claimed.tolist()):
+            dist_out[v] = depth
+            origin_out[v] = o
+    return dist_out, origin_out
+
+
+# ----------------------------------------------------------------------
+# Dijkstra on weighted CSR
+# ----------------------------------------------------------------------
+def dijkstra(
+    wcsr: WeightedCSRGraph, source: int, max_distance: Optional[float] = None
+) -> Dict[int, float]:
+    """Single-source shortest-path distances on a weighted snapshot.
+
+    Matches :meth:`WeightedGraph.dijkstra`: vertices beyond
+    ``max_distance`` are neither reported nor expanded.
+    """
+    _check_source(wcsr, source)
+    backend = _BACKEND
+    if backend == "scipy" or (
+        backend == "auto" and max_distance is None
+        and wcsr.num_vertices >= VECTOR_MIN_VERTICES and _scipy_usable(wcsr)
+    ):
+        if _scipy_usable(wcsr):
+            matrix = wcsr.scipy_matrix()
+            limit = _np.inf if max_distance is None else float(max_distance)
+            dense = _scipy_csgraph_dijkstra(matrix, indices=source, limit=limit)
+            return _dense_to_dict(dense, as_float=True)
+    return _scalar_dijkstra(wcsr, source, max_distance)
+
+
+def _scalar_dijkstra(
+    wcsr: WeightedCSRGraph, source: int, max_distance: Optional[float]
+) -> Dict[int, float]:
+    pairs = wcsr.adjacency_pairs()
+    ws = _workspace(wcsr)
+    stamp, settled, dist = ws.stamp, ws.settled, ws.dist
+    epoch = ws.next_epoch()
+    stamp[source] = epoch
+    dist[source] = 0.0
+    out: Dict[int, float] = {}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heappop(heap)
+        if settled[u] == epoch:
+            continue
+        settled[u] = epoch
+        out[u] = d
+        for v, w in pairs[u]:
+            nd = d + w
+            if max_distance is not None and nd > max_distance:
+                continue
+            if settled[v] != epoch and (stamp[v] != epoch or nd < dist[v]):
+                stamp[v] = epoch
+                dist[v] = nd
+                heappush(heap, (nd, v))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Hop-limited Bellman–Ford on weighted CSR
+# ----------------------------------------------------------------------
+def vectorized_hop_limited_usable(num_vertices: int) -> bool:
+    """Whether :func:`hop_limited` would run vectorized for this size."""
+    if _np is None:
+        return False
+    if _BACKEND in ("numpy", "scipy"):
+        return True
+    return _BACKEND == "auto" and num_vertices >= HOP_VECTOR_MIN_VERTICES
+
+
+def hop_limited(
+    wcsr: WeightedCSRGraph, source: int, max_hops: int
+) -> Dict[int, float]:
+    """Vectorized hop-limited single-source distances (``d^{(t)}``).
+
+    Semantics match :func:`repro.hopsets.bounded_hop.hop_limited_distances`
+    (relaxations only from the vertices improved in the previous round,
+    improvements below ``1e-12`` ignored); values may differ from the
+    scalar implementation by at most that tolerance.
+    """
+    _check_source(wcsr, source)
+    if max_hops < 0:
+        raise ValueError(f"max_hops must be non-negative, got {max_hops}")
+    if _np is None:  # pragma: no cover - guarded by vectorized_hop_limited_usable
+        raise RuntimeError("hop_limited kernel requires numpy")
+    indptr, indices, weights = wcsr.numpy_views()
+    ws = _workspace(wcsr)
+    stamp, _, best = ws.numpy_buffers()
+    epoch = ws.next_epoch()
+    stamp[source] = epoch
+    best[source] = 0.0
+    frontier = _np.array([source], dtype=_np.int64)
+    for _ in range(max_hops):
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        cum = _np.empty(counts.shape[0] + 1, dtype=_np.int64)
+        cum[0] = 0
+        _np.cumsum(counts, out=cum[1:])
+        offsets = _np.repeat(starts - cum[:-1], counts) + _np.arange(total)
+        neigh = indices[offsets].astype(_np.int64)
+        candidate = _np.repeat(best[frontier], counts) + weights[offsets]
+        current = _np.where(stamp[neigh] == epoch, best[neigh], _np.inf)
+        improving = candidate < current - _EPS
+        neigh = neigh[improving]
+        candidate = candidate[improving]
+        if neigh.size == 0:
+            break
+        order = _np.lexsort((candidate, neigh))
+        neigh = neigh[order]
+        candidate = candidate[order]
+        first = _np.empty(neigh.shape[0], dtype=bool)
+        first[0] = True
+        _np.not_equal(neigh[1:], neigh[:-1], out=first[1:])
+        frontier = neigh[first]
+        best[frontier] = candidate[first]
+        stamp[frontier] = epoch
+    reached = _np.flatnonzero(stamp == epoch)
+    return dict(zip(reached.tolist(), best[reached].tolist()))

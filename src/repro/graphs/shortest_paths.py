@@ -4,14 +4,32 @@ All constructions in the paper repeatedly run bounded breadth-first searches
 ("Dijkstra explorations" on an unweighted graph) from cluster centers.  This
 module collects the exact-distance machinery used by the centralized
 algorithms, the validators and the experiments.
+
+The public functions keep their dict-shaped signatures but execute on the
+flat-array kernels of :mod:`repro.graphs.kernels` over each graph's cached
+CSR snapshot (:meth:`Graph.csr`): preallocated buffers and an
+epoch-stamped visited array inside, dictionaries only at the boundary.
+The original dict-based implementations survive as the module-private
+``_dict_*`` functions — they are the reference the kernel equivalence
+suite and the kernel benchmarks compare against.
+
+Sweep executors can additionally install an :class:`ExplorationCache`
+(via :func:`shared_explorations`) so that repeated explorations from the
+same source at the same radius — e.g. cluster-center explorations of
+different build specs on one graph, or verification baselines — are
+computed once and shared.  Cache hits return fresh dict copies with the
+original insertion order, so cached and uncached runs produce
+byte-identical downstream results.
 """
 
 from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro.graphs import kernels
 from repro.graphs.graph import Graph
 
 __all__ = [
@@ -24,9 +42,116 @@ __all__ = [
     "all_pairs_shortest_paths",
     "eccentricity",
     "diameter",
+    "ExplorationCache",
+    "shared_explorations",
 ]
 
 
+# ----------------------------------------------------------------------
+# Shared-exploration cache (installed by the sweep executor)
+# ----------------------------------------------------------------------
+class ExplorationCache:
+    """Memoizes explorations of **one** graph per ``(source, radius)``.
+
+    When a sweep builds several specs on the same graph, every spec
+    re-explores the graph from (largely) the same cluster centers at the
+    same radii, and verification re-runs the same unbounded baselines.
+    With an installed cache (:func:`shared_explorations`), each distinct
+    ``(source, radius)`` exploration — and each distinct
+    ``(sources, radius)`` multi-source exploration — is computed once.
+
+    Radii are normalized (``floor``) before keying, so float radii that
+    clamp equally share one entry.  Hits return *copies* of the stored
+    dicts (preserving insertion order), so callers may treat results as
+    their own and cached runs stay byte-identical to uncached runs.  The
+    store is bounded (``max_entries``, FIFO) so an adversarially wide
+    sweep cannot hold O(n^2) distance entries.
+    """
+
+    DEFAULT_MAX_ENTRIES = 4096
+
+    def __init__(self, graph: Graph, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be at least 1, got {max_entries}")
+        self.graph = graph
+        self.max_entries = max_entries
+        self._store: Dict[Tuple[Any, ...], Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def bounded_bfs(self, source: int, radius: Optional[int]) -> Dict[int, int]:
+        """Memoized bounded BFS (``radius`` already normalized)."""
+        return dict(self.shared_bounded_bfs(source, radius))
+
+    def shared_bounded_bfs(self, source: int, radius: Optional[int]) -> Dict[int, int]:
+        """Like :meth:`bounded_bfs` but returns the *stored* dict, uncopied.
+
+        For read-only consumers that would otherwise memoize their own
+        copy (e.g. :class:`repro.api.executor.GraphBaseline`), so each
+        exploration is held once.  Callers must not mutate the result.
+        """
+        key = ("bfs", source, radius)
+        stored = self._store.get(key)
+        if stored is None:
+            self.misses += 1
+            stored = kernels.bounded_bfs(self.graph.csr(), source, radius)
+            self._remember(key, stored)
+        else:
+            self.hits += 1
+        return stored
+
+    def multi_source_bfs(
+        self, sources: Tuple[int, ...], radius: Optional[int]
+    ) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """Memoized multi-source BFS (``sources`` sorted, ``radius`` normalized)."""
+        key = ("msbfs", sources, radius)
+        stored = self._store.get(key)
+        if stored is None:
+            self.misses += 1
+            stored = kernels.multi_source_bfs(self.graph.csr(), sources, radius,
+                                              normalized=True)
+            self._remember(key, stored)
+        else:
+            self.hits += 1
+        dist, origin = stored
+        return dict(dist), dict(origin)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._store)}
+
+    def _remember(self, key: Tuple[Any, ...], value: Any) -> None:
+        if len(self._store) >= self.max_entries:
+            self._store.pop(next(iter(self._store)))
+        self._store[key] = value
+
+
+#: The installed cache; explorations of *its* graph are served from it.
+_ACTIVE_CACHE: Optional[ExplorationCache] = None
+
+
+@contextmanager
+def shared_explorations(cache: Optional[ExplorationCache]):
+    """Install ``cache`` for the duration of the ``with`` block.
+
+    Explorations of any *other* graph are unaffected, so builders that
+    explore auxiliary graphs (spanners under construction, unions) keep
+    their normal behaviour.  ``None`` is accepted and installs nothing,
+    which lets call sites thread an optional cache without branching.
+    """
+    global _ACTIVE_CACHE
+    previous = _ACTIVE_CACHE
+    if cache is not None:
+        _ACTIVE_CACHE = cache
+    try:
+        yield cache
+    finally:
+        _ACTIVE_CACHE = previous
+
+
+# ----------------------------------------------------------------------
+# BFS family (kernel-backed)
+# ----------------------------------------------------------------------
 def bfs_distances(graph: Graph, source: int) -> Dict[int, int]:
     """Distances from ``source`` to every reachable vertex."""
     return bounded_bfs(graph, source, None)
@@ -42,9 +167,10 @@ def bounded_bfs(graph: Graph, source: int, radius: Optional[float]) -> Dict[int,
     source:
         Start vertex.
     radius:
-        Maximum distance to explore; ``None`` means unbounded.  A float
-        radius is honoured (distances are integers, so the effective bound
-        is ``floor(radius)``).
+        Maximum distance to explore; ``None`` (or ``inf``) means
+        unbounded.  Distances are integers, so a float radius is clamped
+        to ``floor(radius)`` once up front.  Negative radii raise
+        ``ValueError``.
 
     Returns
     -------
@@ -53,20 +179,11 @@ def bounded_bfs(graph: Graph, source: int, radius: Optional[float]) -> Dict[int,
     """
     if source not in graph:
         raise ValueError(f"source {source} not in graph")
-    dist: Dict[int, int] = {source: 0}
-    queue: deque = deque([source])
-    while queue:
-        u = queue.popleft()
-        du = dist[u]
-        if radius is not None and du >= radius:
-            continue
-        for v in graph.neighbors(u):
-            if v not in dist:
-                dist[v] = du + 1
-                queue.append(v)
-    if radius is not None:
-        return {v: d for v, d in dist.items() if d <= radius}
-    return dist
+    clamped = kernels.normalize_radius(radius)
+    cache = _ACTIVE_CACHE
+    if cache is not None and cache.graph is graph:
+        return cache.bounded_bfs(source, clamped)
+    return kernels.bounded_bfs(graph.csr(), source, clamped)
 
 
 def bfs_tree(graph: Graph, source: int, radius: Optional[float] = None) -> Dict[int, int]:
@@ -100,30 +217,14 @@ def multi_source_bfs(
     deterministic — the deterministic constructions rely on this.
     """
     source_list = sorted(set(sources))
-    dist: Dict[int, int] = {}
-    origin: Dict[int, int] = {}
-    queue: deque = deque()
     for s in source_list:
         if s not in graph:
             raise ValueError(f"source {s} not in graph")
-        dist[s] = 0
-        origin[s] = s
-        queue.append(s)
-    while queue:
-        u = queue.popleft()
-        du = dist[u]
-        if radius is not None and du >= radius:
-            continue
-        for v in graph.neighbors(u):
-            if v not in dist:
-                dist[v] = du + 1
-                origin[v] = origin[u]
-                queue.append(v)
-    if radius is not None:
-        keep = {v for v, d in dist.items() if d <= radius}
-        dist = {v: dist[v] for v in keep}
-        origin = {v: origin[v] for v in keep}
-    return dist, origin
+    clamped = kernels.normalize_radius(radius)
+    cache = _ACTIVE_CACHE
+    if cache is not None and cache.graph is graph:
+        return cache.multi_source_bfs(tuple(source_list), clamped)
+    return kernels.multi_source_bfs(graph.csr(), source_list, clamped, normalized=True)
 
 
 def dijkstra(
@@ -197,3 +298,62 @@ def diameter(graph: Graph) -> int:
     components = graph.connected_components()
     largest = max(components, key=len)
     return max(eccentricity(graph, v) for v in largest)
+
+
+# ----------------------------------------------------------------------
+# Reference dict implementations (equivalence suite + benchmarks only)
+# ----------------------------------------------------------------------
+def _dict_bounded_bfs(graph: Graph, source: int, radius: Optional[float]) -> Dict[int, int]:
+    """The pre-kernel dict/deque BFS, kept as the behavioural reference."""
+    if source not in graph:
+        raise ValueError(f"source {source} not in graph")
+    dist: Dict[int, int] = {source: 0}
+    queue: deque = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        if radius is not None and du >= radius:
+            continue
+        for v in graph.neighbors(u):
+            if v not in dist:
+                dist[v] = du + 1
+                queue.append(v)
+    if radius is not None:
+        return {v: d for v, d in dist.items() if d <= radius}
+    return dist
+
+
+def _dict_bfs_distances(graph: Graph, source: int) -> Dict[int, int]:
+    """Reference unbounded BFS (see :func:`_dict_bounded_bfs`)."""
+    return _dict_bounded_bfs(graph, source, None)
+
+
+def _dict_multi_source_bfs(
+    graph: Graph, sources: Iterable[int], radius: Optional[float] = None
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """The pre-kernel dict/deque multi-source BFS, kept as the reference."""
+    source_list = sorted(set(sources))
+    dist: Dict[int, int] = {}
+    origin: Dict[int, int] = {}
+    queue: deque = deque()
+    for s in source_list:
+        if s not in graph:
+            raise ValueError(f"source {s} not in graph")
+        dist[s] = 0
+        origin[s] = s
+        queue.append(s)
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        if radius is not None and du >= radius:
+            continue
+        for v in graph.neighbors(u):
+            if v not in dist:
+                dist[v] = du + 1
+                origin[v] = origin[u]
+                queue.append(v)
+    if radius is not None:
+        keep = {v for v, d in dist.items() if d <= radius}
+        dist = {v: dist[v] for v in keep}
+        origin = {v: origin[v] for v in keep}
+    return dist, origin

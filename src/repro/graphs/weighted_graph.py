@@ -23,7 +23,7 @@ class WeightedGraph:
     distance between its endpoints.
     """
 
-    __slots__ = ("_n", "_adj", "_num_edges")
+    __slots__ = ("_n", "_adj", "_num_edges", "_csr")
 
     def __init__(
         self,
@@ -35,6 +35,7 @@ class WeightedGraph:
         self._n = num_vertices
         self._adj: List[Dict[int, float]] = [dict() for _ in range(num_vertices)]
         self._num_edges = 0
+        self._csr = None
         for u, v, w in edges:
             self.add_edge(u, v, w)
 
@@ -107,10 +108,12 @@ class WeightedGraph:
             if weight < self._adj[u][v]:
                 self._adj[u][v] = weight
                 self._adj[v][u] = weight
+                self._csr = None
             return False
         self._adj[u][v] = weight
         self._adj[v][u] = weight
         self._num_edges += 1
+        self._csr = None
         return True
 
     def remove_edge(self, u: int, v: int) -> bool:
@@ -120,6 +123,7 @@ class WeightedGraph:
         del self._adj[u][v]
         del self._adj[v][u]
         self._num_edges -= 1
+        self._csr = None
         return True
 
     # ------------------------------------------------------------------
@@ -141,7 +145,23 @@ class WeightedGraph:
         dict
             Mapping ``vertex -> distance`` for every reachable vertex within
             the radius.
+
+        Notes
+        -----
+        Runs on the flat-array kernels (:mod:`repro.graphs.kernels`) over
+        the cached CSR snapshot; the legacy dict-of-dicts walk survives
+        as :meth:`_dict_dijkstra`, the reference implementation of the
+        kernel equivalence suite.
         """
+        self._check_vertex(source)
+        from repro.graphs import kernels
+
+        return kernels.dijkstra(self.csr(), source, max_distance)
+
+    def _dict_dijkstra(
+        self, source: int, max_distance: Optional[float] = None
+    ) -> Dict[int, float]:
+        """Reference dict-based Dijkstra (tests and benchmarks only)."""
         self._check_vertex(source)
         dist: Dict[int, float] = {source: 0.0}
         heap: List[Tuple[float, int]] = [(0.0, source)]
@@ -190,11 +210,36 @@ class WeightedGraph:
         g = WeightedGraph(self._n)
         g._adj = [dict(neigh) for neigh in self._adj]
         g._num_edges = self._num_edges
+        # CSR snapshots are immutable and safe to share between copies.
+        g._csr = self._csr
         return g
+
+    def csr(self):
+        """The flat-array snapshot (:class:`repro.graphs.csr.WeightedCSRGraph`).
+
+        Compiled on first use, cached on the instance, and dropped by any
+        mutation — the same lifecycle as :meth:`Graph.csr`.
+        """
+        if self._csr is None:
+            from repro.graphs.csr import WeightedCSRGraph
+
+            self._csr = WeightedCSRGraph.from_weighted_graph(self)
+        return self._csr
 
     # ------------------------------------------------------------------
     # Dunder methods
     # ------------------------------------------------------------------
+    def __getstate__(self):
+        return {"_n": self._n, "_adj": self._adj, "_num_edges": self._num_edges}
+
+    def __setstate__(self, state) -> None:
+        if isinstance(state, tuple):  # pre-1.4 slots pickle: (None, slot dict)
+            state = state[1]
+        self._n = state["_n"]
+        self._adj = state["_adj"]
+        self._num_edges = state["_num_edges"]
+        self._csr = None
+
     def __len__(self) -> int:
         return self._n
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.graphs import kernels
 from repro.graphs.graph import Graph
 from repro.graphs.weighted_graph import WeightedGraph
 
@@ -81,6 +82,10 @@ def hop_limited_distances(
         raise ValueError(f"source {source} out of range [0, {weighted.num_vertices})")
     if max_hops < 0:
         raise ValueError(f"max_hops must be non-negative, got {max_hops}")
+    if kernels.vectorized_hop_limited_usable(weighted.num_vertices):
+        # Vectorized rounds over the cached CSR snapshot; same relaxation
+        # schedule and 1e-12 improvement tolerance as the loop below.
+        return kernels.hop_limited(weighted.csr(), source, max_hops)
     best: Dict[int, float] = {source: 0.0}
     frontier: Dict[int, float] = {source: 0.0}
     for _ in range(max_hops):

@@ -38,8 +38,8 @@ from typing import Any, Dict, Iterable, List, Optional, Protocol, Tuple, runtime
 
 from repro.api.facade import build as facade_build
 from repro.api.result import BuildResultAdapter
+from repro.graphs import kernels
 from repro.graphs.graph import Graph
-from repro.graphs.shortest_paths import bfs_distances
 from repro.graphs.weighted_graph import WeightedGraph
 from repro.hopsets.bounded_hop import hop_limited_distances, union_with_graph
 from repro.serve.registry import register_oracle
@@ -227,7 +227,9 @@ class SpannerOracle(OracleBackend):
         return self._spanner.num_edges
 
     def _distances_from(self, source: int) -> Dict[int, float]:
-        return {v: float(d) for v, d in bfs_distances(self._spanner, source).items()}
+        # Straight to the flat-array kernel over the spanner's cached CSR
+        # snapshot; float output skips the int-dict round trip.
+        return kernels.bfs_distances(self._spanner.csr(), source, as_float=True)
 
 
 class HopsetOracle(OracleBackend):
@@ -286,7 +288,9 @@ class ExactOracle(OracleBackend):
         return self._graph.num_edges
 
     def _distances_from(self, source: int) -> Dict[int, float]:
-        return {v: float(d) for v, d in bfs_distances(self._graph, source).items()}
+        # Straight to the flat-array kernel over the graph's cached CSR
+        # snapshot; float output skips the int-dict round trip.
+        return kernels.bfs_distances(self._graph.csr(), source, as_float=True)
 
 
 @register_oracle("emulator", description="Dijkstra on the weighted (1+eps, beta)-emulator")

@@ -543,3 +543,41 @@ class TestSweepTableSummary:
         table = format_sweep_table([record])
         assert "cache:" not in table
         assert "total build time" not in table
+
+
+class TestSharedExplorations:
+    """The exploration cache must be observationally transparent."""
+
+    def test_records_identical_with_and_without_sharing(self, grid16):
+        sweep = GridSweep(products=("emulator", "spanner"),
+                          methods=("centralized", "fast"),
+                          eps_values=(0.1, 0.05))
+        shared = run_sweep({"grid": grid16}, sweep, verify=20)
+        unshared = run_sweep({"grid": grid16}, sweep, verify=20,
+                             share_explorations=False)
+        assert [_record_key(r) for r in shared] == [_record_key(r) for r in unshared]
+        assert [pickle.dumps(sorted(r.result.edges)) for r in shared] \
+            == [pickle.dumps(sorted(r.result.edges)) for r in unshared]
+
+    def test_parallel_matches_serial_with_sharing(self, grid16, small_sweep):
+        serial = run_sweep({"grid": grid16}, small_sweep, verify=10)
+        parallel = run_sweep({"grid": grid16}, small_sweep, verify=10, workers=2)
+        assert [_record_key(r) for r in serial] == [_record_key(r) for r in parallel]
+
+    def test_sharing_skips_repeated_explorations(self, grid16):
+        from repro.graphs.shortest_paths import ExplorationCache
+
+        cache = ExplorationCache(grid16)
+        baseline = GraphBaseline(grid16, explorations=cache)
+        first = baseline.distances(3)
+        assert cache.stats()["misses"] == 1
+        # A second baseline over the same cache reuses the exploration.
+        other = GraphBaseline(grid16, explorations=cache)
+        assert other.distances(3) == first
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_exploration_cache_left_uninstalled_after_sweep(self, grid16, small_sweep):
+        from repro.graphs import shortest_paths
+
+        run_sweep({"grid": grid16}, small_sweep)
+        assert shortest_paths._ACTIVE_CACHE is None
