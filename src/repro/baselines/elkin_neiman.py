@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.clusters import Cluster, Partition
 from repro.core.parameters import CentralizedSchedule
 from repro.graphs.graph import Graph
-from repro.graphs.shortest_paths import bounded_bfs
+from repro.graphs.shortest_paths import PhaseExplorer, multi_source_attributed
 from repro.graphs.weighted_graph import WeightedGraph
 
 __all__ = ["ElkinNeimanResult", "build_elkin_neiman_emulator"]
@@ -73,22 +73,29 @@ def build_elkin_neiman_emulator(
         next_partition = Partition()
         gathered: Dict[int, List[Tuple[int, float, Cluster]]] = {s: [] for s in sampled}
 
+        # One multi-source pass assigns every vertex its closest sampled
+        # center (smallest-ID ties — the same ``sorted((d, s))[0]`` rule
+        # the per-center loop applied), so only centers with *no* sampled
+        # cluster within delta still need their own exploration; those
+        # run through a batched explorer.
+        attributed = multi_source_attributed(graph, sampled, delta)
+        lonely = [c for c in centers if c not in sampled and c not in attributed]
+        explorer = PhaseExplorer(graph, lonely, delta)
+
         for center in centers:
             if center in sampled:
                 continue
             cluster = partition.cluster_of_center(center)
-            dist = bounded_bfs(graph, center, delta)
-            nearby_sampled = sorted(
-                (d, s) for s, d in dist.items() if s in sampled and s != center
-            )
-            if nearby_sampled:
-                d, closest = nearby_sampled[0]
+            assignment = attributed.get(center)
+            if assignment is not None:
+                closest, d = assignment
                 if emulator.add_edge(center, closest, float(d)):
                     superclustering_edges += 1
                 gathered[closest].append((center, float(d), cluster))
             else:
                 # No sampled cluster nearby: interconnect with every
                 # neighboring cluster center and leave the hierarchy.
+                dist = explorer.explore(center)
                 for other, d in sorted(dist.items()):
                     if other == center or other not in center_set:
                         continue

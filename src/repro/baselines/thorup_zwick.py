@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.clusters import Cluster, Partition
 from repro.graphs.graph import Graph
-from repro.graphs.shortest_paths import bfs_distances
+from repro.graphs.shortest_paths import PhaseExplorer
 from repro.graphs.weighted_graph import WeightedGraph
 
 __all__ = ["ThorupZwickResult", "build_thorup_zwick_emulator"]
@@ -84,6 +84,11 @@ def build_thorup_zwick_emulator(
         next_partition = Partition()
         gathered: Dict[int, List[Tuple[int, float, Cluster]]] = {s: [] for s in sampled}
 
+        # Every unsampled center runs one unbounded exploration (the
+        # interconnection rule needs the full distance vector), batched
+        # into chunked multi-source kernel passes.
+        explorer = PhaseExplorer(graph, [c for c in centers if c not in sampled], None)
+
         for center in centers:
             if center in sampled:
                 continue
@@ -91,7 +96,7 @@ def build_thorup_zwick_emulator(
             # BFS outward from the unsampled center: collect unsampled
             # centers strictly closer than the closest sampled center, then
             # attach to that closest sampled center (if any exists).
-            dist = bfs_distances(graph, center)
+            dist = explorer.explore(center)
             sampled_dist = min(
                 (dist[s] for s in sampled if s in dist), default=float("inf")
             )

@@ -41,7 +41,7 @@ from repro.core.charging import ChargeLedger, EdgeKind
 from repro.core.clusters import Cluster, Partition
 from repro.core.parameters import CentralizedSchedule
 from repro.graphs.graph import Graph
-from repro.graphs.shortest_paths import bounded_bfs
+from repro.graphs.shortest_paths import PhaseExplorer
 from repro.graphs.weighted_graph import WeightedGraph
 
 __all__ = ["PhaseStats", "EmulatorResult", "UltraSparseEmulatorBuilder", "build_emulator"]
@@ -206,6 +206,12 @@ class UltraSparseEmulatorBuilder:
         # Supercluster assembly state: center -> (member clusters, radius witness).
         supercluster_members: Dict[int, List[Tuple[Cluster, float]]] = {}
 
+        # Centers absorbed into a supercluster leave ``in_s`` before they
+        # are reached, so the explorer prefetches batched chunks along the
+        # consideration order rather than exploring the whole phase up
+        # front — skipped centers cost at most one wasted chunk member.
+        explorer = PhaseExplorer(self.graph, partition.centers(), 2.0 * delta)
+
         for center in partition.centers():
             if center not in in_s:
                 continue
@@ -216,7 +222,7 @@ class UltraSparseEmulatorBuilder:
             # up to delta define the neighbor set Gamma, distances in
             # (delta, 2*delta] feed the buffer set N_i when the center turns
             # out to be popular.
-            dist = bounded_bfs(self.graph, center, 2.0 * delta)
+            dist = explorer.explore(center)
             neighbors = [
                 (other, float(d))
                 for other, d in dist.items()

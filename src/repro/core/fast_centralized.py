@@ -29,7 +29,7 @@ from repro.core.clusters import Cluster, Partition
 from repro.core.emulator import EmulatorResult, PhaseStats
 from repro.core.parameters import DistributedSchedule
 from repro.graphs.graph import Graph
-from repro.graphs.shortest_paths import bounded_bfs, multi_source_bfs
+from repro.graphs.shortest_paths import PhaseExplorer, multi_source_bfs
 from repro.graphs.weighted_graph import WeightedGraph
 
 __all__ = ["FastCentralizedBuilder", "build_emulator_fast"]
@@ -115,9 +115,12 @@ class FastCentralizedBuilder:
 
         # Neighbor map: for every center, the other centers within delta and
         # their exact distances (the centralized analogue of Algorithm 2).
+        # Every center is explored, so the explorer's chunked prefetch is
+        # pure batching here — one kernel pass per chunk.
+        explorer = PhaseExplorer(self.graph, centers, delta)
         neighbor_map: Dict[int, Dict[int, int]] = {}
         for center in centers:
-            dist = bounded_bfs(self.graph, center, delta)
+            dist = explorer.explore(center)
             neighbor_map[center] = {
                 other: d for other, d in dist.items() if other != center and other in center_set
             }

@@ -23,7 +23,7 @@ from repro.core.clusters import Cluster, Partition
 from repro.core.emulator import PhaseStats
 from repro.core.parameters import SpannerSchedule
 from repro.graphs.graph import Graph
-from repro.graphs.shortest_paths import bfs_tree, bounded_bfs
+from repro.graphs.shortest_paths import PhaseExplorer, bfs_tree
 from repro.graphs.weighted_graph import WeightedGraph
 
 __all__ = [
@@ -147,9 +147,12 @@ class NearAdditiveSpannerBuilder:
         centers = partition.centers()
         center_set = set(centers)
 
+        # Every center is explored, so the chunked prefetch is pure
+        # batching: one multi-source kernel pass per chunk of centers.
+        explorer = PhaseExplorer(self.graph, centers, delta)
         neighbor_map: Dict[int, Dict[int, int]] = {}
         for center in centers:
-            dist = bounded_bfs(self.graph, center, delta)
+            dist = explorer.explore(center)
             neighbor_map[center] = {
                 other: d for other, d in dist.items() if other != center and other in center_set
             }

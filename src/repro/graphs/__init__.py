@@ -17,8 +17,11 @@ from repro.graphs.shortest_paths import (
     bounded_dijkstra,
     all_pairs_shortest_paths,
     multi_source_bfs,
+    multi_source_attributed,
     ExplorationCache,
+    PhaseExplorer,
     shared_explorations,
+    active_exploration_cache,
 )
 from repro.graphs import generators
 from repro.graphs import io
@@ -36,8 +39,11 @@ __all__ = [
     "bounded_dijkstra",
     "all_pairs_shortest_paths",
     "multi_source_bfs",
+    "multi_source_attributed",
     "ExplorationCache",
+    "PhaseExplorer",
     "shared_explorations",
+    "active_exploration_cache",
     "generators",
     "io",
     "kernels",

@@ -20,6 +20,16 @@ different build specs on one graph, or verification baselines — are
 computed once and shared.  Cache hits return fresh dict copies with the
 original insertion order, so cached and uncached runs produce
 byte-identical downstream results.
+
+Construction phases go one step further: a :class:`PhaseExplorer`
+prefetches a phase's per-center explorations through
+:func:`repro.graphs.kernels.batched_bfs` (one multi-source kernel pass
+per chunk instead of one Python BFS per center), feeding any installed
+:class:`ExplorationCache` along the way, and
+:func:`multi_source_attributed` collapses "closest center" assignments
+into a single pass.  Both are byte-identical to the per-center calls
+they replace; ``REPRO_BATCH_DISABLE=1`` switches the whole layer back
+to per-center explorations for transparency diffs.
 """
 
 from __future__ import annotations
@@ -37,13 +47,16 @@ __all__ = [
     "bounded_bfs",
     "bfs_tree",
     "multi_source_bfs",
+    "multi_source_attributed",
     "dijkstra",
     "bounded_dijkstra",
     "all_pairs_shortest_paths",
     "eccentricity",
     "diameter",
     "ExplorationCache",
+    "PhaseExplorer",
     "shared_explorations",
+    "active_exploration_cache",
 ]
 
 
@@ -116,6 +129,31 @@ class ExplorationCache:
         dist, origin = stored
         return dict(dist), dict(origin)
 
+    def cached_bounded_bfs(self, source: int, radius: Optional[int]) -> Optional[Dict[int, int]]:
+        """A copy of the stored exploration, or ``None`` — never computes.
+
+        Lets a :class:`PhaseExplorer` consult the shared store before
+        spending a batched pass; a hit is counted, a miss is not (the
+        explorer reports the eventual computation via
+        :meth:`seed_bounded_bfs`).
+        """
+        stored = self._store.get(("bfs", source, radius))
+        if stored is None:
+            return None
+        self.hits += 1
+        return dict(stored)
+
+    def seed_bounded_bfs(self, source: int, radius: Optional[int], dist: Dict[int, int]) -> None:
+        """Store an exploration computed elsewhere (a batched pass).
+
+        Counted as a miss — the entry was computed, just not by this
+        cache.  The caller keeps ownership of ``dist``; a copy is stored.
+        """
+        key = ("bfs", source, radius)
+        if key not in self._store:
+            self.misses += 1
+            self._remember(key, dict(dist))
+
     def stats(self) -> Dict[str, int]:
         """Hit/miss/size counters."""
         return {"hits": self.hits, "misses": self.misses, "entries": len(self._store)}
@@ -147,6 +185,210 @@ def shared_explorations(cache: Optional[ExplorationCache]):
         yield cache
     finally:
         _ACTIVE_CACHE = previous
+
+
+def active_exploration_cache(graph: Graph) -> Optional[ExplorationCache]:
+    """The installed :class:`ExplorationCache` if it serves ``graph``, else ``None``."""
+    cache = _ACTIVE_CACHE
+    if cache is not None and cache.graph is graph:
+        return cache
+    return None
+
+
+# ----------------------------------------------------------------------
+# Batched phase explorations
+# ----------------------------------------------------------------------
+class PhaseExplorer:
+    """Batches one phase's center explorations into multi-source passes.
+
+    Every construction phase explores the graph from its cluster centers
+    at one fixed radius, consuming the centers in a known order (sorted
+    center IDs) but possibly *skipping* some — Algorithm 1 discards
+    centers absorbed into an earlier supercluster before they are ever
+    explored.  A ``PhaseExplorer`` is created with that consumption
+    order and serves :meth:`explore` calls from **sequential chunked
+    prefetches** through :func:`repro.graphs.kernels.batched_bfs`: a
+    miss batches the next chunk of still-pending sources starting at the
+    missed one, so
+
+    * loops that consume every center pay one kernel pass per chunk
+      instead of one Python BFS per center;
+    * loops that skip centers pay (essentially) nothing for the batching
+      they cannot use.  Because consumption follows the declared order,
+      every source before the current miss is either consumed or dead,
+      so the explorer measures the phase's survival rate *exactly* and
+      for free: it fetches one source at a time through an observation
+      window (:data:`OBSERVATION_WINDOW` sources) and speculates beyond
+      the asked-for source only while at least three quarters of the
+      passed sources were actually consumed, keeping the computed total
+      under ``2 * consumed``.  Algorithm 1 routinely explores under 10% of a
+      phase's centers — such a phase degrades to exactly the per-center
+      loop — while full-consumption loops grow their chunks
+      geometrically into budget-sized passes; and
+    * results are byte-identical to per-center :func:`bounded_bfs` calls
+      — the explorations themselves do not depend on what the phase
+      skipped, only the caller's post-filtering does.
+
+    When an :class:`ExplorationCache` is installed for the same graph
+    (:func:`shared_explorations`), the explorer serves hits from it and
+    seeds every batched result into it, so cross-spec sharing and
+    batching compose.  With ``REPRO_BATCH_DISABLE=1`` the explorer
+    degrades to exactly the historical per-center call, prefetching
+    nothing.
+
+    The chunk size follows the byte budget of the kernel layer
+    (``memory_budget`` / ``REPRO_BATCH_MEMORY_BUDGET``).
+    """
+
+    #: Sources fetched one at a time before the explorer trusts the
+    #: observed survival rate enough to speculate past the asked-for
+    #: source.  The window costs nothing: unbatched fetches are exactly
+    #: what the per-center loop would have done.
+    OBSERVATION_WINDOW = 8
+
+
+    def __init__(
+        self,
+        graph: Graph,
+        sources: Iterable[int],
+        radius,
+        *,
+        memory_budget: Optional[int] = None,
+    ) -> None:
+        self.graph = graph
+        self.radius = kernels.normalize_radius(radius)
+        self.sources: List[int] = list(sources)
+        # Sources are located by scanning forward along the declared
+        # order (consumption follows it), so a phase pays O(len(sources))
+        # bookkeeping total instead of an up-front index over thousands
+        # of centers it may never explore.  Invalid sources are rejected
+        # by the kernels at exploration time.
+        self._scan = 0
+        self._memory_budget = memory_budget
+        self._store: Dict[int, Dict[int, int]] = {}
+        self._computed: set = set()
+        self._disabled = kernels.batching_disabled()
+        self._budget_chunk: Optional[int] = None
+        self._no_speculation = False
+        self._result_entries = 0
+        self.batched_passes = 0
+        self.prefetched = 0
+        self.consumed = 0
+
+    def explore(self, source: int) -> Dict[int, int]:
+        """The bounded exploration from ``source`` at the phase radius.
+
+        Byte-identical to ``bounded_bfs(graph, source, radius)``.  Each
+        stored result is handed out once (ownership moves to the caller,
+        matching the fresh dict a per-center call would return); asking
+        again recomputes, exactly like the historical loop did.
+        """
+        if self._disabled:
+            return bounded_bfs(self.graph, source, self.radius)
+        if self._no_speculation:
+            # Locked to single fetches: this is the per-center loop with
+            # one extra dict probe (earlier speculation may still hold a
+            # result for this source).
+            self.consumed += 1
+            stored = self._store.pop(source, None)
+            if stored is not None:
+                return stored
+            self.prefetched += 1
+            return bounded_bfs(self.graph, source, self.radius)
+        self.consumed += 1
+        stored = self._store.pop(source, None)
+        if stored is not None:
+            return stored
+        cache = active_exploration_cache(self.graph)
+        if cache is not None:
+            hit = cache.cached_bounded_bfs(source, self.radius)
+            if hit is not None:
+                return hit
+        index = self._find(source)
+        if index is None:
+            # Not declared, already passed in the declared order, or
+            # asked again after its result was handed out: fall back to
+            # the plain call (and the shared cache, if any) rather than
+            # failing the phase.
+            return bounded_bfs(self.graph, source, self.radius)
+        self._prefetch_from(index, cache)
+        stored = self._store.pop(source, None)
+        if stored is None:  # skipped by the prefetch filter (cache-held)
+            return bounded_bfs(self.graph, source, self.radius)
+        return stored
+
+    def _find(self, source: int) -> Optional[int]:
+        """The declared index of ``source`` at/after the scan point, or None.
+
+        Only commits the scan pointer on a hit, so an out-of-order or
+        repeated ask degrades that one call, not the whole phase.
+        """
+        sources = self.sources
+        i = self._scan
+        while i < len(sources) and sources[i] != source:
+            i += 1
+        if i >= len(sources):
+            return None
+        self._scan = i
+        return i
+
+    def _prefetch_from(self, start: int, cache: Optional[ExplorationCache]) -> None:
+        """Batch-explore the next chunk of pending sources from ``start``."""
+        if self._budget_chunk is None:
+            # Unbounded explorations materialize O(n)-entry result dicts
+            # per source (far heavier than the kernel's flat buffers), so
+            # budget them at dict cost: ~4x the 32-bytes-per-vertex
+            # kernel estimate.
+            cost = self.graph.num_vertices * (4 if self.radius is None else 1)
+            self._budget_chunk = kernels.batch_chunk_size(
+                cost, len(self.sources), self._memory_budget
+            )
+        budget_chunk = self._budget_chunk
+        # Every declared source before this miss is consumed or dead, so
+        # the phase's survival rate is known exactly.  Fetch singly
+        # through the observation window and whenever fewer than half of
+        # the passed sources were consumed (a skip-heavy phase cannot
+        # amortize speculative explorations); otherwise speculate with a
+        # geometrically growing chunk bounded by 2 * consumed.
+        passed = start + 1
+        if passed >= self.OBSERVATION_WINDOW and 4 * self.consumed < 3 * passed:
+            # Sticky: once survival drops below 3/4, this phase stays on
+            # single fetches.  The bar is high because speculation only
+            # pays when nearly everything speculated gets consumed — a
+            # vectorized pass is a few times faster per exploration, so
+            # even 50% waste eats most of the gain — and because loops
+            # that consume everything (neighbor maps, baselines,
+            # workloads) sit at exactly 100%.
+            self._no_speculation = True
+        if self._no_speculation or passed < self.OBSERVATION_WINDOW:
+            chunk = 1
+        else:
+            allowance = 2 * self.consumed - self.prefetched
+            chunk = max(1, min(budget_chunk, allowance))
+        pending: List[int] = []
+        for s in self.sources[start:]:
+            if len(pending) >= chunk:
+                break
+            if s in self._computed or s in self._store:
+                continue
+            if cache is not None and ("bfs", s, self.radius) in cache._store:
+                continue
+            pending.append(s)
+        if len(pending) == 1:  # no speculation: skip the generator machinery
+            results = [kernels.bounded_bfs(self.graph.csr(), pending[0], self.radius)]
+        else:
+            results = kernels.batched_bfs(
+                self.graph.csr(), pending, self.radius,
+                memory_budget=self._memory_budget,
+            )
+        for s, dist in zip(pending, results):
+            self._store[s] = dist
+            self._computed.add(s)
+            self._result_entries += len(dist)
+            if cache is not None:
+                cache.seed_bounded_bfs(s, self.radius, dist)
+        self.batched_passes += 1
+        self.prefetched += len(pending)
 
 
 # ----------------------------------------------------------------------
@@ -225,6 +467,22 @@ def multi_source_bfs(
     if cache is not None and cache.graph is graph:
         return cache.multi_source_bfs(tuple(source_list), clamped)
     return kernels.multi_source_bfs(graph.csr(), source_list, clamped, normalized=True)
+
+
+def multi_source_attributed(
+    graph: Graph, sources: Iterable[int], radius: Optional[float] = None
+) -> Dict[int, Tuple[int, int]]:
+    """One pass mapping each reached vertex to ``(nearest source, distance)``.
+
+    The Voronoi view of :func:`multi_source_bfs` for call sites that only
+    need nearest-source assignments (e.g. "attach each cluster to its
+    closest sampled center") — one multi-source kernel pass replaces a
+    bounded BFS per center.  Ties break toward the smallest source ID;
+    an installed :class:`ExplorationCache` is consulted like every other
+    exploration.
+    """
+    dist, origin = multi_source_bfs(graph, sources, radius)
+    return {v: (origin[v], d) for v, d in dist.items()}
 
 
 def dijkstra(

@@ -29,6 +29,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Tuple
 
+from repro.graphs import kernels
 from repro.graphs.graph import Graph
 from repro.graphs.shortest_paths import bounded_bfs
 
@@ -87,6 +88,16 @@ def local_queries(
     Isolated sources (empty ball) fall back to a uniform target, so the
     stream always has ``num_queries`` valid pairs even on disconnected
     graphs.
+
+    Ball computation is batched: when the stream is long enough that most
+    vertices will be drawn anyway, every ball is computed up front in
+    chunked multi-source kernel passes (:func:`~repro.graphs.kernels
+    .batched_bfs`) instead of one Python BFS per distinct source; short
+    streams keep the lazy per-source path.  Both paths produce identical
+    ball lists — targets are sampled *from the full ball*, so the
+    Voronoi-style :func:`~repro.graphs.kernels.multi_source_attributed`
+    assignment (which hands each vertex to a single source) cannot serve
+    here — and the generated stream is byte-identical either way.
     """
     n = graph.num_vertices
     _require_pairs(n)
@@ -94,6 +105,10 @@ def local_queries(
         raise ValueError(f"radius must be at least 1, got {radius}")
     rng = random.Random(seed)
     balls: Dict[int, List[int]] = {}
+    if 2 * num_queries >= n and not kernels.batching_disabled():
+        explorations = kernels.batched_bfs(graph.csr(), range(n), radius)
+        for u, dist in zip(range(n), explorations):
+            balls[u] = [v for v in dist if v != u]
     pairs: List[Pair] = []
     for _ in range(num_queries):
         u = rng.randrange(n)
