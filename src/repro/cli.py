@@ -15,7 +15,7 @@ Sub-commands
 ``verify``
     Check a previously built emulator against its graph.
 ``experiments``
-    Run the experiment suite (E1-E15) and print the result tables.
+    Run the experiment suite (E1-E16) and print the result tables.
 ``sweep``
     Run a config-driven product x method x parameter grid through the
     facade and print one table row per build.
@@ -24,11 +24,18 @@ Sub-commands
     size and measured hopbound.
 ``query``
     Load a serving stack (any product, any oracle backend) and answer a
-    list of ``u:v`` distance queries.
+    list of ``u:v`` distance queries; with ``--url`` the queries go to a
+    running daemon instead of a locally built oracle.
 ``bench-serve``
     Drive a serving stack with a seeded query workload and print the load
     harness' JSON report (throughput, p50/p95/p99 latency, observed vs
-    guaranteed stretch).
+    guaranteed stretch).  With ``--url`` the same workload is driven over
+    the wire against a daemon, swept across ``--concurrency`` levels.
+``serve-daemon``
+    Start the persistent oracle-serving daemon (one oracle from the
+    graph/serve flags, or many from a ``--config`` JSON file) and block
+    until interrupted.  Prints ``daemon listening on http://host:port``
+    once the socket accepts, so scripts can scrape the ephemeral port.
 ``oracle``
     Legacy alias of ``query`` pinned to the ultra-sparse emulator backend.
 """
@@ -54,9 +61,19 @@ from repro.experiments.runner import available_experiments, run_all, run_experim
 from repro.experiments.workloads import workload_by_name
 from repro.graphs import io as graph_io
 from repro.graphs.graph import Graph
-from repro.serve import ServeSpec, available_oracles, available_workloads
+from repro.serve import (
+    DaemonConfig,
+    OracleDaemon,
+    RemoteOracle,
+    RemoteOracleError,
+    ServeSpec,
+    WorkloadProfile,
+    available_oracles,
+    available_workloads,
+    run_load_test,
+    run_wire_sweep,
+)
 from repro.serve import load as serve_load
-from repro.serve import run_load_test
 
 __all__ = ["main", "build_parser"]
 
@@ -174,7 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--sample-pairs", type=int, default=None,
                         help="check only this many sampled pairs (default: all pairs)")
 
-    experiments = subparsers.add_parser("experiments", help="run the E1-E15 experiment suite")
+    experiments = subparsers.add_parser("experiments", help="run the E1-E16 experiment suite")
     experiments.add_argument("--only", choices=available_experiments(), default=None,
                              help="run a single experiment")
     experiments.add_argument("--full", action="store_true",
@@ -207,6 +224,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serve_arguments(query)
     query.add_argument("--queries", nargs="+", default=[],
                        help="queries as 'u:v' pairs, e.g. 0:17 3:42")
+    query.add_argument("--url", default=None,
+                       help="query a running serve-daemon at this URL instead of "
+                            "building a local oracle (graph flags are ignored)")
+    query.add_argument("--oracle-name", default=None,
+                       help="served oracle to query with --url (default: the "
+                            "daemon's default oracle)")
 
     bench_serve = subparsers.add_parser(
         "bench-serve",
@@ -224,6 +247,38 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--stretch-sample", type=int, default=100,
                              help="distinct stream pairs re-checked against exact BFS")
     bench_serve.add_argument("--output", help="also write the JSON report to this file")
+    bench_serve.add_argument("--url", default=None,
+                             help="drive a running serve-daemon at this URL over the "
+                                  "wire instead of an in-process stack")
+    bench_serve.add_argument("--oracle-name", default=None,
+                             help="served oracle to drive with --url (default: the "
+                                  "daemon's default oracle)")
+    bench_serve.add_argument("--concurrency", nargs="+", type=int, default=[1, 2, 4],
+                             help="client-concurrency levels of the --url wire sweep")
+
+    serve_daemon = subparsers.add_parser(
+        "serve-daemon",
+        help="start the persistent oracle-serving daemon and block until interrupted",
+    )
+    _add_graph_arguments(serve_daemon)
+    _add_serve_arguments(serve_daemon)
+    serve_daemon.add_argument("--host", default="127.0.0.1", help="address to bind")
+    serve_daemon.add_argument("--port", type=int, default=0,
+                              help="port to bind (0 = ephemeral; the chosen port is "
+                                   "printed on startup)")
+    serve_daemon.add_argument("--config", default=None,
+                              help="JSON config file of named oracles (overrides the "
+                                   "graph/serve flags)")
+    serve_daemon.add_argument("--name", default="default",
+                              help="name the single flag-built oracle is served under")
+    serve_daemon.add_argument("--warmup-profile", default=None,
+                              help="saved workload profile (JSON) whose hottest "
+                                   "sources are preloaded at startup")
+    serve_daemon.add_argument("--warmup-sources", type=int, default=None,
+                              help="how many profile sources to preload "
+                                   "(default: up to the memo bound)")
+    serve_daemon.add_argument("--verbose", action="store_true",
+                              help="log every HTTP request to stderr")
 
     oracle = subparsers.add_parser(
         "oracle", help="answer approximate distance queries (legacy ultra-sparse emulator)"
@@ -408,8 +463,21 @@ def _parse_queries(raw_queries: List[str]) -> List[tuple]:
 
 
 def _command_query(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
     queries = _parse_queries(args.queries)
+    if args.url:
+        # No local build: every answer is a round trip to the daemon.
+        engine = RemoteOracle(args.url, oracle=args.oracle_name)
+        print(f"serving oracle {engine.oracle_name!r} at {engine.url}: "
+              f"{engine.space_in_edges} stored edges "
+              f"(alpha {engine.alpha:.3f}, beta {engine.beta:.1f})")
+        for u, v in queries:
+            print(f"d({u}, {v}) <= {engine.query(u, v)}")
+        stats = engine.stats()
+        print(f"remote: {stats['requests']} request(s), "
+              f"{stats['retried_requests']} retried, "
+              f"{stats['reconnects']} reconnect(s)")
+        return 0
+    graph = _load_graph(args)
     spec = _serve_spec(args)
     engine = serve_load(graph, spec)
     print(f"serving {spec.describe()}: {engine.space_in_edges} stored edges "
@@ -424,22 +492,68 @@ def _command_query(args: argparse.Namespace) -> int:
 
 def _command_bench_serve(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    report = run_load_test(
-        graph,
-        _serve_spec(args),
-        workload=args.workload,
-        num_queries=args.queries,
-        seed=args.seed,
-        workers=args.workers,
-        stretch_sample=args.stretch_sample,
-    )
-    text = report.to_json()
+    if args.url:
+        report = run_wire_sweep(
+            args.url,
+            graph,
+            oracle=args.oracle_name,
+            workload=args.workload,
+            num_queries=args.queries,
+            seed=args.seed,
+            concurrency=tuple(args.concurrency),
+            stretch_sample=args.stretch_sample,
+        )
+        print(report.summary(), file=sys.stderr)
+        text = report.to_json()
+    else:
+        report = run_load_test(
+            graph,
+            _serve_spec(args),
+            workload=args.workload,
+            num_queries=args.queries,
+            seed=args.seed,
+            workers=args.workers,
+            stretch_sample=args.stretch_sample,
+        )
+        text = report.to_json()
     print(text)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text + "\n")
         print(f"wrote {args.output}", file=sys.stderr)
     return 0 if report.stretch_ok else 1
+
+
+def _command_serve_daemon(args: argparse.Namespace) -> int:
+    if args.config:
+        daemon = OracleDaemon.from_config(
+            DaemonConfig.from_file(args.config),
+            host=args.host, port=args.port, verbose=args.verbose,
+        )
+    else:
+        daemon = OracleDaemon(host=args.host, port=args.port, verbose=args.verbose)
+        profile = (WorkloadProfile.load(args.warmup_profile)
+                   if args.warmup_profile else None)
+        daemon.add_oracle(
+            args.name,
+            _load_graph(args),
+            _serve_spec(args),
+            warmup_profile=profile,
+            warmup_sources=args.warmup_sources,
+        )
+    with daemon:
+        for name, meta in daemon.healthz()["oracles"].items():
+            print(f"oracle {name!r}: {meta['backend']} "
+                  f"({meta['num_vertices']} vertices, "
+                  f"{meta['space_in_edges']} stored edges, "
+                  f"{meta['warmed_sources']} warmed source(s))")
+        # Scripts (the CI smoke step) scrape this line for the ephemeral port.
+        print(f"daemon listening on {daemon.url}", flush=True)
+        try:
+            daemon.serve_forever()
+        except KeyboardInterrupt:
+            print("interrupted; shutting down", file=sys.stderr)
+    return 0
 
 
 def _command_oracle(args: argparse.Namespace) -> int:
@@ -472,7 +586,7 @@ def _run_facade_command(command, args: argparse.Namespace) -> int:
     """Run a facade-backed command, turning spec/registry errors into exit 2."""
     try:
         return command(args)
-    except (KeyError, ValueError) as error:
+    except (KeyError, ValueError, RemoteOracleError) as error:
         message = error.args[0] if error.args else str(error)
         print(f"error: {message}", file=sys.stderr)
         return 2
@@ -496,6 +610,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_facade_command(_command_query, args)
     if args.command == "bench-serve":
         return _run_facade_command(_command_bench_serve, args)
+    if args.command == "serve-daemon":
+        return _run_facade_command(_command_serve_daemon, args)
     if args.command == "oracle":
         return _run_facade_command(_command_oracle, args)
     parser.error(f"unknown command {args.command!r}")

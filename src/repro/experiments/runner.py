@@ -1,6 +1,6 @@
 """Run every experiment and collect the tables (used by the CLI and docs).
 
-``run_all()`` executes E1-E15 with small default workloads (a few seconds
+``run_all()`` executes E1-E16 with small default workloads (a few seconds
 of wall-clock on a laptop) and returns the rendered tables keyed by
 experiment id; ``python -m repro experiments`` prints them.
 
@@ -27,6 +27,7 @@ from repro.experiments.beta_tradeoff_experiment import (
     run_beta_tradeoff_experiment,
 )
 from repro.experiments.congest_experiment import format_congest_table, run_congest_experiment
+from repro.experiments.daemon_experiment import format_daemon_table, run_daemon_experiment
 from repro.experiments.hopset_experiment import format_hopset_table, run_hopset_experiment
 from repro.experiments.rho_sweep_experiment import (
     format_rho_sweep_figure,
@@ -54,7 +55,7 @@ __all__ = ["run_all", "available_experiments", "run_experiment"]
 def available_experiments() -> List[str]:
     """The experiment ids accepted by :func:`run_experiment`."""
     return ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15"]
+            "E14", "E15", "E16"]
 
 
 def run_experiment(experiment_id: str, quick: bool = True,
@@ -131,6 +132,15 @@ def run_experiment(experiment_id: str, quick: bool = True,
             workload=workload, num_queries=300 if quick else 1000
         )
         return format_serve_table(served, rows)
+    if experiment_id == "E16":
+        # The wire tax: the same query stream answered in-process and
+        # through an ephemeral-port serving daemon at several client
+        # concurrencies (repro.serve.daemon / repro.serve.wire).
+        workload = workload_by_name("erdos-renyi", 64 if quick else 128, seed=0)
+        served, rows = run_daemon_experiment(
+            workload=workload, num_queries=200 if quick else 600
+        )
+        return format_daemon_table(served, rows)
     raise ValueError(f"unknown experiment id {experiment_id!r}")
 
 

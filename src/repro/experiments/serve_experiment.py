@@ -24,7 +24,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from repro.analysis.reporting import format_table
 from repro.experiments.workloads import Workload, workload_by_name
-from repro.serve import ServeSpec, available_oracles, run_load_test
+from repro.serve import ServeSpec, buildable_oracles, run_load_test
 from repro.serve.harness import ServeReport
 
 __all__ = ["ServeRow", "run_serve_experiment", "format_serve_table"]
@@ -74,7 +74,9 @@ def run_serve_experiment(
     if workload is None:
         workload = workload_by_name("erdos-renyi", 96, seed=seed)
     if backends is None:
-        backends = available_oracles()
+        # Every backend buildable from the workload graph alone — the
+        # remote proxy (which needs a live daemon URL) is E16's business.
+        backends = buildable_oracles()
     rows: List[ServeRow] = []
     for backend in backends:
         report = run_load_test(

@@ -33,12 +33,27 @@ Pieces
     Seeded query workloads (uniform / zipf / local / mixed) and the load
     harness measuring throughput, p50/p95/p99 latency and observed vs.
     guaranteed stretch into a JSON-round-trippable report.
+:class:`OracleDaemon` / :class:`RemoteOracle` / :func:`run_wire_sweep`
+    The client/server half (:mod:`repro.serve.daemon`,
+    :mod:`repro.serve.remote`, :mod:`repro.serve.wire`): a persistent
+    HTTP daemon serving named oracles with admission coalescing and
+    profile-driven warm-up, the ``remote`` proxy backend that shares one
+    daemon-built oracle across processes, and the wire-level
+    client-concurrency load sweep::
+
+        daemon = OracleDaemon(port=0)
+        daemon.add_oracle("default", graph, ServeSpec())
+        daemon.start()
+        remote = serve.load(graph, ServeSpec(backend="remote",
+                                             options={"url": daemon.url}))
+        remote.query(0, 17)                  # answered by the daemon
 """
 
 from repro.serve.spec import ServeSpec
 from repro.serve.registry import (
     RegisteredOracle,
     available_oracles,
+    buildable_oracles,
     get_oracle,
     is_oracle_registered,
     register_oracle,
@@ -53,8 +68,22 @@ from repro.serve.oracles import (
 )
 from repro.serve.engine import QueryEngine
 from repro.serve.service import load
-from repro.serve.workloads import QUERY_WORKLOADS, available_workloads, generate_queries
+from repro.serve.workloads import (
+    QUERY_WORKLOADS,
+    WorkloadProfile,
+    available_workloads,
+    generate_queries,
+    profile,
+)
 from repro.serve.harness import ServeReport, nearest_rank_percentile, run_load_test
+from repro.serve.daemon import (
+    CoalescingEngine,
+    DaemonConfig,
+    OracleConfig,
+    OracleDaemon,
+)
+from repro.serve.remote import RemoteOracle, RemoteOracleError
+from repro.serve.wire import WireSweepLevel, WireSweepReport, run_wire_sweep
 
 __all__ = [
     "ServeSpec",
@@ -62,6 +91,7 @@ __all__ = [
     "register_oracle",
     "get_oracle",
     "available_oracles",
+    "buildable_oracles",
     "is_oracle_registered",
     "DistanceOracle",
     "OracleBackend",
@@ -72,9 +102,20 @@ __all__ = [
     "QueryEngine",
     "load",
     "QUERY_WORKLOADS",
+    "WorkloadProfile",
     "available_workloads",
     "generate_queries",
+    "profile",
     "ServeReport",
     "nearest_rank_percentile",
     "run_load_test",
+    "CoalescingEngine",
+    "DaemonConfig",
+    "OracleConfig",
+    "OracleDaemon",
+    "RemoteOracle",
+    "RemoteOracleError",
+    "WireSweepLevel",
+    "WireSweepReport",
+    "run_wire_sweep",
 ]

@@ -1,0 +1,862 @@
+"""The persistent oracle-serving daemon: build once, answer many over the wire.
+
+`repro.serve` (the engine, the harness) is an in-process library: every
+client pays a full oracle build and no two processes share one.  The
+daemon is the missing deployment shape — a long-lived HTTP server that
+loads one or more named :class:`~repro.serve.spec.ServeSpec` oracles at
+startup and serves queries to any number of client processes, so the
+expensive structure is built *once* and every query afterwards is a cheap
+round over the wire (the same separation the distributed-setting papers
+draw between where the structure lives and who asks the queries).
+
+Endpoints (JSON wire format; infinity-free — unreachable distances travel
+as ``null`` and are restored to ``float("inf")`` client-side):
+
+``POST /query``
+    ``{"u": 0, "v": 17, "oracle": "default"?}`` ->
+    ``{"answer": 3.0, ...}``.
+``POST /query_batch``
+    ``{"pairs": [[0, 17], [3, 42]], "oracle"?}`` -> ``{"answers": [...]}``.
+``POST /single_source``
+    ``{"source": 0, "oracle"?}`` -> ``{"distances": {"17": 3.0, ...}}``.
+``GET /stats``
+    Daemon counters (requests, coalesced queries, latency histogram) plus
+    every engine's hit/miss/eviction counters and per-oracle
+    ``space_in_edges``.
+``GET /healthz``
+    Liveness plus per-oracle metadata (``alpha`` / ``beta`` /
+    ``num_vertices`` / ``space_in_edges``) — the handshake the
+    :class:`~repro.serve.remote.RemoteOracle` client reads once.
+
+Concurrency model: :class:`~http.server.ThreadingHTTPServer` gives one
+thread per connection; every named oracle is wrapped in a
+:class:`CoalescingEngine`, which makes the bounded-LRU
+:class:`~repro.serve.engine.QueryEngine` thread-safe *and* coalesces
+admissions — concurrent queries for the same source group wait on the one
+in-flight backend computation instead of queueing duplicate work, and the
+expensive oracle call runs outside the memo lock so other sources keep
+answering meanwhile.
+
+Warm-up: a saved :class:`~repro.serve.workloads.WorkloadProfile` preloads
+the hottest sources into each engine's memo at startup
+(:meth:`QueryEngine.prewarm`), so a freshly restarted daemon serves its
+steady-state hit rate from the first request.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.graphs.graph import Graph
+from repro.serve.engine import QueryEngine
+from repro.serve.service import load as serve_load
+from repro.serve.spec import ServeSpec
+from repro.serve.workloads import WorkloadProfile
+
+__all__ = [
+    "CoalescingEngine",
+    "DaemonConfig",
+    "OracleConfig",
+    "OracleDaemon",
+    "from_wire",
+    "to_wire",
+]
+
+#: Upper bucket bounds (milliseconds) of the daemon's latency histogram.
+LATENCY_BUCKETS_MS = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, float("inf"),
+)
+
+_INF = float("inf")
+
+
+def to_wire(value: float) -> Optional[float]:
+    """A distance as it travels in JSON: ``inf`` (unreachable) becomes ``null``."""
+    return None if value == _INF else value
+
+
+def from_wire(value: Optional[float]) -> float:
+    """Restore a wire distance: ``null``/``None`` means unreachable (``inf``)."""
+    return _INF if value is None else float(value)
+
+
+class _LatencyHistogram:
+    """Thread-safe fixed-bucket latency histogram (milliseconds)."""
+
+    def __init__(self, buckets_ms: Tuple[float, ...] = LATENCY_BUCKETS_MS) -> None:
+        self._buckets = tuple(buckets_ms)
+        self._counts = [0] * len(self._buckets)
+        self._total_ms = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, latency_ms: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._total_ms += latency_ms
+            for index, bound in enumerate(self._buckets):
+                if latency_ms <= bound:
+                    self._counts[index] += 1
+                    break
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The histogram as JSON scalars (the open bucket's bound is ``"inf"``)."""
+        with self._lock:
+            return {
+                "count": self._count,
+                "total_ms": self._total_ms,
+                "mean_ms": self._total_ms / self._count if self._count else 0.0,
+                "buckets": [
+                    {"le_ms": bound if bound != _INF else "inf", "count": count}
+                    for bound, count in zip(self._buckets, self._counts)
+                ],
+            }
+
+
+class _InFlight:
+    """One in-flight single-source computation other threads can wait on."""
+
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: Optional[Dict[int, float]] = None
+        self.error: Optional[BaseException] = None
+
+
+class CoalescingEngine:
+    """A thread-safe :class:`DistanceOracle` facade with admission coalescing.
+
+    Wraps a :class:`~repro.serve.engine.QueryEngine` for concurrent use:
+
+    * all memo reads/writes go through the engine's admission interface
+      (:meth:`~QueryEngine.lookup` / :meth:`~QueryEngine.admit`) under one
+      lock, so counters and the LRU order never race;
+    * a memo miss elects exactly one *leader* per source: the leader runs
+      the backend's ``single_source`` **outside** the lock while every
+      concurrent query for the same source waits on the shared
+      :class:`_InFlight` record instead of duplicating the computation
+      (``coalesced_queries`` counts the waiters served this way);
+    * queries for other sources proceed meanwhile — only the memo
+      bookkeeping is serialized, never the oracle work.
+
+    The facade satisfies the full ``DistanceOracle`` protocol, so the load
+    harness and everything else written against the protocol can take it
+    directly.
+    """
+
+    def __init__(self, engine: QueryEngine) -> None:
+        self._engine = engine
+        self._oracle = engine.oracle
+        self._lock = threading.Lock()
+        self._inflight: Dict[int, _InFlight] = {}
+        self.coalesced_queries = 0
+
+    # ------------------------------------------------------------------
+    # Protocol passthrough
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> QueryEngine:
+        """The wrapped (single-threaded) engine."""
+        return self._engine
+
+    @property
+    def oracle(self):
+        """The backend answering cache misses."""
+        return self._oracle
+
+    @property
+    def alpha(self) -> float:
+        return self._engine.alpha
+
+    @property
+    def beta(self) -> float:
+        return self._engine.beta
+
+    @property
+    def num_vertices(self) -> int:
+        return self._engine.num_vertices
+
+    @property
+    def space_in_edges(self) -> int:
+        return self._engine.space_in_edges
+
+    @property
+    def workers(self) -> int:
+        return self._engine.workers
+
+    def stats(self) -> Dict[str, Any]:
+        """Engine statistics plus the coalescing counter."""
+        with self._lock:
+            stats = self._engine.stats()
+            stats["coalesced_queries"] = self.coalesced_queries
+            stats["inflight_sources"] = len(self._inflight)
+            return stats
+
+    def stats_delta(self, since: Mapping[str, Any]) -> Dict[str, Any]:
+        """:meth:`stats` with counters delta'd against a snapshot (see engine)."""
+        stats = self.stats()
+        for key in QueryEngine.COUNTER_KEYS + ("coalesced_queries",):
+            if key in stats:
+                stats[key] -= since.get(key, 0)
+        return stats
+
+    def prewarm(self, sources: Iterable[int], *, limit: Optional[int] = None) -> int:
+        """Thread-safe :meth:`QueryEngine.prewarm` passthrough."""
+        with self._lock:
+            return self._engine.prewarm(sources, limit=limit)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, u: int, v: int) -> float:
+        """Approximate distance between ``u`` and ``v`` (``inf`` if disconnected)."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        with self._lock:
+            self._engine.record_queries(1)
+        if u == v:
+            return 0.0
+        return self._distances_from(u).get(v, _INF)
+
+    def query_batch(self, pairs: Iterable[Tuple[int, int]]) -> List[float]:
+        """Approximate distances for many pairs, one admission per distinct source."""
+        pairs = list(pairs)
+        for u, v in pairs:
+            self._check_vertex(u)
+            self._check_vertex(v)
+        with self._lock:
+            self._engine.record_queries(len(pairs))
+        # One coalescable admission per distinct source; the map is held
+        # locally for the batch so mid-batch evictions by concurrent
+        # traffic cannot force recomputation.
+        maps: Dict[int, Dict[int, float]] = {}
+        answers: List[float] = []
+        for u, v in pairs:
+            if u == v:
+                answers.append(0.0)
+                continue
+            dist = maps.get(u)
+            if dist is None:
+                dist = self._distances_from(u)
+                maps[u] = dist
+            answers.append(dist.get(v, _INF))
+        return answers
+
+    def single_source(self, source: int) -> Dict[int, float]:
+        """All approximate distances from ``source`` (a copy, caller-owned)."""
+        self._check_vertex(source)
+        return dict(self._distances_from(source))
+
+    # ------------------------------------------------------------------
+    # Internal
+    # ------------------------------------------------------------------
+    def _distances_from(self, source: int) -> Dict[int, float]:
+        with self._lock:
+            cached = self._engine.lookup(source)
+            if cached is not None:
+                return cached
+            waiter = self._inflight.get(source)
+            if waiter is not None:
+                # Another thread is already computing this source: join it.
+                self.coalesced_queries += 1
+                is_leader = False
+            else:
+                waiter = self._inflight[source] = _InFlight()
+                is_leader = True
+        if not is_leader:
+            waiter.done.wait()
+            if waiter.error is not None:
+                raise waiter.error
+            assert waiter.result is not None
+            return waiter.result
+        # Leader: the expensive backend call runs outside the lock, so
+        # queries for other sources are answered meanwhile.
+        try:
+            dist = self._oracle.single_source(source)
+        except BaseException as error:
+            waiter.error = error
+            with self._lock:
+                self._inflight.pop(source, None)
+            waiter.done.set()
+            raise
+        with self._lock:
+            self._engine.admit(source, dist)
+            self._inflight.pop(source, None)
+        waiter.result = dist
+        waiter.done.set()
+        return dist
+
+    def _check_vertex(self, v: int) -> None:
+        if not (0 <= v < self._engine.num_vertices):
+            raise ValueError(f"vertex {v} out of range [0, {self._engine.num_vertices})")
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OracleConfig:
+    """One named oracle of a daemon config: what to build, on which graph.
+
+    The graph comes from an edge-list file (``graph_path``) or a generated
+    workload family (``family`` / ``n`` / ``graph_seed``); ``warmup_profile``
+    names a saved :class:`~repro.serve.workloads.WorkloadProfile` whose
+    hottest ``warmup_sources`` sources (``None`` = up to the engine's memo
+    bound) are preloaded at startup.
+    """
+
+    spec: ServeSpec = field(default_factory=ServeSpec)
+    graph_path: Optional[str] = None
+    family: Optional[str] = None
+    n: int = 256
+    graph_seed: int = 0
+    warmup_profile: Optional[str] = None
+    warmup_sources: Optional[int] = None
+
+    def load_graph(self) -> Graph:
+        """Materialize the configured graph."""
+        if self.graph_path:
+            from repro.graphs import io as graph_io
+
+            return graph_io.read_edge_list(self.graph_path)
+        from repro.experiments.workloads import workload_by_name
+
+        return workload_by_name(self.family or "erdos-renyi", self.n,
+                                seed=self.graph_seed).graph
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OracleConfig":
+        """Build a config from one JSON object of a daemon config file."""
+        if not isinstance(data, Mapping):
+            raise ValueError(f"oracle config must be an object, got {data!r}")
+        known = {"spec", "graph_path", "family", "n", "graph_seed",
+                 "warmup_profile", "warmup_sources"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown oracle config keys {sorted(unknown)}; valid keys: {sorted(known)}"
+            )
+        spec_data = data.get("spec", {})
+        if not isinstance(spec_data, Mapping):
+            raise ValueError(f"oracle config 'spec' must be an object, got {spec_data!r}")
+        return cls(
+            spec=ServeSpec(**spec_data),
+            graph_path=data.get("graph_path"),
+            family=data.get("family"),
+            n=int(data.get("n", 256)),
+            graph_seed=int(data.get("graph_seed", 0)),
+            warmup_profile=data.get("warmup_profile"),
+            warmup_sources=(None if data.get("warmup_sources") is None
+                            else int(data["warmup_sources"])),
+        )
+
+
+@dataclass(frozen=True)
+class DaemonConfig:
+    """A daemon's full startup configuration: named oracles to load.
+
+    JSON shape (see ``README.md``)::
+
+        {"oracles": {"roads": {"spec": {"product": "emulator", "eps": 0.1},
+                               "graph_path": "roads.edges",
+                               "warmup_profile": "roads-profile.json"},
+                     "social": {"spec": {"backend": "spanner"},
+                                "family": "erdos-renyi", "n": 512}}}
+
+    The first oracle in file order answers requests that name no oracle
+    (override with ``"default_oracle"``).
+    """
+
+    oracles: Mapping[str, OracleConfig]
+    default_oracle: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        oracles = dict(self.oracles)
+        if not oracles:
+            raise ValueError("daemon config needs at least one oracle")
+        object.__setattr__(self, "oracles", oracles)
+        if self.default_oracle is not None and self.default_oracle not in oracles:
+            raise ValueError(
+                f"default_oracle {self.default_oracle!r} is not a configured oracle; "
+                f"configured: {sorted(oracles)}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DaemonConfig":
+        """Build a config from a parsed JSON document."""
+        if not isinstance(data, Mapping):
+            raise ValueError(f"daemon config must be an object, got {data!r}")
+        oracles = data.get("oracles")
+        if not isinstance(oracles, Mapping):
+            raise ValueError("daemon config needs an 'oracles' object")
+        return cls(
+            oracles={name: OracleConfig.from_dict(entry) for name, entry in oracles.items()},
+            default_oracle=data.get("default_oracle"),
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "DaemonConfig":
+        """Read a JSON config file."""
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+
+# ----------------------------------------------------------------------
+# The daemon
+# ----------------------------------------------------------------------
+@dataclass
+class _OracleEntry:
+    """One served oracle: the coalescing engine plus startup bookkeeping."""
+
+    name: str
+    engine: CoalescingEngine
+    description: str
+    warmed_sources: int = 0
+
+
+class OracleDaemon:
+    """A persistent HTTP server answering distance queries for named oracles.
+
+    Lifecycle::
+
+        daemon = OracleDaemon(port=0)            # 0 = ephemeral (tests/CI)
+        daemon.add_oracle("default", graph, spec)
+        daemon.start()                            # background thread
+        ... daemon.url ...
+        daemon.close()
+
+    or blocking (the CLI): ``daemon.serve_forever()``.  Oracles must be
+    added before the server starts taking requests — the handler reads
+    the entry table without locking.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 verbose: bool = False) -> None:
+        self._server = _DaemonServer((host, port), _DaemonHandler)
+        self._server.repro_daemon = self  # type: ignore[attr-defined]
+        self._entries: Dict[str, _OracleEntry] = {}
+        self._default_name: Optional[str] = None
+        self._thread: Optional[threading.Thread] = None
+        self._serving = False
+        self._closed = False
+        self._started_at = time.time()
+        self._counter_lock = threading.Lock()
+        self._conn_lock = threading.Lock()
+        self._connections: set = set()
+        self._histogram = _LatencyHistogram()
+        self.verbose = verbose
+        self.requests = 0
+        self.request_errors = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def add_oracle(
+        self,
+        name: str,
+        graph: Optional[Graph] = None,
+        spec: Optional[ServeSpec] = None,
+        *,
+        engine: Optional[QueryEngine] = None,
+        warmup_profile: Optional[WorkloadProfile] = None,
+        warmup_sources: Optional[int] = None,
+    ) -> CoalescingEngine:
+        """Load (or adopt) an oracle and serve it under ``name``.
+
+        Either ``graph`` (+ optional ``spec``) — the oracle is built via
+        :func:`repro.serve.load` — or a pre-built ``engine``.  The first
+        oracle added becomes the default for requests naming none.
+        ``warmup_profile`` preloads the profile's hottest
+        ``warmup_sources`` sources into the memo before serving.
+        """
+        if not name or not isinstance(name, str):
+            raise ValueError(f"oracle name must be a non-empty string, got {name!r}")
+        if name in self._entries:
+            raise ValueError(f"oracle {name!r} is already served")
+        if engine is None:
+            if graph is None:
+                raise ValueError("add_oracle needs a graph (or a pre-built engine=)")
+            engine = serve_load(graph, spec or ServeSpec())
+        coalescing = CoalescingEngine(engine)
+        warmed = 0
+        if warmup_profile is not None:
+            warmed = coalescing.prewarm(
+                warmup_profile.top_sources(warmup_sources), limit=warmup_sources
+            )
+        description = spec.describe() if spec is not None else getattr(
+            engine.oracle, "name", engine.oracle.__class__.__name__
+        )
+        self._entries[name] = _OracleEntry(
+            name=name, engine=coalescing, description=description, warmed_sources=warmed
+        )
+        if self._default_name is None:
+            self._default_name = name
+        return coalescing
+
+    @classmethod
+    def from_config(cls, config: DaemonConfig, *, host: str = "127.0.0.1",
+                    port: int = 0, verbose: bool = False) -> "OracleDaemon":
+        """Build a daemon with every oracle of ``config`` loaded and warmed."""
+        daemon = cls(host=host, port=port, verbose=verbose)
+        try:
+            for name, oracle_config in config.oracles.items():
+                profile = (WorkloadProfile.load(oracle_config.warmup_profile)
+                           if oracle_config.warmup_profile else None)
+                daemon.add_oracle(
+                    name,
+                    oracle_config.load_graph(),
+                    oracle_config.spec,
+                    warmup_profile=profile,
+                    warmup_sources=oracle_config.warmup_sources,
+                )
+            if config.default_oracle is not None:
+                daemon._default_name = config.default_oracle
+        except Exception:
+            daemon.close()
+            raise
+        return daemon
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (resolves an ephemeral ``port=0`` bind)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients (and :class:`~repro.serve.remote.RemoteOracle`) use."""
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def oracle_names(self) -> List[str]:
+        return list(self._entries)
+
+    @property
+    def default_oracle_name(self) -> Optional[str]:
+        return self._default_name
+
+    def engine_for(self, name: Optional[str]) -> CoalescingEngine:
+        """The coalescing engine serving ``name`` (``None`` = the default)."""
+        if name is None:
+            name = self._default_name
+        if name is None or name not in self._entries:
+            served = ", ".join(sorted(self._entries)) or "none"
+            raise KeyError(f"no oracle named {name!r} is served; served oracles: {served}")
+        return self._entries[name].engine
+
+    def healthz(self) -> Dict[str, Any]:
+        """The ``GET /healthz`` payload (liveness + per-oracle metadata)."""
+        return {
+            "ok": True,
+            "uptime_seconds": time.time() - self._started_at,
+            "default_oracle": self._default_name,
+            "oracles": {
+                name: {
+                    "backend": getattr(entry.engine.oracle, "name",
+                                       entry.engine.oracle.__class__.__name__),
+                    "description": entry.description,
+                    "alpha": entry.engine.alpha,
+                    "beta": entry.engine.beta,
+                    "num_vertices": entry.engine.num_vertices,
+                    "space_in_edges": entry.engine.space_in_edges,
+                    "warmed_sources": entry.warmed_sources,
+                }
+                for name, entry in self._entries.items()
+            },
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``GET /stats`` payload (daemon counters + per-engine stats)."""
+        with self._counter_lock:
+            daemon_stats = {
+                "requests": self.requests,
+                "request_errors": self.request_errors,
+                "uptime_seconds": time.time() - self._started_at,
+            }
+        daemon_stats["latency_ms"] = self._histogram.snapshot()
+        return {
+            "daemon": daemon_stats,
+            "default_oracle": self._default_name,
+            "oracles": {
+                name: dict(entry.engine.stats(), warmed_sources=entry.warmed_sources)
+                for name, entry in self._entries.items()
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "OracleDaemon":
+        """Serve in a background thread (returns once the socket accepts)."""
+        if self._closed:
+            raise RuntimeError("daemon is closed")
+        if self._thread is None:
+            self._serving = True
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                name=f"repro-serve-daemon:{self.port}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` or interrupt."""
+        if self._closed:
+            raise RuntimeError("daemon is closed")
+        self._serving = True
+        try:
+            self._server.serve_forever(poll_interval=0.05)
+        finally:
+            self._serving = False
+
+    def close(self) -> None:
+        """Stop serving, release the socket, and close every engine."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._serving:
+            self._server.shutdown()
+            self._serving = False
+        # ``shutdown()`` only stops *accepting*; keep-alive clients hold
+        # open connections whose handler threads would keep answering.  A
+        # closed daemon must look dead to them, so sever every tracked
+        # connection (clients see a transport error, as with a real kill).
+        with self._conn_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+        for entry in self._entries.values():
+            entry.engine.engine.close()
+
+    def __enter__(self) -> "OracleDaemon":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request bookkeeping (called by the handler)
+    # ------------------------------------------------------------------
+    def _record_request(self, latency_ms: float, ok: bool) -> None:
+        with self._counter_lock:
+            self.requests += 1
+            if not ok:
+                self.request_errors += 1
+        self._histogram.observe(latency_ms)
+
+    def _track_connection(self, connection: Any) -> None:
+        with self._conn_lock:
+            self._connections.add(connection)
+
+    def _untrack_connection(self, connection: Any) -> None:
+        with self._conn_lock:
+            self._connections.discard(connection)
+
+
+# ----------------------------------------------------------------------
+# The HTTP face
+# ----------------------------------------------------------------------
+class _DaemonServer(ThreadingHTTPServer):
+    """A threading HTTP server that stays quiet when connections are severed.
+
+    :meth:`OracleDaemon.close` force-closes keep-alive connections, which
+    surfaces as an ``OSError`` in the handler thread blocked on the next
+    request line; that is expected teardown, not an error worth a stack
+    trace on stderr.
+    """
+
+    def handle_error(self, request: Any, client_address: Any) -> None:
+        import sys
+
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (OSError, ValueError)):
+            # ValueError: "readline of closed file" from the severed rfile.
+            return
+        super().handle_error(request, client_address)
+
+
+
+def _require_vertex(body: Mapping[str, Any], key: str) -> int:
+    """A vertex id field of a request body (bool is *not* an int here)."""
+    value = body.get(key)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"field {key!r} must be an integer vertex id, got {value!r}")
+    return value
+
+
+def _require_pairs_field(body: Mapping[str, Any]) -> List[Tuple[int, int]]:
+    """The ``pairs`` field of a ``/query_batch`` body."""
+    raw = body.get("pairs")
+    if not isinstance(raw, list):
+        raise ValueError(f"field 'pairs' must be a list of [u, v] pairs, got {raw!r}")
+    pairs: List[Tuple[int, int]] = []
+    for item in raw:
+        if (not isinstance(item, (list, tuple)) or len(item) != 2
+                or any(not isinstance(x, int) or isinstance(x, bool) for x in item)):
+            raise ValueError(f"pair {item!r} is not a [u, v] integer pair")
+        pairs.append((item[0], item[1]))
+    return pairs
+
+
+class _DaemonHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the owning :class:`OracleDaemon`."""
+
+    protocol_version = "HTTP/1.1"  # keep-alive: clients reuse connections
+    # Small request/response pairs on one keep-alive connection are the
+    # daemon's whole workload; Nagle + delayed ACK would add ~40ms to
+    # every round trip.
+    disable_nagle_algorithm = True
+    #: Refuse request bodies past this size (a malformed client, not a DoS shield).
+    MAX_BODY_BYTES = 32 * 1024 * 1024
+
+    @property
+    def daemon(self) -> OracleDaemon:
+        return self.server.repro_daemon  # type: ignore[attr-defined]
+
+    # Register the connection so a closing daemon can sever keep-alive
+    # clients (``shutdown()`` alone leaves their handler threads serving).
+    def setup(self) -> None:
+        super().setup()
+        self.daemon._track_connection(self.connection)
+
+    def finish(self) -> None:
+        self.daemon._untrack_connection(self.connection)
+        super().finish()
+
+    # BaseHTTPRequestHandler logs every request to stderr by default;
+    # keep the wire quiet unless the daemon asks for verbosity.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.daemon.verbose:
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        started = time.perf_counter()
+        try:
+            if self.path == "/healthz":
+                code, payload = 200, self.daemon.healthz()
+            elif self.path == "/stats":
+                code, payload = 200, self.daemon.stats()
+            else:
+                code, payload = 404, {"error": f"unknown path {self.path!r}"}
+        except Exception as error:  # pragma: no cover - defensive
+            code, payload = 500, {"error": str(error)}
+        self._respond(code, payload, started)
+
+    def do_POST(self) -> None:
+        started = time.perf_counter()
+        handlers = {
+            "/query": self._handle_query,
+            "/query_batch": self._handle_query_batch,
+            "/single_source": self._handle_single_source,
+        }
+        handler = handlers.get(self.path)
+        if handler is None:
+            code, payload = (405, {"error": f"{self.path!r} is not a POST endpoint"}) \
+                if self.path in ("/healthz", "/stats") \
+                else (404, {"error": f"unknown path {self.path!r}"})
+            self._respond(code, payload, started)
+            return
+        try:
+            body = self._read_json_body()
+            engine = self.daemon.engine_for(body.get("oracle"))
+            code, payload = handler(engine, body)
+        except ValueError as error:
+            code, payload = 400, {"error": str(error)}
+        except KeyError as error:
+            code, payload = 404, {"error": error.args[0] if error.args else str(error)}
+        except Exception as error:  # pragma: no cover - defensive
+            code, payload = 500, {"error": str(error)}
+        self._respond(code, payload, started)
+
+    # Wrong-method probes on the query endpoints get 405, not a stack trace.
+    def do_PUT(self) -> None:
+        self._respond(405, {"error": "method not allowed"}, time.perf_counter())
+
+    do_DELETE = do_PUT
+
+    # ------------------------------------------------------------------
+    def _handle_query(self, engine: CoalescingEngine,
+                      body: Mapping[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        u = _require_vertex(body, "u")
+        v = _require_vertex(body, "v")
+        return 200, {"u": u, "v": v, "answer": to_wire(engine.query(u, v))}
+
+    def _handle_query_batch(self, engine: CoalescingEngine,
+                            body: Mapping[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        pairs = _require_pairs_field(body)
+        answers = engine.query_batch(pairs)
+        return 200, {"answers": [to_wire(answer) for answer in answers]}
+
+    def _handle_single_source(self, engine: CoalescingEngine,
+                              body: Mapping[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        source = _require_vertex(body, "source")
+        distances = engine.single_source(source)
+        return 200, {
+            "source": source,
+            "distances": {str(v): d for v, d in distances.items()},
+        }
+
+    # ------------------------------------------------------------------
+    def _read_json_body(self) -> Dict[str, Any]:
+        length = self.headers.get("Content-Length")
+        try:
+            length = int(length or 0)
+        except ValueError:
+            raise ValueError(f"invalid Content-Length {length!r}") from None
+        if length <= 0:
+            raise ValueError("request body required (JSON object)")
+        if length > self.MAX_BODY_BYTES:
+            raise ValueError(f"request body of {length} bytes exceeds "
+                             f"{self.MAX_BODY_BYTES} byte limit")
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"request body is not valid JSON: {error}") from None
+        if not isinstance(body, dict):
+            raise ValueError(f"request body must be a JSON object, got {type(body).__name__}")
+        return body
+
+    def _respond(self, code: int, payload: Dict[str, Any], started: float) -> None:
+        encoded = json.dumps(payload).encode("utf-8")
+        # Record before writing: a client that has read its response (and
+        # immediately asks /stats) must already see this request counted.
+        self.daemon._record_request((time.perf_counter() - started) * 1000.0,
+                                    ok=code < 400)
+        try:
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(encoded)))
+            self.end_headers()
+            self.wfile.write(encoded)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away mid-response; nothing to salvage

@@ -88,9 +88,10 @@ class QueryEngine:
     """
 
     #: Monotone counter fields of :meth:`stats`; consumers reporting
-    #: per-run numbers (the load harness) delta exactly these keys.
+    #: per-run numbers (the load harness, the daemon's ``/stats``) delta
+    #: exactly these keys via :meth:`stats_delta`.
     COUNTER_KEYS = ("queries", "cache_hits", "cache_misses",
-                    "cache_evictions", "parallel_batches")
+                    "cache_evictions", "parallel_batches", "prewarmed_sources")
 
     def __init__(self, oracle: DistanceOracle, *, cache_sources: int = 256,
                  workers: int = 1) -> None:
@@ -110,6 +111,7 @@ class QueryEngine:
         self.cache_misses = 0
         self.cache_evictions = 0
         self.parallel_batches = 0
+        self.prewarmed_sources = 0
 
     # ------------------------------------------------------------------
     # Introspection (protocol passthrough + engine counters)
@@ -159,8 +161,26 @@ class QueryEngine:
             "cached_sources": len(self._cache),
             "cache_sources_limit": self._cache_limit,
             "parallel_batches": self.parallel_batches,
+            "prewarmed_sources": self.prewarmed_sources,
             "oracle": self._oracle.stats(),
         }
+
+    def stats_delta(self, since: Dict[str, Any]) -> Dict[str, Any]:
+        """:meth:`stats` with the counter fields delta'd against a snapshot.
+
+        ``since`` is a dict previously returned by :meth:`stats` (or
+        :meth:`stats_delta`).  Every :data:`COUNTER_KEYS` field of the
+        result is the difference current-minus-snapshot; gauges
+        (``cached_sources``, limits, the backend's own stats) stay
+        absolute.  This is the one sanctioned way to report per-stream
+        counters — the load harness and the daemon's ``/stats`` both use
+        it instead of hand-rolling the subtraction.
+        """
+        stats = self.stats()
+        for key in self.COUNTER_KEYS:
+            if key in stats:
+                stats[key] -= since.get(key, 0)
+        return stats
 
     # ------------------------------------------------------------------
     # Queries
@@ -252,6 +272,72 @@ class QueryEngine:
                     fresh[u] = dist
             answers.append(dist.get(v, float("inf")))
         return answers
+
+    # ------------------------------------------------------------------
+    # Admission interface (used by the daemon's coalescing front end)
+    # ------------------------------------------------------------------
+    def lookup(self, source: int) -> Optional[Dict[int, float]]:
+        """The memoized map for ``source``, or ``None`` without computing.
+
+        A present map counts one cache hit and refreshes LRU recency; a
+        miss counts nothing (the caller decides whether to compute — see
+        :meth:`admit`).  Together with :meth:`admit` and
+        :meth:`record_queries` this is the engine's *admission interface*:
+        a concurrent front end (:class:`repro.serve.daemon.CoalescingEngine`)
+        performs the backend computation outside the engine and hands the
+        result back, so the memo and counters stay consistent while the
+        expensive oracle call runs without holding the memo lock.
+        """
+        self._check_vertex(source)
+        cached = self._cache.get(source)
+        if cached is None:
+            return None
+        self.cache_hits += 1
+        self._cache.move_to_end(source)
+        return cached
+
+    def admit(self, source: int, dist: Dict[int, float]) -> None:
+        """Memoize an externally computed single-source map for ``source``.
+
+        Counts one cache miss — the map is the product of a real backend
+        invocation, wherever it ran — and applies the normal LRU bound.
+        """
+        self._check_vertex(source)
+        self.cache_misses += 1
+        self._store(source, dist)
+
+    def record_queries(self, count: int) -> None:
+        """Count ``count`` pair queries answered through the admission interface."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self.queries += count
+
+    def prewarm(self, sources: Iterable[int], *, limit: Optional[int] = None) -> int:
+        """Preload single-source maps for ``sources``; returns how many computed.
+
+        Used for daemon warm-up from a saved
+        :class:`~repro.serve.workloads.WorkloadProfile` (and usable
+        directly for in-process pre-warming).  At most
+        ``min(limit, cache_sources)`` maps are computed — warming past the
+        LRU bound would evict what was just warmed.  Already-memoized
+        sources are skipped.  Warm-up is bookkept in the
+        ``prewarmed_sources`` counter, not as hits or misses, so serving
+        counters still describe the query stream alone.
+        """
+        if limit is not None and limit < 0:
+            raise ValueError(f"prewarm limit must be non-negative, got {limit}")
+        budget = self._cache_limit if limit is None else min(limit, self._cache_limit)
+        warmed = 0
+        for source in sources:
+            if warmed >= budget:
+                break
+            self._check_vertex(source)
+            if source in self._cache:
+                continue
+            self._store(source, self._oracle.single_source(source))
+            warmed += 1
+        self.prewarmed_sources += warmed
+        return warmed
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -27,7 +27,6 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.graphs.graph import Graph
 from repro.graphs.shortest_paths import bfs_distances
-from repro.serve.engine import QueryEngine
 from repro.serve.service import load
 from repro.serve.spec import ServeSpec
 from repro.serve.workloads import generate_queries
@@ -259,10 +258,7 @@ def run_load_test(
         # on a caller-provided engine and the stretch re-check below are
         # both excluded.  Gauges (cached_sources, limits, oracle stats)
         # stay absolute.
-        engine_stats = engine.stats()
-        for key in QueryEngine.COUNTER_KEYS:
-            if key in engine_stats:
-                engine_stats[key] -= counters_before.get(key, 0)
+        engine_stats = engine.stats_delta(counters_before)
         checked, violations, max_mult, max_additive = _check_stretch(
             graph, engine, queries, stretch_sample
         )

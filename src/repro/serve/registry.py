@@ -24,6 +24,7 @@ __all__ = [
     "register_oracle",
     "get_oracle",
     "available_oracles",
+    "buildable_oracles",
     "is_oracle_registered",
 ]
 
@@ -35,12 +36,18 @@ class RegisteredOracle:
     name: str
     fn: Callable[..., Any]
     description: str = ""
+    #: Whether the backend can be built from a graph alone.  ``False`` for
+    #: backends needing external context via ``spec.options`` (the
+    #: ``remote`` proxy needs a daemon URL); sweeps over "every backend"
+    #: (E15, the guarantee test matrix) use :func:`buildable_oracles`.
+    self_contained: bool = True
 
 
 _REGISTRY: Dict[str, RegisteredOracle] = {}
 
 
-def register_oracle(name: str, *, description: str = "") -> Callable[..., Any]:
+def register_oracle(name: str, *, description: str = "",
+                    self_contained: bool = True) -> Callable[..., Any]:
     """Class/function decorator registering an oracle backend under ``name``.
 
     Usage::
@@ -48,6 +55,10 @@ def register_oracle(name: str, *, description: str = "") -> Callable[..., Any]:
         @register_oracle("emulator", description="Dijkstra on the emulator")
         def _make(graph, spec):
             return EmulatorOracle(graph, spec)
+
+    Pass ``self_contained=False`` for backends that cannot be built from a
+    graph alone (e.g. the ``remote`` proxy, which needs a daemon URL in
+    ``spec.options``); they are excluded from :func:`buildable_oracles`.
 
     Re-registering a name overwrites the previous entry (deliberate: test
     doubles and optimized drop-ins replace the stock backend).
@@ -59,7 +70,8 @@ def register_oracle(name: str, *, description: str = "") -> Callable[..., Any]:
         desc = description
         if not desc and fn.__doc__:
             desc = fn.__doc__.strip().splitlines()[0]
-        _REGISTRY[name] = RegisteredOracle(name=name, fn=fn, description=desc)
+        _REGISTRY[name] = RegisteredOracle(name=name, fn=fn, description=desc,
+                                           self_contained=self_contained)
         return fn
 
     return decorator
@@ -86,6 +98,15 @@ def get_oracle(name: str) -> RegisteredOracle:
 def available_oracles() -> List[str]:
     """Sorted list of registered backend names."""
     return sorted(_REGISTRY)
+
+
+def buildable_oracles() -> List[str]:
+    """Sorted names of the backends buildable from a graph alone.
+
+    Excludes proxies like ``remote`` that need external context (a daemon
+    URL) in ``spec.options``.
+    """
+    return sorted(name for name, entry in _REGISTRY.items() if entry.self_contained)
 
 
 def is_oracle_registered(name: str) -> bool:

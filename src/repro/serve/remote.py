@@ -1,0 +1,365 @@
+"""The ``remote`` oracle backend: proxy queries to a serving daemon.
+
+The symmetric half of :mod:`repro.serve.daemon`: where the daemon makes
+one expensive oracle shareable, :class:`RemoteOracle` is how a client
+process shares it — an object satisfying the full
+:class:`~repro.serve.oracles.DistanceOracle` protocol whose every answer
+is an HTTP round trip to a daemon.  Because it *is* the protocol,
+everything downstream composes unchanged: wrap it in a
+:class:`~repro.serve.engine.QueryEngine` for client-side LRU memoization
+over the wire, hand it to :func:`~repro.serve.harness.run_load_test` or
+:class:`~repro.applications.routing.LandmarkRoutingScheme`, or select it
+declaratively::
+
+    spec = ServeSpec(backend="remote", options={"url": "http://127.0.0.1:8080"})
+    engine = repro.serve.load(graph, spec)   # QueryEngine over the wire
+
+Transport behaviour:
+
+* **connection reuse** — one persistent ``http.client.HTTPConnection``
+  per oracle (the daemon speaks HTTP/1.1 keep-alive), recreated on
+  transport errors;
+* **timeouts and bounded retry** — every transport failure (connection
+  refused, reset, timeout) is retried up to ``retries`` times with
+  exponential backoff (``backoff * 2**attempt`` seconds), after which a
+  typed :exc:`RemoteOracleError` is raised — a bare ``URLError`` or
+  ``ConnectionError`` never escapes a query;
+* **server-side errors stay typed** — a daemon 400 surfaces as
+  :exc:`ValueError` and a 404 as :exc:`KeyError`, exactly what the
+  in-process backends raise for the same mistakes, so protocol
+  conformance tests pass against either.
+
+The oracle pickles (the connection and lock are dropped and lazily
+rebuilt), so even the engine's multi-process ``query_batch(workers=)``
+mode works — each pool worker opens its own connection.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+import urllib.parse
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.graphs.graph import Graph
+from repro.serve.daemon import from_wire
+from repro.serve.registry import register_oracle
+from repro.serve.spec import ServeSpec
+
+__all__ = ["RemoteOracle", "RemoteOracleError"]
+
+#: Transport-level failures worth retrying (the daemon may be restarting,
+#: the connection may have idled out).  HTTP-level errors are never here.
+_TRANSPORT_ERRORS = (ConnectionError, socket.timeout, socket.gaierror,
+                     http.client.HTTPException, TimeoutError, OSError)
+
+
+class RemoteOracleError(RuntimeError):
+    """A daemon could not be reached (or answered garbage) after bounded retries."""
+
+
+class RemoteOracle:
+    """A :class:`DistanceOracle` proxying every call to a daemon URL.
+
+    Parameters
+    ----------
+    url:
+        Daemon base URL, e.g. ``http://127.0.0.1:8080``.
+    oracle:
+        Name of the served oracle to query (``None`` = the daemon's
+        default oracle).
+    timeout:
+        Socket timeout in seconds for each round trip.
+    retries:
+        How many times a failed round trip is retried (so up to
+        ``retries + 1`` attempts) before :exc:`RemoteOracleError`.
+    backoff:
+        Base of the exponential retry backoff: attempt ``k`` sleeps
+        ``backoff * 2**k`` seconds first.
+
+    The constructor performs one ``GET /healthz`` handshake (with the same
+    retry policy) to validate the URL and cache the served oracle's
+    metadata (``alpha`` / ``beta`` / ``num_vertices`` / ``space_in_edges``).
+    """
+
+    #: Registry-style identity, mirrored from the stock backends.
+    name = "remote"
+
+    def __init__(self, url: str, *, oracle: Optional[str] = None,
+                 timeout: float = 10.0, retries: int = 3,
+                 backoff: float = 0.05) -> None:
+        parsed = urllib.parse.urlsplit(url if "//" in url else f"http://{url}")
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"remote oracle URLs must be http://, got {url!r}")
+        if not parsed.hostname:
+            raise ValueError(f"remote oracle URL {url!r} has no host")
+        if retries < 0:
+            raise ValueError(f"retries must be non-negative, got {retries}")
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if backoff < 0:
+            raise ValueError(f"backoff must be non-negative, got {backoff}")
+        self._host = parsed.hostname
+        self._port = parsed.port or 80
+        self._oracle_name = oracle
+        self._timeout = float(timeout)
+        self._retries = int(retries)
+        self._backoff = float(backoff)
+        self._lock = threading.Lock()
+        self._connection: Optional[http.client.HTTPConnection] = None
+        self.requests = 0
+        self.retried_requests = 0
+        self.reconnects = 0
+        self._metadata = self._handshake()
+
+    # ------------------------------------------------------------------
+    # Introspection (protocol surface, answered from the cached handshake)
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        """The daemon base URL."""
+        return f"http://{self._host}:{self._port}"
+
+    @property
+    def oracle_name(self) -> str:
+        """The served oracle this proxy queries."""
+        return self._metadata["oracle"]
+
+    @property
+    def alpha(self) -> float:
+        return float(self._metadata["alpha"])
+
+    @property
+    def beta(self) -> float:
+        return float(self._metadata["beta"])
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self._metadata["num_vertices"])
+
+    @property
+    def space_in_edges(self) -> int:
+        """Edges the *daemon* stores for this oracle (nothing lives client-side)."""
+        return int(self._metadata["space_in_edges"])
+
+    def stats(self) -> Dict[str, Any]:
+        """Client-side transport counters plus the cached handshake metadata.
+
+        Purely local — no round trip — so it stays answerable when the
+        daemon is down; :meth:`daemon_stats` fetches the live server view.
+        """
+        return {
+            "backend": self.name,
+            "url": self.url,
+            "oracle": self.oracle_name,
+            "remote_backend": self._metadata.get("backend"),
+            "num_vertices": self.num_vertices,
+            "space_in_edges": self.space_in_edges,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "requests": self.requests,
+            "retried_requests": self.retried_requests,
+            "reconnects": self.reconnects,
+        }
+
+    def daemon_stats(self) -> Dict[str, Any]:
+        """The daemon's live ``GET /stats`` payload."""
+        return self._request("GET", "/stats")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, u: int, v: int) -> float:
+        """Approximate distance between ``u`` and ``v`` via one round trip."""
+        payload = self._request("POST", "/query", self._with_oracle({"u": u, "v": v}))
+        return from_wire(payload.get("answer"))
+
+    def query_batch(self, pairs: Iterable[Tuple[int, int]]) -> List[float]:
+        """Approximate distances for many pairs in one round trip."""
+        pairs = [[u, v] for u, v in pairs]
+        payload = self._request("POST", "/query_batch",
+                                self._with_oracle({"pairs": pairs}))
+        answers = payload.get("answers")
+        if not isinstance(answers, list) or len(answers) != len(pairs):
+            raise RemoteOracleError(
+                f"daemon at {self.url} answered {len(pairs)} pairs with {answers!r}"
+            )
+        return [from_wire(answer) for answer in answers]
+
+    def single_source(self, source: int) -> Dict[int, float]:
+        """All approximate distances from ``source`` in one round trip."""
+        payload = self._request("POST", "/single_source",
+                                self._with_oracle({"source": source}))
+        distances = payload.get("distances")
+        if not isinstance(distances, dict):
+            raise RemoteOracleError(
+                f"daemon at {self.url} answered /single_source with {distances!r}"
+            )
+        return {int(vertex): float(distance) for vertex, distance in distances.items()}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop the persistent connection (reopened lazily on next use)."""
+        with self._lock:
+            self._close_connection_locked()
+
+    def __enter__(self) -> "RemoteOracle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # The connection and lock are per-process; pool workers and unpickled
+    # copies each rebuild their own on first use.
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state["_lock"] = None
+        state["_connection"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        self._connection = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _handshake(self) -> Dict[str, Any]:
+        health = self._request("GET", "/healthz")
+        oracles = health.get("oracles")
+        if not isinstance(oracles, dict) or not oracles:
+            raise RemoteOracleError(f"daemon at {self.url} serves no oracles: {health!r}")
+        name = self._oracle_name or health.get("default_oracle")
+        if name not in oracles:
+            raise KeyError(
+                f"no oracle named {name!r} at {self.url}; served oracles: "
+                f"{', '.join(sorted(oracles))}"
+            )
+        metadata = dict(oracles[name])
+        metadata["oracle"] = name
+        for key in ("alpha", "beta", "num_vertices", "space_in_edges"):
+            if key not in metadata:
+                raise RemoteOracleError(
+                    f"daemon at {self.url} announced no {key!r} for oracle {name!r}"
+                )
+        return metadata
+
+    def _with_oracle(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        if self._oracle_name is not None:
+            body["oracle"] = self._oracle_name
+        return body
+
+    def _connection_locked(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+            # Mirror the daemon: disable Nagle, or every small
+            # request/response round trip eats a delayed-ACK stall.
+            connection.connect()
+            connection.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._connection = connection
+            self.reconnects += 1
+        return self._connection
+
+    def _close_connection_locked(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except Exception:  # pragma: no cover - close is best-effort
+                pass
+            self._connection = None
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """One JSON round trip with bounded exponential-backoff retries.
+
+        Transport failures retry; HTTP error statuses are mapped to the
+        exception the equivalent local mistake raises (400 -> ValueError,
+        404 -> KeyError) and are not retried — resending a malformed
+        request cannot fix it.
+        """
+        encoded = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if encoded else {}
+        last_error: Optional[Exception] = None
+        with self._lock:
+            self.requests += 1
+            for attempt in range(self._retries + 1):
+                if attempt:
+                    self.retried_requests += 1
+                    time.sleep(self._backoff * (2 ** (attempt - 1)))
+                try:
+                    connection = self._connection_locked()
+                    connection.request(method, path, body=encoded, headers=headers)
+                    response = connection.getresponse()
+                    raw = response.read()  # always drain: keep-alive hygiene
+                except _TRANSPORT_ERRORS as error:
+                    last_error = error
+                    self._close_connection_locked()
+                    continue
+                return self._decode_locked(response.status, raw, path)
+        raise RemoteOracleError(
+            f"daemon at {self.url} unreachable after {self._retries + 1} attempt(s) "
+            f"({method} {path}): {last_error!r}"
+        ) from last_error
+
+    def _decode_locked(self, status: int, raw: bytes, path: str) -> Dict[str, Any]:
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise RemoteOracleError(
+                f"daemon at {self.url} answered {path} with invalid JSON: {error}"
+            ) from None
+        if status == 400:
+            raise ValueError(payload.get("error", f"bad request to {path}"))
+        if status == 404:
+            raise KeyError(payload.get("error", f"{path} not found at {self.url}"))
+        if status >= 300:
+            raise RemoteOracleError(
+                f"daemon at {self.url} answered {path} with HTTP {status}: "
+                f"{payload.get('error', payload)!r}"
+            )
+        if not isinstance(payload, dict):
+            raise RemoteOracleError(
+                f"daemon at {self.url} answered {path} with {type(payload).__name__}, "
+                "expected a JSON object"
+            )
+        return payload
+
+
+@register_oracle("remote", description="proxy to a repro serve-daemon over HTTP",
+                 self_contained=False)
+def _make_remote_oracle(graph: Optional[Graph], spec: ServeSpec) -> RemoteOracle:
+    """Registry factory: ``ServeSpec(backend="remote", options={"url": ...})``.
+
+    Options: ``url`` (required), ``oracle`` (served oracle name),
+    ``timeout`` / ``retries`` / ``backoff`` (transport policy).  The local
+    graph, when provided, is only checked for vertex-count agreement with
+    the daemon's oracle — answers come exclusively from the daemon.
+    """
+    url = spec.options.get("url")
+    if not url:
+        raise ValueError(
+            'the remote backend needs a daemon URL: ServeSpec(backend="remote", '
+            'options={"url": "http://host:port"})'
+        )
+    oracle = RemoteOracle(
+        url,
+        oracle=spec.options.get("oracle"),
+        timeout=spec.options.get("timeout", 10.0),
+        retries=spec.options.get("retries", 3),
+        backoff=spec.options.get("backoff", 0.05),
+    )
+    if graph is not None and graph.num_vertices != oracle.num_vertices:
+        raise ValueError(
+            f"local graph has {graph.num_vertices} vertices but the daemon's "
+            f"{oracle.oracle_name!r} oracle serves {oracle.num_vertices}; "
+            "point the spec at the daemon serving this graph"
+        )
+    return oracle

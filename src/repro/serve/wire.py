@@ -1,0 +1,264 @@
+"""Wire-level load testing: drive a live daemon with concurrent clients.
+
+The in-process harness (:func:`repro.serve.harness.run_load_test`)
+measures an engine; this module measures a *deployment* — a running
+:mod:`repro.serve.daemon` — the way its clients will experience it:
+every query is an HTTP round trip through a
+:class:`~repro.serve.remote.RemoteOracle`, and the stream is replayed at
+several client-concurrency levels, each level fanning the queries across
+that many threads with one persistent connection per thread.
+
+The result is a :class:`WireSweepReport`: per concurrency level the
+throughput and p50/p95/p99 per-query wire latency, plus the same
+observed-vs-guaranteed stretch gate as the in-process harness (a sample
+of distinct pairs re-checked against exact BFS on the local graph).  The
+report round-trips through JSON so CI can persist and diff it — the
+``bench-serve --url`` CLI prints exactly this.
+
+Levels run over the same query stream in order, so the daemon's memo is
+cold for the first level and steady-state after — which is what a
+concurrency sweep should compare (scheduling overhead, not cache luck).
+Pass ``per_level_seeds=True`` for fully independent streams instead.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.graphs.graph import Graph
+from repro.serve.harness import _check_stretch, nearest_rank_percentile
+from repro.serve.remote import RemoteOracle
+from repro.serve.workloads import generate_queries
+
+__all__ = ["WireSweepLevel", "WireSweepReport", "run_wire_sweep"]
+
+
+@dataclass(frozen=True)
+class WireSweepLevel:
+    """One concurrency level of a wire sweep (latencies are per-query ms)."""
+
+    concurrency: int
+    num_queries: int
+    elapsed_seconds: float
+    throughput_qps: float
+    latency_mean_ms: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+
+
+@dataclass(frozen=True)
+class WireSweepReport:
+    """A full wire-level load test; flat and JSON-round-trippable."""
+
+    url: str
+    oracle: str
+    backend: str
+    workload: str
+    num_vertices: int
+    space_in_edges: int
+    alpha: float
+    beta: float
+    num_queries: int
+    levels: List[WireSweepLevel]
+    stretch_pairs_checked: int
+    stretch_violations: int
+    stretch_ok: bool
+    max_multiplicative_stretch: float
+    max_additive_error: float
+    #: The daemon's ``/stats`` payload captured after the sweep.
+    daemon_stats: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The report as plain JSON scalars / lists / dicts."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WireSweepReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        data = dict(data)
+        data["levels"] = [WireSweepLevel(**level) for level in data.get("levels", [])]
+        return cls(**data)
+
+    def to_json(self, indent: int = 2) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WireSweepReport":
+        """Parse a report previously produced by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def summary(self) -> str:
+        """One line per concurrency level, human-readable."""
+        lines = [
+            f"wire sweep of {self.oracle!r} at {self.url} "
+            f"({self.workload}, {self.num_queries} queries, stretch ok={self.stretch_ok})"
+        ]
+        for level in self.levels:
+            lines.append(
+                f"  c={level.concurrency:<3d} {level.throughput_qps:8.0f} q/s   "
+                f"p50 {level.latency_p50_ms:7.3f}ms   p95 {level.latency_p95_ms:7.3f}ms   "
+                f"p99 {level.latency_p99_ms:7.3f}ms"
+            )
+        return "\n".join(lines)
+
+
+def _drive_level(
+    url: str,
+    oracle: Optional[str],
+    queries: Sequence[Tuple[int, int]],
+    concurrency: int,
+    *,
+    timeout: float,
+    retries: int,
+    backoff: float,
+) -> WireSweepLevel:
+    """Replay ``queries`` across ``concurrency`` client threads, one query per trip."""
+    shards = [queries[offset::concurrency] for offset in range(concurrency)]
+    shards = [shard for shard in shards if shard]
+    per_thread_latencies: List[List[float]] = [[] for _ in shards]
+    errors: List[BaseException] = []
+
+    def run_client(index: int, shard: Sequence[Tuple[int, int]]) -> None:
+        try:
+            client = RemoteOracle(url, oracle=oracle, timeout=timeout,
+                                  retries=retries, backoff=backoff)
+            with client:
+                sink = per_thread_latencies[index]
+                for u, v in shard:
+                    t0 = time.perf_counter()
+                    client.query(u, v)
+                    sink.append((time.perf_counter() - t0) * 1000.0)
+        except BaseException as error:  # surfaced to the caller below
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=run_client, args=(index, shard), daemon=True)
+        for index, shard in enumerate(shards)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    latencies = sorted(latency for sink in per_thread_latencies for latency in sink)
+    return WireSweepLevel(
+        concurrency=concurrency,
+        num_queries=len(latencies),
+        elapsed_seconds=elapsed,
+        throughput_qps=len(latencies) / max(elapsed, 1e-9),
+        latency_mean_ms=sum(latencies) / len(latencies) if latencies else 0.0,
+        latency_p50_ms=nearest_rank_percentile(latencies, 0.50),
+        latency_p95_ms=nearest_rank_percentile(latencies, 0.95),
+        latency_p99_ms=nearest_rank_percentile(latencies, 0.99),
+    )
+
+
+def run_wire_sweep(
+    url: str,
+    graph: Graph,
+    *,
+    oracle: Optional[str] = None,
+    workload: str = "uniform",
+    num_queries: int = 1000,
+    seed: int = 0,
+    concurrency: Sequence[int] = (1, 2, 4),
+    stretch_sample: int = 100,
+    per_level_seeds: bool = False,
+    timeout: float = 10.0,
+    retries: int = 3,
+    backoff: float = 0.05,
+    workload_options: Optional[Dict[str, Any]] = None,
+) -> WireSweepReport:
+    """Load-test a live daemon over the wire at several concurrency levels.
+
+    Parameters
+    ----------
+    url:
+        Daemon base URL (``http://host:port``).
+    graph:
+        The graph the daemon's oracle was built on — used to generate the
+        query stream and for the exact-BFS stretch re-check.  Vertex-count
+        agreement with the daemon is verified up front.
+    oracle:
+        Served oracle name (``None`` = the daemon's default).
+    workload, num_queries, seed, workload_options:
+        The seeded query stream, exactly as in the in-process harness.
+    concurrency:
+        Client-thread counts to sweep, each level replaying the stream.
+    stretch_sample:
+        Distinct stream pairs re-checked against exact BFS through the
+        wire (0 skips the gate).
+    per_level_seeds:
+        Generate an independent stream per level (seed + level index)
+        instead of replaying one stream.
+
+    Raises
+    ------
+    RemoteOracleError
+        If the daemon is unreachable after the transport retry budget.
+    ValueError
+        For empty/invalid concurrency lists or a graph whose vertex count
+        disagrees with the daemon's oracle.
+    """
+    levels = [int(c) for c in concurrency]
+    if not levels or any(c < 1 for c in levels):
+        raise ValueError(f"concurrency levels must be positive ints, got {concurrency!r}")
+    if stretch_sample < 0:
+        raise ValueError(f"stretch_sample must be >= 0, got {stretch_sample}")
+    probe = RemoteOracle(url, oracle=oracle, timeout=timeout, retries=retries,
+                         backoff=backoff)
+    if graph.num_vertices != probe.num_vertices:
+        raise ValueError(
+            f"local graph has {graph.num_vertices} vertices but the daemon's "
+            f"{probe.oracle_name!r} oracle serves {probe.num_vertices}"
+        )
+    queries = generate_queries(graph, workload, num_queries, seed=seed,
+                               **(workload_options or {}))
+    measured: List[WireSweepLevel] = []
+    with probe:
+        for index, level in enumerate(levels):
+            stream = queries
+            if per_level_seeds and index:
+                stream = generate_queries(graph, workload, num_queries,
+                                          seed=seed + index,
+                                          **(workload_options or {}))
+            measured.append(
+                _drive_level(url, oracle, stream, level, timeout=timeout,
+                             retries=retries, backoff=backoff)
+            )
+        checked, violations, max_mult, max_additive = (0, 0, 1.0, 0.0)
+        if stretch_sample:
+            checked, violations, max_mult, max_additive = _check_stretch(
+                graph, probe, queries, stretch_sample
+            )
+        daemon_stats = probe.daemon_stats()
+        return WireSweepReport(
+            url=probe.url,
+            oracle=probe.oracle_name,
+            backend=str(probe.stats().get("remote_backend", "unknown")),
+            workload=workload,
+            num_vertices=graph.num_vertices,
+            space_in_edges=probe.space_in_edges,
+            alpha=probe.alpha,
+            beta=probe.beta,
+            num_queries=len(queries),
+            levels=measured,
+            stretch_pairs_checked=checked,
+            stretch_violations=violations,
+            stretch_ok=violations == 0,
+            max_multiplicative_stretch=max_mult,
+            max_additive_error=max_additive,
+            daemon_stats=daemon_stats,
+        )

@@ -22,18 +22,34 @@ provided, chosen to stress different parts of the engine:
 
 Every generator is deterministic given ``(graph, num_queries, seed)``;
 the load harness and the tests rely on replayable streams.
+
+A query stream can also be *profiled*: :func:`profile` reduces it to a
+per-source frequency :class:`WorkloadProfile` that round-trips through
+JSON (``save`` / ``load``).  Profiles are how traffic knowledge travels
+between processes — the serving daemon (:mod:`repro.serve.daemon`)
+preloads its engines from a saved profile at startup, and an in-process
+:class:`~repro.serve.engine.QueryEngine` pre-warms the same way via
+``engine.prewarm(profile.top_sources(k))``.
 """
 
 from __future__ import annotations
 
+import json
 import random
-from typing import Callable, Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.graphs import kernels
 from repro.graphs.graph import Graph
 from repro.graphs.shortest_paths import bounded_bfs
 
-__all__ = ["QUERY_WORKLOADS", "available_workloads", "generate_queries"]
+__all__ = [
+    "QUERY_WORKLOADS",
+    "WorkloadProfile",
+    "available_workloads",
+    "generate_queries",
+    "profile",
+]
 
 Pair = Tuple[int, int]
 
@@ -183,3 +199,100 @@ def generate_queries(
 def _require_pairs(n: int) -> None:
     if n < 2:
         raise ValueError(f"query workloads need at least 2 vertices, got {n}")
+
+
+# ----------------------------------------------------------------------
+# Workload profiles
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Per-source frequency summary of a query stream; JSON-round-trippable.
+
+    ``counts`` maps each source vertex to how often it appeared on the
+    query side of a stream; ``total_queries`` is the stream length the
+    profile was taken from.  The hot-source order (:meth:`top_sources`) is
+    deterministic: descending frequency, ties broken toward the smaller
+    vertex id — so a profile saved by one process warms another process'
+    engine identically every time.
+    """
+
+    counts: Mapping[int, int]
+    total_queries: int
+
+    def __post_init__(self) -> None:
+        counts = {}
+        for source, count in dict(self.counts).items():
+            source, count = int(source), int(count)
+            if count < 0:
+                raise ValueError(f"negative count {count} for source {source}")
+            if count:
+                counts[source] = count
+        object.__setattr__(self, "counts", counts)
+        if self.total_queries < 0:
+            raise ValueError(f"total_queries must be non-negative, got {self.total_queries}")
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def top_sources(self, k: Optional[int] = None) -> List[int]:
+        """The ``k`` hottest sources (all, if ``k`` is ``None``), hottest first."""
+        if k is not None and k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        ranked = sorted(self.counts, key=lambda source: (-self.counts[source], source))
+        return ranked if k is None else ranked[:k]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """The profile as a plain dict of JSON scalars (string source keys)."""
+        return {
+            "total_queries": self.total_queries,
+            "counts": {str(source): count for source, count in sorted(self.counts.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "WorkloadProfile":
+        """Rebuild a profile from :meth:`to_dict` output."""
+        counts = data.get("counts", {})
+        if not isinstance(counts, Mapping):
+            raise ValueError("profile 'counts' must be a mapping")
+        return cls(
+            counts={int(source): int(count) for source, count in counts.items()},
+            total_queries=int(data.get("total_queries", 0)),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        """The profile as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadProfile":
+        """Parse a profile previously produced by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        """Write the profile to ``path`` as JSON."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "WorkloadProfile":
+        """Read a profile previously written by :meth:`save`."""
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+
+def profile(queries: Iterable[Pair]) -> WorkloadProfile:
+    """Profile a query stream into per-source frequencies.
+
+    Only the source side is counted — the serving layer's memo, warm-up,
+    and admission coalescing are all keyed on sources, so that is the
+    dimension worth shipping between processes.
+    """
+    counts: Dict[int, int] = {}
+    total = 0
+    for u, _v in queries:
+        total += 1
+        counts[u] = counts.get(u, 0) + 1
+    return WorkloadProfile(counts=counts, total_queries=total)

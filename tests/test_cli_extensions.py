@@ -141,3 +141,69 @@ class TestParser:
         assert "oracle" in text
         assert "query" in text
         assert "bench-serve" in text
+
+
+class TestDaemonCommands:
+    """The --url halves of query / bench-serve, against an in-process daemon."""
+
+    @pytest.fixture(scope="class")
+    def daemon(self):
+        from repro.experiments.workloads import workload_by_name
+        from repro.serve import OracleDaemon, ServeSpec
+
+        graph = workload_by_name("erdos-renyi", 48, seed=0).graph
+        with OracleDaemon(port=0) as d:
+            d.add_oracle("default", graph, ServeSpec(backend="exact"))
+            d.start()
+            yield d
+
+    def test_query_url_answers_without_a_local_build(self, daemon, capsys):
+        exit_code = main(["query", "--url", daemon.url, "--queries", "0:17", "3:3"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert out.count("d(") == 2
+        assert "d(3, 3) <= 0.0" in out
+        assert "remote:" in out
+
+    def test_query_url_unknown_oracle_is_a_clean_error(self, daemon, capsys):
+        exit_code = main(["query", "--url", daemon.url, "--oracle-name", "nope",
+                          "--queries", "0:1"])
+        assert exit_code == 2
+        assert "served oracles" in capsys.readouterr().err
+
+    def test_query_dead_url_is_a_clean_error(self, capsys):
+        from repro.serve import OracleDaemon
+
+        probe = OracleDaemon(port=0)
+        dead_url = probe.url
+        probe.close()
+        exit_code = main(["query", "--url", dead_url, "--queries", "0:1"])
+        assert exit_code == 2
+        assert "unreachable" in capsys.readouterr().err
+
+    def test_bench_serve_url_sweeps_concurrency(self, daemon, capsys):
+        import json as json_module
+
+        exit_code = main([
+            "bench-serve", "--url", daemon.url, "--family", "erdos-renyi",
+            "--n", "48", "--workload", "zipf", "--queries", "60",
+            "--concurrency", "1", "2", "--stretch-sample", "20",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        report = json_module.loads(captured.out)
+        assert [level["concurrency"] for level in report["levels"]] == [1, 2]
+        assert report["stretch_ok"] is True
+        assert "wire sweep" in captured.err
+
+    def test_serve_daemon_flags_registered(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "serve-daemon", "--family", "grid", "--n", "36", "--port", "0",
+            "--name", "grid", "--warmup-sources", "4", "--verbose",
+        ])
+        assert args.command == "serve-daemon"
+        assert args.port == 0
+        assert args.name == "grid"
+        assert args.warmup_sources == 4
+        assert args.verbose is True

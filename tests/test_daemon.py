@@ -1,0 +1,409 @@
+"""Tests for the oracle-serving daemon (lifecycle, wire protocol, coalescing).
+
+Every daemon here binds port 0 (an ephemeral port) and runs in-process on
+a background thread — see CONTRIBUTING.md for the port discipline.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.graphs import generators
+from repro.serve import (
+    CoalescingEngine,
+    DaemonConfig,
+    DistanceOracle,
+    OracleConfig,
+    OracleDaemon,
+    QueryEngine,
+    RemoteOracle,
+    ServeSpec,
+    generate_queries,
+    load,
+    profile,
+)
+from repro.serve.daemon import from_wire, to_wire
+
+
+GRAPH = generators.connected_erdos_renyi(48, 0.1, seed=7)
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    with OracleDaemon(port=0) as d:
+        d.add_oracle("default", GRAPH, ServeSpec(backend="exact"))
+        d.add_oracle("emu", GRAPH, ServeSpec(seed=0))
+        d.start()
+        yield d
+
+
+def _post(daemon, path, body, *, raw=None):
+    """One raw HTTP POST (no client-side conveniences), -> (status, payload)."""
+    connection = http.client.HTTPConnection(daemon.host, daemon.port, timeout=5)
+    try:
+        encoded = raw if raw is not None else json.dumps(body).encode()
+        connection.request("POST", path, body=encoded,
+                           headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+class TestWireFormat:
+    def test_infinity_travels_as_null(self):
+        assert to_wire(float("inf")) is None
+        assert to_wire(3.0) == 3.0
+        assert from_wire(None) == float("inf")
+        assert from_wire(3.0) == 3.0
+
+
+class TestLifecycle:
+    def test_ephemeral_port_resolves_and_serves(self):
+        with OracleDaemon(port=0) as d:
+            d.add_oracle("default", GRAPH, ServeSpec(backend="exact"))
+            d.start()
+            assert d.port > 0
+            assert d.url == f"http://127.0.0.1:{d.port}"
+            connection = http.client.HTTPConnection(d.host, d.port, timeout=5)
+            connection.request("GET", "/healthz")
+            payload = json.loads(connection.getresponse().read())
+            connection.close()
+            assert payload["ok"] is True
+            assert payload["default_oracle"] == "default"
+
+    def test_close_is_idempotent_and_releases_the_port(self):
+        d = OracleDaemon(port=0)
+        d.add_oracle("default", GRAPH, ServeSpec(backend="exact"))
+        d.start()
+        port = d.port
+        d.close()
+        d.close()  # no-op, no deadlock
+        # The port is released: a fresh daemon can bind it.
+        with OracleDaemon(port=port) as fresh:
+            fresh.add_oracle("default", GRAPH, ServeSpec(backend="exact"))
+            fresh.start()
+            assert fresh.port == port
+
+    def test_first_oracle_is_the_default(self, daemon):
+        assert daemon.default_oracle_name == "default"
+        assert daemon.oracle_names == ["default", "emu"]
+        assert daemon.engine_for(None) is daemon.engine_for("default")
+
+    def test_oracles_must_be_uniquely_named(self):
+        with OracleDaemon(port=0) as d:
+            d.add_oracle("a", GRAPH, ServeSpec(backend="exact"))
+            with pytest.raises(ValueError, match="already served"):
+                d.add_oracle("a", GRAPH, ServeSpec(backend="exact"))
+
+
+class TestWireParity:
+    """The daemon answers identically to the in-process stack."""
+
+    def test_serial_parity(self, daemon):
+        queries = generate_queries(GRAPH, "mixed", 150, seed=4)
+        local = load(GRAPH, ServeSpec(backend="exact"))
+        remote = RemoteOracle(daemon.url)
+        assert remote.query_batch(queries) == local.query_batch(queries)
+
+    def test_parallel_wire_clients_match_serial_in_process(self, daemon):
+        queries = generate_queries(GRAPH, "zipf", 200, seed=5)
+        serial = load(GRAPH, ServeSpec(backend="exact")).query_batch(queries)
+        answers = [None] * len(queries)
+        errors = []
+
+        def client(offset):
+            try:
+                remote = RemoteOracle(daemon.url)
+                for index in range(offset, len(queries), 4):
+                    answers[index] = remote.query(*queries[index])
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=client, args=(k,)) for k in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert answers == serial
+
+    def test_named_oracle_answers_with_its_own_stretch(self, daemon):
+        emu = RemoteOracle(daemon.url, oracle="emu")
+        exact = RemoteOracle(daemon.url, oracle="default")
+        assert emu.alpha >= exact.alpha
+        for u, v in [(0, 17), (3, 42), (5, 5)]:
+            assert emu.query(u, v) >= exact.query(u, v)
+
+    def test_single_source_round_trips_int_keys(self, daemon):
+        remote = RemoteOracle(daemon.url)
+        local = load(GRAPH, ServeSpec(backend="exact"))
+        assert remote.single_source(7) == local.single_source(7)
+
+
+class TestStats:
+    def test_stats_reflect_hits_misses_and_requests(self):
+        with OracleDaemon(port=0) as d:
+            d.add_oracle("default", GRAPH, ServeSpec(backend="exact"))
+            d.start()
+            remote = RemoteOracle(d.url)
+            remote.query(0, 1)   # miss (source 0 admitted)
+            remote.query(0, 2)   # hit
+            remote.query(0, 3)   # hit
+            stats = d.stats()
+            engine_stats = stats["oracles"]["default"]
+            assert engine_stats["queries"] == 3
+            assert engine_stats["cache_misses"] == 1
+            assert engine_stats["cache_hits"] == 2
+            # handshake + 3 queries, all accounted
+            assert stats["daemon"]["requests"] == 4
+            assert stats["daemon"]["request_errors"] == 0
+            histogram = stats["daemon"]["latency_ms"]
+            assert histogram["count"] == 4
+            assert sum(bucket["count"] for bucket in histogram["buckets"]) == 4
+
+    def test_warmup_profile_preloads_the_memo(self):
+        queries = generate_queries(GRAPH, "zipf", 300, seed=2)
+        prof = profile(queries)
+        with OracleDaemon(port=0) as d:
+            d.add_oracle("default", GRAPH, ServeSpec(backend="exact"),
+                         warmup_profile=prof, warmup_sources=6)
+            d.start()
+            health = RemoteOracle(d.url).daemon_stats()
+            engine_stats = health["oracles"]["default"]
+            assert engine_stats["warmed_sources"] == 6
+            assert engine_stats["prewarmed_sources"] == 6
+            assert engine_stats["cached_sources"] == 6
+            # A query for the hottest source is a hit, not a miss.
+            hot = prof.top_sources(1)[0]
+            remote = RemoteOracle(d.url)
+            target = (hot + 1) % GRAPH.num_vertices
+            remote.query(hot, target)
+            assert d.engine_for("default").stats()["cache_hits"] == 1
+            assert d.engine_for("default").stats()["cache_misses"] == 0
+
+
+class TestMalformedRequests:
+    def test_bad_json_is_a_400(self, daemon):
+        status, payload = _post(daemon, "/query", None, raw=b"{not json")
+        assert status == 400
+        assert "JSON" in payload["error"]
+
+    def test_missing_fields_are_a_400(self, daemon):
+        status, payload = _post(daemon, "/query", {"u": 0})
+        assert status == 400
+        assert "'v'" in payload["error"]
+
+    def test_non_integer_vertex_is_a_400(self, daemon):
+        for bad in ["7", 1.5, True, None]:
+            status, _ = _post(daemon, "/query", {"u": bad, "v": 1})
+            assert status == 400
+
+    def test_out_of_range_vertex_is_a_400(self, daemon):
+        status, payload = _post(daemon, "/query", {"u": 0, "v": 99999})
+        assert status == 400
+        assert "out of range" in payload["error"]
+
+    def test_malformed_pairs_are_a_400(self, daemon):
+        for bad in [{"pairs": [[0]]}, {"pairs": [[0, 1, 2]]}, {"pairs": "nope"},
+                    {"pairs": [[0, "x"]]}]:
+            status, _ = _post(daemon, "/query_batch", bad)
+            assert status == 400
+
+    def test_body_must_be_a_json_object(self, daemon):
+        status, payload = _post(daemon, "/query", [1, 2])
+        assert status == 400
+        assert "object" in payload["error"]
+
+    def test_unknown_oracle_is_a_404(self, daemon):
+        status, payload = _post(daemon, "/query", {"u": 0, "v": 1, "oracle": "nope"})
+        assert status == 404
+        assert "served oracles" in payload["error"]
+
+    def test_unknown_path_is_a_404(self, daemon):
+        status, _ = _post(daemon, "/nonsense", {"u": 0, "v": 1})
+        assert status == 404
+        connection = http.client.HTTPConnection(daemon.host, daemon.port, timeout=5)
+        connection.request("GET", "/nonsense")
+        assert connection.getresponse().status == 404
+        connection.close()
+
+    def test_wrong_method_is_a_405(self, daemon):
+        status, _ = _post(daemon, "/stats", {})
+        assert status == 405
+        connection = http.client.HTTPConnection(daemon.host, daemon.port, timeout=5)
+        connection.request("PUT", "/query", body=b"{}")
+        assert connection.getresponse().status == 405
+        connection.close()
+
+    def test_errors_count_in_the_stats(self):
+        with OracleDaemon(port=0) as d:
+            d.add_oracle("default", GRAPH, ServeSpec(backend="exact"))
+            d.start()
+            _post(d, "/query", {"u": 0})
+            assert d.stats()["daemon"]["request_errors"] == 1
+
+
+class TestCoalescing:
+    def test_concurrent_same_source_queries_share_one_backend_call(self):
+        backend = load(GRAPH, ServeSpec(backend="exact")).oracle
+        gate = threading.Event()
+        started = threading.Event()
+        calls = []
+        original = backend.single_source
+
+        def slow(source):
+            calls.append(source)
+            started.set()
+            gate.wait(timeout=5)
+            return original(source)
+
+        backend.single_source = slow
+        engine = CoalescingEngine(QueryEngine(backend, cache_sources=8))
+        answers = []
+
+        def ask(v):
+            answers.append(engine.query(3, v))
+
+        threads = [threading.Thread(target=ask, args=(v,)) for v in range(4, 10)]
+        threads[0].start()
+        assert started.wait(timeout=5)  # the leader is inside the backend
+        for thread in threads[1:]:
+            thread.start()
+        # Followers must be enqueued on the in-flight record before the
+        # gate opens; poll until they all are (they register under the
+        # engine lock, so the counter is exact).
+        for _ in range(500):
+            if engine.stats()["coalesced_queries"] == 5:
+                break
+            time.sleep(0.01)
+        gate.set()
+        for thread in threads:
+            thread.join()
+        assert calls == [3]  # one backend computation for all six queries
+        assert engine.stats()["coalesced_queries"] == 5
+        exact = original(3)
+        assert sorted(answers) == sorted(exact[v] for v in range(4, 10))
+
+    def test_leader_failure_propagates_to_followers_and_is_retryable(self):
+        backend = load(GRAPH, ServeSpec(backend="exact")).oracle
+        original = backend.single_source
+        backend.single_source = lambda source: (_ for _ in ()).throw(RuntimeError("boom"))
+        engine = CoalescingEngine(QueryEngine(backend, cache_sources=8))
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.query(3, 4)
+        # The in-flight record is cleaned up: a later query retries fresh.
+        backend.single_source = original
+        assert engine.query(3, 4) == original(3)[4]
+        assert engine.stats()["inflight_sources"] == 0
+
+    def test_satisfies_the_oracle_protocol(self):
+        engine = CoalescingEngine(load(GRAPH, ServeSpec(backend="exact")))
+        assert isinstance(engine, DistanceOracle)
+
+    def test_stats_delta_covers_the_coalescing_counter(self):
+        engine = CoalescingEngine(load(GRAPH, ServeSpec(backend="exact")))
+        engine.query(0, 1)
+        before = engine.stats()
+        engine.query(0, 2)
+        delta = engine.stats_delta(before)
+        assert delta["queries"] == 1
+        assert delta["cache_hits"] == 1
+        assert delta["coalesced_queries"] == 0
+
+
+class TestDaemonConfig:
+    def test_from_dict_builds_named_oracles(self):
+        config = DaemonConfig.from_dict({
+            "oracles": {
+                "a": {"spec": {"backend": "exact"}, "family": "erdos-renyi", "n": 32},
+                "b": {"spec": {"product": "emulator"}, "family": "erdos-renyi", "n": 32},
+            },
+            "default_oracle": "b",
+        })
+        assert sorted(config.oracles) == ["a", "b"]
+        assert config.default_oracle == "b"
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="at least one oracle"):
+            DaemonConfig(oracles={})
+        with pytest.raises(ValueError, match="not a configured oracle"):
+            DaemonConfig(oracles={"a": OracleConfig()}, default_oracle="b")
+        with pytest.raises(ValueError, match="unknown oracle config keys"):
+            OracleConfig.from_dict({"nonsense": 1})
+        with pytest.raises(ValueError, match="'oracles'"):
+            DaemonConfig.from_dict({})
+
+    def test_from_config_file_serves_and_warms(self, tmp_path):
+        queries = generate_queries(GRAPH, "zipf", 100, seed=1)
+        profile_path = tmp_path / "profile.json"
+        profile(queries).save(str(profile_path))
+        config_path = tmp_path / "daemon.json"
+        config_path.write_text(json.dumps({
+            "oracles": {
+                "main": {
+                    "spec": {"backend": "exact"},
+                    "family": "erdos-renyi",
+                    "n": 48,
+                    "graph_seed": 7,
+                    "warmup_profile": str(profile_path),
+                    "warmup_sources": 4,
+                },
+            },
+        }))
+        with OracleDaemon.from_config(DaemonConfig.from_file(str(config_path))) as d:
+            d.start()
+            remote = RemoteOracle(d.url)
+            assert remote.oracle_name == "main"
+            assert remote.num_vertices == 48
+            assert d.stats()["oracles"]["main"]["warmed_sources"] == 4
+
+
+class TestWireSweep:
+    def test_sweep_reports_each_concurrency_level(self, daemon):
+        from repro.serve import run_wire_sweep
+
+        report = run_wire_sweep(
+            daemon.url, GRAPH, workload="zipf", num_queries=80,
+            concurrency=(1, 2), stretch_sample=20,
+        )
+        assert [level.concurrency for level in report.levels] == [1, 2]
+        for level in report.levels:
+            assert level.num_queries == 80
+            assert level.throughput_qps > 0
+            assert level.latency_p50_ms <= level.latency_p95_ms <= level.latency_p99_ms
+        assert report.stretch_ok
+        assert report.oracle == "default"
+        assert report.daemon_stats["oracles"]["default"]["queries"] > 0
+
+    def test_report_round_trips_through_json(self, daemon):
+        from repro.serve import WireSweepReport, run_wire_sweep
+
+        report = run_wire_sweep(
+            daemon.url, GRAPH, workload="uniform", num_queries=40,
+            concurrency=(1,), stretch_sample=10,
+        )
+        clone = WireSweepReport.from_json(report.to_json())
+        assert clone.levels == report.levels
+        assert clone.url == report.url
+        assert "q/s" in report.summary()
+
+    def test_sweep_rejects_a_mismatched_graph(self, daemon):
+        from repro.serve import run_wire_sweep
+
+        other = generators.connected_erdos_renyi(20, 0.2, seed=2)
+        with pytest.raises(ValueError, match="vertices"):
+            run_wire_sweep(daemon.url, other, num_queries=10)
+
+    def test_sweep_validates_concurrency(self, daemon):
+        from repro.serve import run_wire_sweep
+
+        with pytest.raises(ValueError):
+            run_wire_sweep(daemon.url, GRAPH, num_queries=10, concurrency=())
+        with pytest.raises(ValueError):
+            run_wire_sweep(daemon.url, GRAPH, num_queries=10, concurrency=(0,))

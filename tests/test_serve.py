@@ -84,9 +84,14 @@ class TestServeSpec:
 
 class TestRegistry:
     def test_stock_backends_registered(self):
-        assert available_oracles() == ["emulator", "exact", "hopset", "spanner"]
+        assert available_oracles() == ["emulator", "exact", "hopset", "remote", "spanner"]
         for name in available_oracles():
             assert is_oracle_registered(name)
+
+    def test_buildable_excludes_the_remote_proxy(self):
+        from repro.serve import buildable_oracles
+
+        assert buildable_oracles() == ["emulator", "exact", "hopset", "spanner"]
 
     def test_unknown_backend_lists_alternatives(self):
         with pytest.raises(KeyError, match="emulator"):
@@ -202,7 +207,9 @@ class TestBackendSpecifics:
             load(path10, ServeSpec(backend="hopset", options={"hopbound": 0}))
 
     def test_disconnected_pairs_answer_inf(self, disconnected_graph):
-        for backend in available_oracles():
+        from repro.serve import buildable_oracles
+
+        for backend in buildable_oracles():
             engine = load(disconnected_graph, ServeSpec(backend=backend))
             assert engine.query(0, 9) == float("inf")
 
@@ -313,3 +320,61 @@ class TestQueryEngine:
         finally:
             engine.close()
         assert engine._pool is None
+
+
+class TestEngineAdmissionInterface:
+    """lookup/admit/record_queries/prewarm/stats_delta (the daemon's surface)."""
+
+    def test_lookup_counts_a_hit_only_when_cached(self, path10):
+        engine = load(path10, ServeSpec(backend="exact"))
+        assert engine.lookup(0) is None
+        assert engine.cache_hits == 0 and engine.cache_misses == 0
+        dist = engine.oracle.single_source(0)
+        engine.admit(0, dist)
+        assert engine.cache_misses == 1
+        assert engine.lookup(0) == dist
+        assert engine.cache_hits == 1
+
+    def test_lookup_refreshes_lru_recency(self, path10):
+        engine = load(path10, ServeSpec(backend="exact", cache_sources=2))
+        engine.admit(0, engine.oracle.single_source(0))
+        engine.admit(1, engine.oracle.single_source(1))
+        engine.lookup(0)  # refresh: the next admit must evict 1, not 0
+        engine.admit(2, engine.oracle.single_source(2))
+        assert engine.lookup(0) is not None
+        assert engine.lookup(1) is None
+
+    def test_record_queries_validates(self, path10):
+        engine = load(path10, ServeSpec(backend="exact"))
+        engine.record_queries(3)
+        assert engine.queries == 3
+        with pytest.raises(ValueError):
+            engine.record_queries(-1)
+
+    def test_prewarm_respects_budget_and_skips_cached(self, path10):
+        engine = load(path10, ServeSpec(backend="exact", cache_sources=4))
+        engine.single_source(0)  # already cached -> skipped by prewarm
+        warmed = engine.prewarm([0, 1, 2, 3, 4, 5], limit=3)
+        assert warmed == 3  # budget of 3 fresh sources (0 skipped)
+        assert engine.prewarmed_sources == 3
+        # The memo bound caps the budget even without an explicit limit.
+        engine2 = load(path10, ServeSpec(backend="exact", cache_sources=2))
+        assert engine2.prewarm(range(10)) == 2
+        with pytest.raises(ValueError):
+            engine.prewarm([0], limit=-1)
+        with pytest.raises(ValueError):
+            engine.prewarm([99])  # out of range propagates
+
+    def test_stats_delta_subtracts_only_counters(self, path10):
+        engine = load(path10, ServeSpec(backend="exact", cache_sources=2))
+        engine.query(0, 5)
+        before = engine.stats()
+        engine.query(0, 6)  # hit
+        engine.query(1, 5)  # miss
+        delta = engine.stats_delta(before)
+        assert delta["queries"] == 2
+        assert delta["cache_hits"] == 1
+        assert delta["cache_misses"] == 1
+        # Non-counter fields stay absolute.
+        assert delta["cache_sources_limit"] == 2
+        assert delta["cached_sources"] == 2

@@ -86,3 +86,72 @@ class TestShapes:
             generate_queries(GRAPH, "mixed", 10, hot_fraction=1.5)
         with pytest.raises(ValueError):
             generate_queries(GRAPH, "mixed", 10, hot_set_size=0)
+
+
+class TestWorkloadProfiles:
+    def test_profile_counts_only_the_source_side(self):
+        from repro.serve import profile
+
+        prof = profile([(0, 1), (0, 2), (3, 0), (3, 1), (3, 2)])
+        assert prof.counts == {0: 2, 3: 3}
+        assert prof.total_queries == 5
+        assert len(prof) == 2
+
+    def test_top_sources_is_deterministic_under_ties(self):
+        from repro.serve import profile
+
+        prof = profile([(5, 0), (2, 0), (5, 1), (2, 1), (9, 0)])
+        # 5 and 2 tie at two appearances: smaller vertex id first.
+        assert prof.top_sources() == [2, 5, 9]
+        assert prof.top_sources(2) == [2, 5]
+        assert prof.top_sources(0) == []
+        with pytest.raises(ValueError):
+            prof.top_sources(-1)
+
+    def test_json_round_trip(self):
+        from repro.serve import WorkloadProfile, generate_queries, profile
+
+        prof = profile(generate_queries(GRAPH, "zipf", 200, seed=3))
+        clone = WorkloadProfile.from_json(prof.to_json())
+        assert clone == prof
+        assert clone.top_sources(10) == prof.top_sources(10)
+
+    def test_save_load_round_trip(self, tmp_path):
+        from repro.serve import WorkloadProfile, profile
+
+        prof = profile([(1, 2)] * 7 + [(4, 5)] * 3)
+        path = tmp_path / "profile.json"
+        prof.save(str(path))
+        assert WorkloadProfile.load(str(path)) == prof
+
+    def test_zero_counts_are_dropped_and_negatives_rejected(self):
+        from repro.serve import WorkloadProfile
+
+        prof = WorkloadProfile(counts={1: 0, 2: 5}, total_queries=5)
+        assert prof.counts == {2: 5}
+        with pytest.raises(ValueError):
+            WorkloadProfile(counts={1: -1}, total_queries=0)
+        with pytest.raises(ValueError):
+            WorkloadProfile(counts={}, total_queries=-1)
+
+    def test_profile_of_a_zipf_stream_is_skewed(self):
+        from repro.serve import generate_queries, profile
+
+        prof = profile(generate_queries(GRAPH, "zipf", 500, seed=0))
+        hot, cold = prof.top_sources()[0], prof.top_sources()[-1]
+        assert prof.counts[hot] > prof.counts[cold]
+
+    def test_prewarm_from_profile_preloads_an_engine(self):
+        from repro.serve import ServeSpec, generate_queries, load, profile
+
+        queries = generate_queries(GRAPH, "zipf", 300, seed=2)
+        prof = profile(queries)
+        engine = load(GRAPH, ServeSpec(backend="exact"))
+        warmed = engine.prewarm(prof.top_sources(8))
+        assert warmed == 8
+        stats = engine.stats()
+        assert stats["prewarmed_sources"] == 8
+        assert stats["cached_sources"] == 8
+        assert stats["cache_misses"] == 0  # warm-up is not miss traffic
+        engine.query(prof.top_sources(1)[0], 0)
+        assert engine.stats()["cache_hits"] == 1
