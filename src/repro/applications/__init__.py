@@ -18,7 +18,8 @@ two most direct applications:
 * :mod:`repro.applications.streaming` — semi-streaming spanner and emulator
   construction with pass / memory accounting.
 * :class:`repro.applications.dynamic.DecrementalEmulatorOracle` —
-  deletion-only approximate distances with lazy emulator rebuilds.
+  deletion-only approximate distances, now a deprecated shim over the
+  live serving engine (:class:`repro.serve.live.LiveEngine`).
 """
 
 from repro.applications.distance_oracle import EmulatorDistanceOracle

@@ -1,39 +1,30 @@
-"""Decremental approximate distances with emulator rebuilds.
+"""Decremental approximate distances — now a shim over :mod:`repro.serve.live`.
 
 Hopsets and emulators are the standard tool behind decremental (deletion
 only) approximate shortest-path data structures ([HKN18, BR11, LN20] in the
-paper's bibliography).  The full machinery of those papers is far beyond a
-reproduction's scope; what this module provides is the *pattern* they share,
-implemented honestly with the reproduction's own emulator:
+paper's bibliography).  This module pioneered the pattern in the repo —
+apply the deletion now, rebuild the ultra-sparse emulator lazily, lean on
+the upper-bound argument (deletions only grow distances) between rebuilds —
+and that pattern has since been promoted into the serving stack proper:
+:class:`repro.serve.live.LiveEngine` generalizes it with insertions,
+background rebuilds, atomic hot swap, and per-answer version/staleness
+tags.
 
-* the oracle maintains an ultra-sparse emulator of the current graph;
-* edge deletions are applied to the graph immediately and the emulator is
-  rebuilt lazily — either when a deleted edge invalidates an emulator edge
-  (its weight could now underestimate a distance) or after a configurable
-  number of deletions;
-* the *upper-bound* half of the guarantee survives deletions for free:
-  distances only grow when edges are deleted, so an emulator distance
-  computed for an older version of the graph still satisfies
-  ``d_H <= alpha * d_G + beta`` for the current graph.  The lower bound
-  (``d_H >= d_G``) is what a stale emulator can violate — answers between
-  rebuilds may undershoot the *current* distance because they are exact with
-  respect to a recent version of the graph.  Forced rebuilds (when a deleted
-  edge directly realized an emulator edge) and periodic rebuilds bound that
-  staleness.
-
-The accounting (`rebuilds`, `deletions`, `amortized_rebuild_ratio`) is what
-experiment E13 reports: how rarely a rebuild is actually needed on workloads
-where deletions are spread across the graph.
+:class:`DecrementalEmulatorOracle` remains as a **deprecated** thin shim:
+a deletions-only ``LiveEngine`` configuration (synchronous rebuilds, no
+insertion repair) with the legacy counter surface, now also conforming to
+the :class:`~repro.serve.oracles.DistanceOracle` protocol so it slots
+into the harness, routing, and experiment code written against the serve
+stack.  New code should use ``repro.serve.load(graph, ServeSpec(...,
+live=True))`` directly.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.api import BuildSpec, build as facade_build
-from repro.core.emulator import EmulatorResult
-from repro.core.parameters import CentralizedSchedule, ultra_sparse_kappa
 from repro.graphs.graph import Graph
 
 __all__ = ["DecrementalStats", "DecrementalEmulatorOracle"]
@@ -55,12 +46,20 @@ class DecrementalStats:
         (a deleted graph edge supported an emulator edge's weight).
     queries:
         Number of distance queries answered.
+
+    The instance is *callable* so the attribute-style legacy surface
+    (``oracle.stats.deletions``) and the ``DistanceOracle`` protocol's
+    ``oracle.stats()`` both work: calling it returns the counters as a
+    dict, merged with the backing live engine's stats when attached.
     """
 
     deletions: int = 0
     rebuilds: int = 0
     forced_rebuilds: int = 0
     queries: int = 0
+
+    #: The backing engine whose stats() the callable form merges in.
+    _engine: Optional[Any] = None
 
     @property
     def amortized_rebuild_ratio(self) -> float:
@@ -69,9 +68,28 @@ class DecrementalStats:
             return 0.0
         return self.rebuilds / self.deletions
 
+    def __call__(self) -> Dict[str, Any]:
+        """The counters as a dict (protocol ``stats()`` form)."""
+        stats: Dict[str, Any] = {} if self._engine is None else self._engine.stats()
+        stats.update(
+            deletions=self.deletions,
+            rebuilds=self.rebuilds,
+            forced_rebuilds=self.forced_rebuilds,
+            decremental_queries=self.queries,
+            amortized_rebuild_ratio=self.amortized_rebuild_ratio,
+        )
+        return stats
+
 
 class DecrementalEmulatorOracle:
     """Deletion-only approximate distance oracle with lazy emulator rebuilds.
+
+    .. deprecated:: 1.7.0
+        A thin shim over :class:`repro.serve.live.LiveEngine` (a
+        deletions-only, synchronous-rebuild configuration).  Use
+        ``repro.serve.load(graph, ServeSpec(..., live=True))`` for new
+        code — it adds insertions, background rebuilds, and per-answer
+        ``(version, staleness)`` tags.
 
     Parameters
     ----------
@@ -97,48 +115,33 @@ class DecrementalEmulatorOracle:
         kappa: Optional[float] = None,
         rebuild_every: Optional[int] = 16,
     ) -> None:
+        warnings.warn(
+            "DecrementalEmulatorOracle is deprecated; use repro.serve.load(graph, "
+            "ServeSpec(..., live=True, live_sync=True)) — the LiveEngine it returns "
+            "accepts deletions (and insertions) via apply()/mutate()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if rebuild_every is not None and rebuild_every < 1:
             raise ValueError("rebuild_every must be at least 1 (or None)")
-        self._graph = graph.copy()
-        self._eps = eps
-        if kappa is None:
-            kappa = ultra_sparse_kappa(max(2, graph.num_vertices))
-        self._kappa = kappa
-        self._rebuild_every = rebuild_every
-        self._deletions_since_rebuild = 0
-        self.stats = DecrementalStats()
-        self._result = self._build()
+        from repro.serve.live import LiveEngine
+        from repro.serve.spec import ServeSpec
 
-    # ------------------------------------------------------------------
-    # Construction and maintenance
-    # ------------------------------------------------------------------
-    def _build(self) -> EmulatorResult:
-        """(Re)build the emulator for the current graph."""
-        schedule = CentralizedSchedule(
-            n=max(1, self._graph.num_vertices), eps=self._eps, kappa=self._kappa
+        spec = ServeSpec.ultra_sparse(
+            graph.num_vertices,
+            eps=eps,
+            kappa=kappa,
+            live=True,
+            live_rebuild_after=rebuild_every,
+            live_repair=False,
+            live_sync=True,
         )
-        result = facade_build(
-            self._graph, BuildSpec(product="emulator", method="centralized", schedule=schedule)
-        ).raw
-        self._deletions_since_rebuild = 0
-        return result
+        self._live = LiveEngine(graph, spec)
+        self.stats = DecrementalStats(_engine=self._live)
 
-    def _emulator_edge_support(self) -> Set[Tuple[int, int]]:
-        """Graph edges that directly realize a weight-1 emulator edge.
-
-        Deleting one of these edges is the cheap-to-detect case where the
-        emulator might now *underestimate* a distance, which would break the
-        lower-bound half of the guarantee; such deletions force a rebuild.
-        Heavier emulator edges can only become under-estimates as well, but
-        detecting that exactly would require a shortest-path recomputation —
-        the periodic rebuild covers them.
-        """
-        support: Set[Tuple[int, int]] = set()
-        for u, v, w in self._result.emulator.edges():
-            if w <= 1.0 + 1e-9:
-                support.add((u, v) if u < v else (v, u))
-        return support
-
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
     def delete_edge(self, u: int, v: int) -> bool:
         """Delete the graph edge ``(u, v)``.
 
@@ -146,22 +149,16 @@ class DecrementalEmulatorOracle:
         immediately when the deletion could invalidate it, or when the
         periodic rebuild threshold is reached.
         """
-        removed = self._graph.remove_edge(u, v)
-        if not removed:
+        from repro.serve.live import GraphMutation
+
+        receipt = self._live.apply(GraphMutation(deletes=((u, v),)))
+        if not receipt.applied:
             return False
         self.stats.deletions += 1
-        self._deletions_since_rebuild += 1
-        key = (u, v) if u < v else (v, u)
-        if key in self._emulator_edge_support():
+        if receipt.rebuilt:
             self.stats.rebuilds += 1
-            self.stats.forced_rebuilds += 1
-            self._result = self._build()
-        elif (
-            self._rebuild_every is not None
-            and self._deletions_since_rebuild >= self._rebuild_every
-        ):
-            self.stats.rebuilds += 1
-            self._result = self._build()
+            if receipt.forced:
+                self.stats.forced_rebuilds += 1
         return True
 
     def delete_edges(self, edges: List[Tuple[int, int]]) -> int:
@@ -169,49 +166,62 @@ class DecrementalEmulatorOracle:
         return sum(1 for u, v in edges if self.delete_edge(u, v))
 
     # ------------------------------------------------------------------
-    # Queries
+    # Queries (DistanceOracle protocol surface)
     # ------------------------------------------------------------------
     def query(self, u: int, v: int) -> float:
         """Approximate distance in the *current* graph; ``inf`` if disconnected."""
-        self._check_vertex(u)
-        self._check_vertex(v)
         self.stats.queries += 1
-        if u == v:
-            return 0.0
-        return self._result.emulator.dijkstra(u).get(v, float("inf"))
+        return self._live.query(u, v)
+
+    def query_batch(self, pairs: Iterable[Tuple[int, int]]) -> List[float]:
+        """Approximate distances for many pairs (one oracle version)."""
+        pairs = list(pairs)
+        self.stats.queries += len(pairs)
+        return self._live.query_batch(pairs)
 
     def single_source(self, source: int) -> Dict[int, float]:
         """All approximate distances from ``source`` in the current graph."""
-        self._check_vertex(source)
         self.stats.queries += 1
-        return self._result.emulator.dijkstra(source)
+        return self._live.single_source(source)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
-    def graph(self) -> Graph:
-        """The current (post-deletions) graph — a copy, safe to inspect."""
-        return self._graph.copy()
+    def live_engine(self):
+        """The backing :class:`~repro.serve.live.LiveEngine` (the real API)."""
+        return self._live
 
     @property
-    def emulator_result(self) -> EmulatorResult:
-        """The emulator currently backing queries."""
-        return self._result
+    def graph(self) -> Graph:
+        """The current (post-deletions) graph — a copy, safe to inspect."""
+        return self._live.graph
+
+    @property
+    def emulator_result(self):
+        """The :class:`~repro.core.emulator.EmulatorResult` backing queries."""
+        return self._live.raw_result
 
     @property
     def alpha(self) -> float:
         """Multiplicative term of the current guarantee."""
-        return self._result.alpha
+        return self._live.alpha
 
     @property
     def beta(self) -> float:
         """Additive term of the current guarantee."""
-        return self._result.beta
+        return self._live.beta
 
-    # ------------------------------------------------------------------
-    # Internal helpers
-    # ------------------------------------------------------------------
-    def _check_vertex(self, v: int) -> None:
-        if v not in self._graph:
-            raise ValueError(f"vertex {v} out of range [0, {self._graph.num_vertices})")
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices of the served graph."""
+        return self._live.num_vertices
+
+    @property
+    def space_in_edges(self) -> int:
+        """Edges the backing emulator stores."""
+        return self._live.space_in_edges
+
+    def close(self) -> None:
+        """Release the backing live engine."""
+        self._live.close()

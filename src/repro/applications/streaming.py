@@ -94,6 +94,30 @@ class EdgeStream:
             graph.add_edge(u, v)
         return graph
 
+    def mutation_batches(self, batch_size: int = 64) -> Iterator["GraphMutation"]:
+        """Replay the stream as insertion batches for the live serving stack.
+
+        Yields :class:`~repro.serve.live.GraphMutation` batches of up to
+        ``batch_size`` edge insertions, in stream order — the adapter that
+        makes an edge stream a *mutation source*: feed it to
+        :meth:`repro.serve.live.LiveEngine.ingest` and the streamed graph
+        grows inside a serving engine, with the stream's pass accounting
+        intact (consuming the generator counts as one pass, like every
+        other replay).
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        from repro.serve.live import GraphMutation
+
+        batch: List[Tuple[int, int]] = []
+        for edge in self:
+            batch.append(edge)
+            if len(batch) >= batch_size:
+                yield GraphMutation(inserts=tuple(batch))
+                batch = []
+        if batch:
+            yield GraphMutation(inserts=tuple(batch))
+
 
 @dataclass
 class StreamingStats:

@@ -15,7 +15,7 @@ Sub-commands
 ``verify``
     Check a previously built emulator against its graph.
 ``experiments``
-    Run the experiment suite (E1-E16) and print the result tables.
+    Run the experiment suite (E1-E17) and print the result tables.
 ``sweep``
     Run a config-driven product x method x parameter grid through the
     facade and print one table row per build.
@@ -36,6 +36,11 @@ Sub-commands
     graph/serve flags, or many from a ``--config`` JSON file) and block
     until interrupted.  Prints ``daemon listening on http://host:port``
     once the socket accepts, so scripts can scrape the ephemeral port.
+    With ``--live`` the oracle accepts ``POST /mutate`` edge mutations
+    and tags every answer with ``(version, staleness)``.
+``mutate``
+    Send a batch of edge insertions/deletions to a live oracle served by
+    a running daemon and print the mutation receipt.
 ``oracle``
     Legacy alias of ``query`` pinned to the ultra-sparse emulator backend.
 """
@@ -111,6 +116,13 @@ def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
                         help="rho parameter (fast/congest methods)")
     parser.add_argument("--cache-sources", type=int, default=256,
                         help="bound on the engine's per-source LRU memo")
+    parser.add_argument("--live", action="store_true",
+                        help="serve a live (mutable) engine: mutations are "
+                             "accepted and every answer is version-tagged")
+    parser.add_argument("--rebuild-after", type=int, default=None,
+                        help="--live only: force a rebuild once this many "
+                             "mutations are unabsorbed (default: only when "
+                             "the guarantee requires it)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -191,7 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--sample-pairs", type=int, default=None,
                         help="check only this many sampled pairs (default: all pairs)")
 
-    experiments = subparsers.add_parser("experiments", help="run the E1-E16 experiment suite")
+    experiments = subparsers.add_parser("experiments", help="run the E1-E17 experiment suite")
     experiments.add_argument("--only", choices=available_experiments(), default=None,
                              help="run a single experiment")
     experiments.add_argument("--full", action="store_true",
@@ -280,6 +292,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve_daemon.add_argument("--verbose", action="store_true",
                               help="log every HTTP request to stderr")
 
+    mutate = subparsers.add_parser(
+        "mutate",
+        help="send edge mutations to a live oracle on a running serve-daemon",
+    )
+    mutate.add_argument("--url", required=True,
+                        help="base URL of the running serve-daemon")
+    mutate.add_argument("--insert", nargs="+", default=[],
+                        help="edges to insert as 'u:v' pairs, e.g. 0:17 3:42")
+    mutate.add_argument("--delete", nargs="+", default=[],
+                        help="edges to delete as 'u:v' pairs")
+    mutate.add_argument("--oracle-name", default=None,
+                        help="served oracle to mutate (default: the daemon's "
+                             "default oracle)")
+    mutate.add_argument("--wait", action="store_true",
+                        help="block until the mutations are absorbed into a "
+                             "fresh oracle version before returning")
+
     oracle = subparsers.add_parser(
         "oracle", help="answer approximate distance queries (legacy ultra-sparse emulator)"
     )
@@ -334,6 +363,8 @@ def _serve_spec(args: argparse.Namespace) -> ServeSpec:
         seed=args.seed,
         backend=args.backend,
         cache_sources=args.cache_sources,
+        live=args.live,
+        live_rebuild_after=args.rebuild_after,
     )
     # The clamp keys on the product the backend actually builds, which a
     # --backend differing from --product overrides (the exact backend
@@ -556,6 +587,25 @@ def _command_serve_daemon(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_mutate(args: argparse.Namespace) -> int:
+    inserts = _parse_queries(args.insert)
+    deletes = _parse_queries(args.delete)
+    engine = RemoteOracle(args.url, oracle=args.oracle_name)
+    if not engine.is_live:
+        print(f"error: oracle {engine.oracle_name!r} at {engine.url} is not live",
+              file=sys.stderr)
+        return 2
+    receipt = engine.mutate(inserts=inserts, deletes=deletes, wait=args.wait)
+    print(f"oracle {engine.oracle_name!r}: applied {receipt['applied']} "
+          f"mutation(s), skipped {receipt['skipped']} no-op(s)")
+    print(f"version {receipt['version']} (watermark {receipt['watermark']}, "
+          f"staleness {receipt['staleness']})"
+          + (" [rebuilt]" if receipt.get("rebuilt") else "")
+          + (" [repaired]" if receipt.get("repaired") else "")
+          + (" [rebuild scheduled]" if receipt.get("rebuild_scheduled") else ""))
+    return 0
+
+
 def _command_oracle(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     queries = _parse_queries(args.queries)
@@ -612,6 +662,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_facade_command(_command_bench_serve, args)
     if args.command == "serve-daemon":
         return _run_facade_command(_command_serve_daemon, args)
+    if args.command == "mutate":
+        return _run_facade_command(_command_mutate, args)
     if args.command == "oracle":
         return _run_facade_command(_command_oracle, args)
     parser.error(f"unknown command {args.command!r}")

@@ -13,7 +13,9 @@ user of those applications would care about:
 * the **streaming** construction: passes over the edge stream and peak
   memory;
 * the **decremental oracle**: rebuilds per deletion after a batch of random
-  deletions.
+  deletions — served by a deletions-only :class:`~repro.serve.live.LiveEngine`
+  (the live serving stack that replaced the legacy
+  ``DecrementalEmulatorOracle``, which survives only as a deprecated shim).
 """
 
 from __future__ import annotations
@@ -24,7 +26,6 @@ from typing import Iterable, List
 
 from repro.analysis.reporting import format_table
 from repro.analysis.sampling import sample_vertex_pairs
-from repro.applications.dynamic import DecrementalEmulatorOracle
 from repro.applications.routing import LandmarkRoutingScheme
 from repro.applications.streaming import EdgeStream, StreamingEmulatorBuilder
 from repro.experiments.workloads import Workload, standard_workloads
@@ -110,8 +111,17 @@ def run_applications_experiment(
         edges = sorted(workload.graph.edges())
         rng.shuffle(edges)
         to_delete = edges[: min(deletions, max(0, len(edges) - workload.n))]
-        decremental = DecrementalEmulatorOracle(workload.graph, eps=eps)
-        decremental.delete_edges(to_delete)
+        live = serve_load(
+            workload.graph,
+            ServeSpec.ultra_sparse(
+                workload.graph.num_vertices, eps=eps,
+                live=True, live_rebuild_after=16, live_repair=False,
+                live_sync=True,
+            ),
+        )
+        deleted = sum(live.mutate(deletes=(edge,)).applied for edge in to_delete)
+        live_stats = live.stats()["live"]
+        live.close()
 
         rows.append(
             ApplicationsRow(
@@ -125,9 +135,9 @@ def run_applications_experiment(
                 routing_mean_stretch=routing_summary["mean_stretch"],
                 streaming_passes=streaming_stats.passes,
                 streaming_peak_memory=streaming_stats.peak_memory_edges,
-                deletions=decremental.stats.deletions,
-                rebuilds=decremental.stats.rebuilds,
-                rebuild_ratio=decremental.stats.amortized_rebuild_ratio,
+                deletions=deleted,
+                rebuilds=live_stats["rebuilds"],
+                rebuild_ratio=live_stats["rebuilds"] / deleted if deleted else 0.0,
             )
         )
     return rows

@@ -1,0 +1,204 @@
+"""Experiment E17 — live serving under churn: mutations, rebuilds, staleness.
+
+E16 measures the wire tax of the serving daemon on a *static* oracle;
+E17 measures the serving stack's newest capability: answering queries
+while the graph underneath it changes (:mod:`repro.serve.live`).  One
+seeded mixed workload — distance queries interleaved with edge
+mutations — is driven through an in-process
+:class:`~repro.serve.live.LiveEngine` at several rebuild policies:
+
+* **deletion churn** at ``live_rebuild_after`` thresholds: small
+  thresholds rebuild eagerly (low staleness, low throughput), large
+  ones amortize the rebuild cost over many deletions and lean on the
+  upper-bound argument (deletions only grow distances, so stale answers
+  keep the ``(alpha, beta)`` guarantee);
+* **insertion repair**: edges removed from the input graph up front are
+  re-inserted as mutations, exercising the phase-local incremental
+  repair fast path (co-clustered insertions patch the emulator in
+  place; the rest force a rebuild).
+
+The table reports, per policy: query throughput, rebuild counts
+(total / forced / incremental repairs), the staleness distribution of
+the tagged answers, the fraction still carrying the guarantee, and the
+amortized rebuilds-per-mutation ratio.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.experiments.workloads import Workload, workload_by_name
+from repro.serve import ServeSpec
+from repro.serve.live import LiveEngine
+
+__all__ = ["LiveRow", "run_live_experiment", "format_live_table"]
+
+
+@dataclass
+class LiveRow:
+    """One row of the E17 table (one rebuild policy on the shared workload)."""
+
+    policy: str
+    queries: int
+    mutations: int
+    throughput_qps: float
+    rebuilds: int
+    forced_rebuilds: int
+    repairs: int
+    staleness_mean: float
+    staleness_max: int
+    guaranteed_fraction: float
+    rebuild_ratio: float
+
+
+def _drive_mixed(
+    engine: LiveEngine,
+    pairs: Sequence[Tuple[int, int]],
+    mutations: Sequence[Tuple[Tuple[int, int], ...]],
+    mutate_every: int,
+    *,
+    inserts: bool = False,
+) -> Tuple[int, float, List[int], int]:
+    """Interleave tagged queries with mutation batches; return the tallies.
+
+    Every ``mutate_every`` queries the next batch is applied (as inserts
+    or deletes).  Returns ``(mutations_applied, elapsed_seconds,
+    staleness_per_answer, guaranteed_answers)``.
+    """
+    staleness: List[int] = []
+    guaranteed = 0
+    applied = 0
+    batch_index = 0
+    start = time.perf_counter()
+    for i, (u, v) in enumerate(pairs):
+        if i and i % mutate_every == 0 and batch_index < len(mutations):
+            batch = mutations[batch_index]
+            batch_index += 1
+            if inserts:
+                receipt = engine.mutate(inserts=batch)
+            else:
+                receipt = engine.mutate(deletes=batch)
+            applied += receipt.applied
+        answer = engine.query_tagged(u, v)
+        staleness.append(answer.staleness)
+        if answer.guaranteed:
+            guaranteed += 1
+    elapsed = time.perf_counter() - start
+    return applied, elapsed, staleness, guaranteed
+
+
+def _row_from_run(
+    policy: str,
+    engine: LiveEngine,
+    applied: int,
+    elapsed: float,
+    staleness: List[int],
+    guaranteed: int,
+) -> LiveRow:
+    """Fold one driven run plus the engine's live counters into a row."""
+    live = engine.stats()["live"]
+    queries = len(staleness)
+    return LiveRow(
+        policy=policy,
+        queries=queries,
+        mutations=applied,
+        throughput_qps=queries / elapsed if elapsed > 0 else 0.0,
+        rebuilds=live["rebuilds"],
+        forced_rebuilds=live["forced_rebuilds"],
+        repairs=live["incremental_repairs"],
+        staleness_mean=sum(staleness) / queries if queries else 0.0,
+        staleness_max=max(staleness) if staleness else 0,
+        guaranteed_fraction=guaranteed / queries if queries else 1.0,
+        rebuild_ratio=live["rebuilds"] / applied if applied else 0.0,
+    )
+
+
+def run_live_experiment(
+    workload: Optional[Workload] = None,
+    eps: float = 0.1,
+    num_queries: int = 200,
+    deletions: int = 24,
+    insertions: int = 12,
+    rebuild_afters: Tuple[Optional[int], ...] = (2, 8, 32),
+    seed: int = 0,
+) -> Tuple[Workload, List[LiveRow]]:
+    """Run E17: the same mixed query+mutation stream under each rebuild policy.
+
+    Each deletion policy serves the full workload graph and interleaves
+    ``deletions`` single-edge deletions into the query stream; the repair
+    policy starts from the graph with ``insertions`` edges withheld and
+    re-inserts them (``live_repair`` on), exercising the incremental
+    repair fast path.  All engines run synchronously (``live_sync``) so
+    the rebuild work is charged to the measured throughput.
+    """
+    if workload is None:
+        workload = workload_by_name("erdos-renyi", 64, seed=seed)
+    graph = workload.graph
+    n = graph.num_vertices
+    rng = random.Random(seed)
+    pairs = [
+        (rng.randrange(n), rng.randrange(n)) for _ in range(num_queries)
+    ]
+    edges = sorted(graph.edges())
+    rng.shuffle(edges)
+    # Keep the graph connected-ish: never delete more than the spare edges.
+    deletions = min(deletions, max(0, len(edges) - n))
+    to_delete = edges[:deletions]
+    mutate_every = max(1, num_queries // max(1, deletions + 1))
+    rows: List[LiveRow] = []
+
+    for rebuild_after in rebuild_afters:
+        spec = ServeSpec.ultra_sparse(
+            n, eps=eps, live=True, live_rebuild_after=rebuild_after,
+            live_repair=False, live_sync=True,
+        )
+        with LiveEngine(graph, spec) as engine:
+            applied, elapsed, staleness, guaranteed = _drive_mixed(
+                engine, pairs, [(e,) for e in to_delete], mutate_every,
+            )
+            label = "delete/ra=" + ("inf" if rebuild_after is None else str(rebuild_after))
+            rows.append(_row_from_run(label, engine, applied, elapsed,
+                                      staleness, guaranteed))
+
+    # Repair policy: withhold some edges, then stream them back in as
+    # insertion mutations against a repair-enabled engine.
+    insertions = min(insertions, max(0, len(edges) - n))
+    withheld = edges[deletions:deletions + insertions]
+    base = graph.copy()
+    for u, v in withheld:
+        base.remove_edge(u, v)
+    spec = ServeSpec.ultra_sparse(
+        n, eps=eps, live=True, live_rebuild_after=None,
+        live_repair=True, live_sync=True,
+    )
+    insert_every = max(1, num_queries // max(1, len(withheld) + 1))
+    with LiveEngine(base, spec) as engine:
+        applied, elapsed, staleness, guaranteed = _drive_mixed(
+            engine, pairs, [(e,) for e in withheld], insert_every,
+            inserts=True,
+        )
+        rows.append(_row_from_run("insert/repair", engine, applied, elapsed,
+                                  staleness, guaranteed))
+    return workload, rows
+
+
+def format_live_table(workload: Workload, rows: List[LiveRow]) -> str:
+    """Render the E17 table."""
+    return format_table(
+        ["policy", "queries", "mutations", "q/s", "rebuilds", "forced",
+         "repairs", "staleness mean", "staleness max", "guaranteed", "rebuilds/mut"],
+        [
+            [r.policy, r.queries, r.mutations, r.throughput_qps, r.rebuilds,
+             r.forced_rebuilds, r.repairs, r.staleness_mean, r.staleness_max,
+             r.guaranteed_fraction, r.rebuild_ratio]
+            for r in rows
+        ],
+        title=(
+            f"E17: live serving under churn on {workload.name} "
+            f"(n={workload.n}, m={workload.m})"
+        ),
+    )

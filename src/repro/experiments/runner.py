@@ -1,6 +1,6 @@
 """Run every experiment and collect the tables (used by the CLI and docs).
 
-``run_all()`` executes E1-E16 with small default workloads (a few seconds
+``run_all()`` executes E1-E17 with small default workloads (a few seconds
 of wall-clock on a laptop) and returns the rendered tables keyed by
 experiment id; ``python -m repro experiments`` prints them.
 
@@ -29,6 +29,7 @@ from repro.experiments.beta_tradeoff_experiment import (
 from repro.experiments.congest_experiment import format_congest_table, run_congest_experiment
 from repro.experiments.daemon_experiment import format_daemon_table, run_daemon_experiment
 from repro.experiments.hopset_experiment import format_hopset_table, run_hopset_experiment
+from repro.experiments.live_experiment import format_live_table, run_live_experiment
 from repro.experiments.rho_sweep_experiment import (
     format_rho_sweep_figure,
     format_rho_sweep_table,
@@ -55,7 +56,7 @@ __all__ = ["run_all", "available_experiments", "run_experiment"]
 def available_experiments() -> List[str]:
     """The experiment ids accepted by :func:`run_experiment`."""
     return ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15", "E16"]
+            "E14", "E15", "E16", "E17"]
 
 
 def run_experiment(experiment_id: str, quick: bool = True,
@@ -141,6 +142,15 @@ def run_experiment(experiment_id: str, quick: bool = True,
             workload=workload, num_queries=200 if quick else 600
         )
         return format_daemon_table(served, rows)
+    if experiment_id == "E17":
+        # Live serving under churn: the same mixed query+mutation stream
+        # through a LiveEngine at several rebuild policies, plus the
+        # insertion-repair fast path (repro.serve.live).
+        workload = workload_by_name("erdos-renyi", 64 if quick else 128, seed=0)
+        served, rows = run_live_experiment(
+            workload=workload, num_queries=200 if quick else 600
+        )
+        return format_live_table(served, rows)
     raise ValueError(f"unknown experiment id {experiment_id!r}")
 
 

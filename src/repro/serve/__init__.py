@@ -47,6 +47,20 @@ Pieces
         remote = serve.load(graph, ServeSpec(backend="remote",
                                              options={"url": daemon.url}))
         remote.query(0, 17)                  # answered by the daemon
+
+:class:`LiveEngine` / :class:`GraphMutation` / :func:`run_churn_sweep`
+    Live serving (:mod:`repro.serve.live`): a mutable engine that applies
+    edge insertions/deletions immediately, rebuilds the oracle in a
+    background thread, hot-swaps it atomically, and tags every answer
+    with ``(version, staleness)``; ``ServeSpec(live=True)`` routes
+    :func:`load` to it, the daemon serves it with ``POST /mutate``, and
+    the churn sweep drives a live daemon with concurrent queries and
+    mutations while checking every tagged answer against the graph
+    version it was computed on::
+
+        engine = serve.load(graph, ServeSpec(live=True))
+        engine.mutate(deletes=[(0, 17)])     # applied immediately
+        engine.query_tagged(0, 17)           # (value, version, staleness, ...)
 """
 
 from repro.serve.spec import ServeSpec
@@ -83,7 +97,21 @@ from repro.serve.daemon import (
     OracleDaemon,
 )
 from repro.serve.remote import RemoteOracle, RemoteOracleError
-from repro.serve.wire import WireSweepLevel, WireSweepReport, run_wire_sweep
+from repro.serve.live import (
+    GraphMutation,
+    LiveAnswer,
+    LiveEngine,
+    MutationReceipt,
+    OracleVersion,
+)
+from repro.serve.wire import (
+    ChurnLevel,
+    ChurnSweepReport,
+    WireSweepLevel,
+    WireSweepReport,
+    run_churn_sweep,
+    run_wire_sweep,
+)
 
 __all__ = [
     "ServeSpec",
@@ -115,7 +143,15 @@ __all__ = [
     "OracleDaemon",
     "RemoteOracle",
     "RemoteOracleError",
+    "GraphMutation",
+    "OracleVersion",
+    "LiveAnswer",
+    "MutationReceipt",
+    "LiveEngine",
     "WireSweepLevel",
     "WireSweepReport",
     "run_wire_sweep",
+    "ChurnLevel",
+    "ChurnSweepReport",
+    "run_churn_sweep",
 ]

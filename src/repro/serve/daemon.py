@@ -19,6 +19,12 @@ as ``null`` and are restored to ``float("inf")`` client-side):
     ``{"pairs": [[0, 17], [3, 42]], "oracle"?}`` -> ``{"answers": [...]}``.
 ``POST /single_source``
     ``{"source": 0, "oracle"?}`` -> ``{"distances": {"17": 3.0, ...}}``.
+``POST /mutate``
+    ``{"inserts": [[u, v], ...], "deletes": [...], "wait": false?,
+    "oracle"?}`` -> the :class:`~repro.serve.live.MutationReceipt` as
+    JSON.  Only live oracles (``ServeSpec(live=True)``) accept mutations;
+    their ``/query*`` responses additionally carry ``version`` /
+    ``staleness`` / ``guaranteed`` tags (see :mod:`repro.serve.live`).
 ``GET /stats``
     Daemon counters (requests, coalesced queries, latency histogram) plus
     every engine's hit/miss/eviction counters and per-oracle
@@ -212,6 +218,10 @@ class CoalescingEngine:
         """Thread-safe :meth:`QueryEngine.prewarm` passthrough."""
         with self._lock:
             return self._engine.prewarm(sources, limit=limit)
+
+    def close(self) -> None:
+        """Release the wrapped engine's resources."""
+        self._engine.close()
 
     # ------------------------------------------------------------------
     # Queries
@@ -414,12 +424,23 @@ class DaemonConfig:
 # ----------------------------------------------------------------------
 @dataclass
 class _OracleEntry:
-    """One served oracle: the coalescing engine plus startup bookkeeping."""
+    """One served oracle: the serving engine plus startup bookkeeping.
+
+    ``engine`` is a :class:`CoalescingEngine` for frozen-graph oracles and
+    a :class:`~repro.serve.live.LiveEngine` (which coalesces internally,
+    per generation) for live ones; both are thread-safe and satisfy the
+    ``DistanceOracle`` protocol.
+    """
 
     name: str
-    engine: CoalescingEngine
+    engine: Any
     description: str
     warmed_sources: int = 0
+
+    @property
+    def live(self) -> bool:
+        """Whether this oracle accepts ``POST /mutate``."""
+        return hasattr(self.engine, "apply")
 
 
 class OracleDaemon:
@@ -465,10 +486,10 @@ class OracleDaemon:
         graph: Optional[Graph] = None,
         spec: Optional[ServeSpec] = None,
         *,
-        engine: Optional[QueryEngine] = None,
+        engine: Optional[Any] = None,
         warmup_profile: Optional[WorkloadProfile] = None,
         warmup_sources: Optional[int] = None,
-    ) -> CoalescingEngine:
+    ) -> Any:
         """Load (or adopt) an oracle and serve it under ``name``.
 
         Either ``graph`` (+ optional ``spec``) — the oracle is built via
@@ -476,6 +497,12 @@ class OracleDaemon:
         oracle added becomes the default for requests naming none.
         ``warmup_profile`` preloads the profile's hottest
         ``warmup_sources`` sources into the memo before serving.
+
+        A spec with ``live=True`` (or a pre-built
+        :class:`~repro.serve.live.LiveEngine`) is served directly — the
+        live engine coalesces per generation, so wrapping it again would
+        pin queries to a stale generation.  Everything else is wrapped in
+        a :class:`CoalescingEngine`.
         """
         if not name or not isinstance(name, str):
             raise ValueError(f"oracle name must be a non-empty string, got {name!r}")
@@ -484,8 +511,17 @@ class OracleDaemon:
         if engine is None:
             if graph is None:
                 raise ValueError("add_oracle needs a graph (or a pre-built engine=)")
-            engine = serve_load(graph, spec or ServeSpec())
-        coalescing = CoalescingEngine(engine)
+            resolved = spec or ServeSpec()
+            if resolved.live:
+                from repro.serve.live import LiveEngine
+
+                engine = LiveEngine(graph, resolved, coalesce=True)
+            else:
+                engine = serve_load(graph, resolved)
+        if hasattr(engine, "apply") and hasattr(engine, "query_tagged"):
+            coalescing = engine  # a LiveEngine: already thread-safe
+        else:
+            coalescing = CoalescingEngine(engine)
         warmed = 0
         if warmup_profile is not None:
             warmed = coalescing.prewarm(
@@ -549,8 +585,8 @@ class OracleDaemon:
     def default_oracle_name(self) -> Optional[str]:
         return self._default_name
 
-    def engine_for(self, name: Optional[str]) -> CoalescingEngine:
-        """The coalescing engine serving ``name`` (``None`` = the default)."""
+    def engine_for(self, name: Optional[str]) -> Any:
+        """The serving engine for ``name`` (``None`` = the default)."""
         if name is None:
             name = self._default_name
         if name is None or name not in self._entries:
@@ -565,19 +601,29 @@ class OracleDaemon:
             "uptime_seconds": time.time() - self._started_at,
             "default_oracle": self._default_name,
             "oracles": {
-                name: {
-                    "backend": getattr(entry.engine.oracle, "name",
-                                       entry.engine.oracle.__class__.__name__),
-                    "description": entry.description,
-                    "alpha": entry.engine.alpha,
-                    "beta": entry.engine.beta,
-                    "num_vertices": entry.engine.num_vertices,
-                    "space_in_edges": entry.engine.space_in_edges,
-                    "warmed_sources": entry.warmed_sources,
-                }
+                name: self._oracle_healthz(entry)
                 for name, entry in self._entries.items()
             },
         }
+
+    @staticmethod
+    def _oracle_healthz(entry: _OracleEntry) -> Dict[str, Any]:
+        info = {
+            "backend": getattr(entry.engine.oracle, "name",
+                               entry.engine.oracle.__class__.__name__),
+            "description": entry.description,
+            "alpha": entry.engine.alpha,
+            "beta": entry.engine.beta,
+            "num_vertices": entry.engine.num_vertices,
+            "space_in_edges": entry.engine.space_in_edges,
+            "warmed_sources": entry.warmed_sources,
+            "live": entry.live,
+        }
+        if entry.live:
+            version = entry.engine.version
+            info["version"] = version.version
+            info["staleness"] = entry.engine.staleness
+        return info
 
     def stats(self) -> Dict[str, Any]:
         """The ``GET /stats`` payload (daemon counters + per-engine stats)."""
@@ -654,7 +700,7 @@ class OracleDaemon:
             self._thread = None
         self._server.server_close()
         for entry in self._entries.values():
-            entry.engine.engine.close()
+            entry.engine.close()
 
     def __enter__(self) -> "OracleDaemon":
         return self
@@ -712,11 +758,12 @@ def _require_vertex(body: Mapping[str, Any], key: str) -> int:
     return value
 
 
-def _require_pairs_field(body: Mapping[str, Any]) -> List[Tuple[int, int]]:
-    """The ``pairs`` field of a ``/query_batch`` body."""
-    raw = body.get("pairs")
+def _pairs_field(body: Mapping[str, Any], key: str,
+                 default: Optional[List[Any]] = None) -> List[Tuple[int, int]]:
+    """A list-of-``[u, v]``-pairs field of a request body."""
+    raw = body.get(key, default)
     if not isinstance(raw, list):
-        raise ValueError(f"field 'pairs' must be a list of [u, v] pairs, got {raw!r}")
+        raise ValueError(f"field {key!r} must be a list of [u, v] pairs, got {raw!r}")
     pairs: List[Tuple[int, int]] = []
     for item in raw:
         if (not isinstance(item, (list, tuple)) or len(item) != 2
@@ -724,6 +771,11 @@ def _require_pairs_field(body: Mapping[str, Any]) -> List[Tuple[int, int]]:
             raise ValueError(f"pair {item!r} is not a [u, v] integer pair")
         pairs.append((item[0], item[1]))
     return pairs
+
+
+def _require_pairs_field(body: Mapping[str, Any]) -> List[Tuple[int, int]]:
+    """The ``pairs`` field of a ``/query_batch`` body."""
+    return _pairs_field(body, "pairs")
 
 
 class _DaemonHandler(BaseHTTPRequestHandler):
@@ -777,6 +829,7 @@ class _DaemonHandler(BaseHTTPRequestHandler):
             "/query": self._handle_query,
             "/query_batch": self._handle_query_batch,
             "/single_source": self._handle_single_source,
+            "/mutate": self._handle_mutate,
         }
         handler = handlers.get(self.path)
         if handler is None:
@@ -804,26 +857,82 @@ class _DaemonHandler(BaseHTTPRequestHandler):
     do_DELETE = do_PUT
 
     # ------------------------------------------------------------------
-    def _handle_query(self, engine: CoalescingEngine,
+    @staticmethod
+    def _tag(payload: Dict[str, Any], answer: Any) -> Dict[str, Any]:
+        """Add a live answer's version/staleness/guarantee tags to a payload."""
+        payload["version"] = answer.version
+        payload["staleness"] = answer.staleness
+        payload["guaranteed"] = answer.guaranteed
+        return payload
+
+    def _handle_query(self, engine: Any,
                       body: Mapping[str, Any]) -> Tuple[int, Dict[str, Any]]:
         u = _require_vertex(body, "u")
         v = _require_vertex(body, "v")
+        if hasattr(engine, "query_tagged"):
+            answer = engine.query_tagged(u, v)
+            return 200, self._tag({"u": u, "v": v, "answer": to_wire(answer.value)},
+                                  answer)
         return 200, {"u": u, "v": v, "answer": to_wire(engine.query(u, v))}
 
-    def _handle_query_batch(self, engine: CoalescingEngine,
+    def _handle_query_batch(self, engine: Any,
                             body: Mapping[str, Any]) -> Tuple[int, Dict[str, Any]]:
         pairs = _require_pairs_field(body)
+        if hasattr(engine, "query_batch_tagged"):
+            answer = engine.query_batch_tagged(pairs)
+            return 200, self._tag(
+                {"answers": [to_wire(value) for value in answer.value]}, answer
+            )
         answers = engine.query_batch(pairs)
         return 200, {"answers": [to_wire(answer) for answer in answers]}
 
-    def _handle_single_source(self, engine: CoalescingEngine,
+    def _handle_single_source(self, engine: Any,
                               body: Mapping[str, Any]) -> Tuple[int, Dict[str, Any]]:
         source = _require_vertex(body, "source")
+        if hasattr(engine, "single_source_tagged"):
+            answer = engine.single_source_tagged(source)
+            return 200, self._tag(
+                {"source": source,
+                 "distances": {str(v): d for v, d in answer.value.items()}},
+                answer,
+            )
         distances = engine.single_source(source)
         return 200, {
             "source": source,
             "distances": {str(v): d for v, d in distances.items()},
         }
+
+    def _handle_mutate(self, engine: Any,
+                       body: Mapping[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        if not hasattr(engine, "apply"):
+            raise ValueError(
+                "oracle is not live and accepts no mutations; serve it with "
+                "a live spec (ServeSpec(live=True) / `repro serve-daemon --live`)"
+            )
+        unknown = set(body) - {"oracle", "inserts", "deletes", "wait"}
+        if unknown:
+            raise ValueError(
+                f"unknown mutate keys {sorted(unknown)}; valid keys: "
+                "['deletes', 'inserts', 'oracle', 'wait']"
+            )
+        inserts = _pairs_field(body, "inserts", default=[])
+        deletes = _pairs_field(body, "deletes", default=[])
+        wait = body.get("wait", False)
+        if not isinstance(wait, bool):
+            raise ValueError(f"field 'wait' must be a boolean, got {wait!r}")
+        from repro.serve.live import GraphMutation
+
+        receipt = engine.apply(
+            GraphMutation(inserts=tuple(inserts), deletes=tuple(deletes))
+        )
+        payload = receipt.to_dict()
+        if wait:
+            engine.quiesce(timeout=120.0)
+            version = engine.version
+            payload["version"] = version.version
+            payload["watermark"] = version.watermark
+            payload["staleness"] = engine.staleness
+        return 200, payload
 
     # ------------------------------------------------------------------
     def _read_json_body(self) -> Dict[str, Any]:

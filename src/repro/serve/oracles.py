@@ -205,6 +205,11 @@ class EmulatorOracle(OracleBackend):
         self._emulator: WeightedGraph = result.subject
 
     @property
+    def emulator(self) -> WeightedGraph:
+        """The weighted emulator ``H`` answering queries."""
+        return self._emulator
+
+    @property
     def space_in_edges(self) -> int:
         return self._emulator.num_edges
 
@@ -221,6 +226,11 @@ class SpannerOracle(OracleBackend):
         result = facade_build(graph, spec.build_spec().replace(product="spanner"))
         super().__init__(graph, result)
         self._spanner: Graph = result.subject
+
+    @property
+    def spanner(self) -> Graph:
+        """The subgraph spanner ``S`` answering queries."""
+        return self._spanner
 
     @property
     def space_in_edges(self) -> int:

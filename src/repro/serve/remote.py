@@ -46,6 +46,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.graphs.graph import Graph
 from repro.serve.daemon import from_wire
+from repro.serve.live import GraphMutation, LiveAnswer
 from repro.serve.registry import register_oracle
 from repro.serve.spec import ServeSpec
 
@@ -145,6 +146,15 @@ class RemoteOracle:
         """Edges the *daemon* stores for this oracle (nothing lives client-side)."""
         return int(self._metadata["space_in_edges"])
 
+    @property
+    def is_live(self) -> bool:
+        """Whether the served oracle accepts mutations (``POST /mutate``).
+
+        From the cached handshake — a daemon restarted with a different
+        spec needs a fresh :class:`RemoteOracle`.
+        """
+        return bool(self._metadata.get("live"))
+
     def stats(self) -> Dict[str, Any]:
         """Client-side transport counters plus the cached handshake metadata.
 
@@ -199,6 +209,54 @@ class RemoteOracle:
                 f"daemon at {self.url} answered /single_source with {distances!r}"
             )
         return {int(vertex): float(distance) for vertex, distance in distances.items()}
+
+    # ------------------------------------------------------------------
+    # Live oracles: mutations and tagged answers
+    # ------------------------------------------------------------------
+    def query_tagged(self, u: int, v: int) -> LiveAnswer:
+        """:meth:`query` plus the live ``(version, staleness)`` tags.
+
+        Against a non-live oracle the tags degrade to the frozen-graph
+        truth: version 0, staleness 0, guaranteed.
+        """
+        payload = self._request("POST", "/query", self._with_oracle({"u": u, "v": v}))
+        return LiveAnswer(
+            from_wire(payload.get("answer")),
+            int(payload.get("version", 0)),
+            int(payload.get("staleness", 0)),
+            bool(payload.get("guaranteed", True)),
+        )
+
+    def query_batch_tagged(self, pairs: Iterable[Tuple[int, int]]) -> LiveAnswer:
+        """:meth:`query_batch` with tags; one daemon version answers the batch."""
+        pairs = [[u, v] for u, v in pairs]
+        payload = self._request("POST", "/query_batch",
+                                self._with_oracle({"pairs": pairs}))
+        answers = payload.get("answers")
+        if not isinstance(answers, list) or len(answers) != len(pairs):
+            raise RemoteOracleError(
+                f"daemon at {self.url} answered {len(pairs)} pairs with {answers!r}"
+            )
+        return LiveAnswer(
+            [from_wire(answer) for answer in answers],
+            int(payload.get("version", 0)),
+            int(payload.get("staleness", 0)),
+            bool(payload.get("guaranteed", True)),
+        )
+
+    def mutate(self, inserts: Iterable[Tuple[int, int]] = (),
+               deletes: Iterable[Tuple[int, int]] = (), *,
+               wait: bool = False) -> Dict[str, Any]:
+        """Forward one mutation batch to the daemon (``POST /mutate``).
+
+        ``wait=True`` blocks until the daemon has absorbed the backlog
+        into a fresh oracle version.  Returns the daemon's
+        :class:`~repro.serve.live.MutationReceipt` payload; raises
+        :exc:`ValueError` when the served oracle is not live.
+        """
+        mutation = GraphMutation(inserts=tuple(inserts), deletes=tuple(deletes))
+        body = self._with_oracle(dict(mutation.to_dict(), wait=bool(wait)))
+        return self._request("POST", "/mutate", body)
 
     # ------------------------------------------------------------------
     # Lifecycle

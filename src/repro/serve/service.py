@@ -42,7 +42,10 @@ def load(graph: Graph, spec: Optional[ServeSpec] = None, **params: Any) -> Query
     QueryEngine
         A :class:`~repro.serve.oracles.DistanceOracle` with bounded LRU
         memoization, source-grouped batching and optional multi-worker
-        sharding; the backend stays reachable as ``.oracle``.
+        sharding; the backend stays reachable as ``.oracle``.  Specs with
+        ``live=True`` return a :class:`~repro.serve.live.LiveEngine`
+        instead — the same protocol surface plus mutation ingestion and
+        version-tagged answers.
 
     Raises
     ------
@@ -54,6 +57,10 @@ def load(graph: Graph, spec: Optional[ServeSpec] = None, **params: Any) -> Query
         spec = ServeSpec(**params)
     elif params:
         spec = spec.replace(**params)
+    if spec.live:
+        from repro.serve.live import LiveEngine
+
+        return LiveEngine(graph, spec)
     backend = get_oracle(spec.resolved_backend)
     oracle = backend.fn(graph, spec)
     return QueryEngine(oracle, cache_sources=spec.cache_sources, workers=spec.workers)

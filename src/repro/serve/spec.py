@@ -54,6 +54,23 @@ class ServeSpec:
         Backend-specific extras (e.g. ``{"hopbound": 8}`` to override the
         hopset backend's a-priori hop budget).  Must be a mapping with
         string keys.
+    live:
+        Serve a *mutating* graph: ``repro.serve.load`` returns a
+        :class:`~repro.serve.live.LiveEngine` (versioned oracles with
+        atomic hot swap) instead of a plain
+        :class:`~repro.serve.engine.QueryEngine`.
+    live_rebuild_after:
+        Staleness threshold for *periodic* rebuilds in live mode: once the
+        serving version lags the graph by this many mutations, a rebuild
+        is triggered even if no mutation invalidated the guarantee.
+        ``None`` (the default) rebuilds only when forced.
+    live_repair:
+        Enable the phase-local incremental-repair fast path for
+        intra-cluster edge insertions in live mode (on by default).
+    live_sync:
+        Rebuild inline inside :meth:`~repro.serve.live.LiveEngine.apply`
+        instead of on the background thread — deterministic, at the cost
+        of blocking the mutator (the deprecated decremental shim's mode).
     """
 
     product: str = "emulator"
@@ -65,6 +82,10 @@ class ServeSpec:
     backend: Optional[str] = None
     cache_sources: int = 256
     workers: int = 1
+    live: bool = False
+    live_rebuild_after: Optional[int] = None
+    live_repair: bool = True
+    live_sync: bool = False
     options: Mapping[str, Any] = field(default_factory=dict, hash=False)
 
     def __post_init__(self) -> None:
@@ -80,6 +101,20 @@ class ServeSpec:
             raise ValueError(f"cache_sources must be a positive int, got {self.cache_sources!r}")
         if not isinstance(self.workers, int) or self.workers < 1:
             raise ValueError(f"workers must be a positive int, got {self.workers!r}")
+        if self.live_rebuild_after is not None and (
+            not isinstance(self.live_rebuild_after, int)
+            or isinstance(self.live_rebuild_after, bool)
+            or self.live_rebuild_after < 1
+        ):
+            raise ValueError(
+                "live_rebuild_after must be a positive int or None, "
+                f"got {self.live_rebuild_after!r}"
+            )
+        if self.live and self.resolved_backend == "remote":
+            raise ValueError(
+                "live mode wraps a local build loop; point RemoteOracle.mutate "
+                "at a live daemon instead of serving backend='remote' live"
+            )
         if not isinstance(self.options, Mapping):
             raise ValueError("options must be a mapping")
         object.__setattr__(self, "options", dict(self.options))
@@ -150,11 +185,12 @@ class ServeSpec:
         """
         backend = self.resolved_backend
         if backend == "exact":
-            return "exact (no preprocessing build)"
+            return "exact (no preprocessing build)" + (" [live]" if self.live else "")
         params = []
         for name in ("eps", "kappa", "rho"):
             value = getattr(self, name)
             if value is not None:
                 params.append(f"{name}={value:g}")
         suffix = f"({', '.join(params)})" if params else ""
-        return f"{backend} via {self.effective_product}/{self.method}{suffix}"
+        live = " [live]" if self.live else ""
+        return f"{backend} via {self.effective_product}/{self.method}{suffix}{live}"

@@ -1,12 +1,22 @@
-"""Tests for the decremental (deletion-only) emulator oracle."""
+"""Tests for the decremental (deletion-only) emulator oracle.
+
+Since 1.7.0 the oracle is a deprecated shim over
+:class:`repro.serve.live.LiveEngine` — the legacy surface must keep
+working (and warning), and must answer exactly like the serve stack it
+now wraps.
+"""
 
 from __future__ import annotations
+
+import warnings
 
 import pytest
 
 from repro.applications.dynamic import DecrementalEmulatorOracle
 from repro.graphs import generators
 from repro.graphs.shortest_paths import bfs_distances
+from repro.serve import DistanceOracle, LiveEngine, ServeSpec
+from repro.serve import load as serve_load
 
 
 class TestConstruction:
@@ -113,3 +123,53 @@ class TestQueries:
         oracle = DecrementalEmulatorOracle(path10, eps=0.1)
         with pytest.raises(ValueError):
             oracle.query(0, 10)
+
+
+class TestShimOverLiveEngine:
+    def test_construction_warns_deprecation(self, path10):
+        with pytest.warns(DeprecationWarning, match="DecrementalEmulatorOracle"):
+            DecrementalEmulatorOracle(path10, eps=0.1)
+
+    def test_conforms_to_distance_oracle_protocol(self, random_graph):
+        oracle = DecrementalEmulatorOracle(random_graph, eps=0.1)
+        assert isinstance(oracle, DistanceOracle)
+
+    def test_backed_by_a_live_engine(self, random_graph):
+        oracle = DecrementalEmulatorOracle(random_graph, eps=0.1, rebuild_every=5)
+        live = oracle.live_engine
+        assert isinstance(live, LiveEngine)
+        # The shim pins the deletions-only configuration.
+        assert live.spec.live_sync
+        assert not live.spec.live_repair
+        assert live.spec.live_rebuild_after == 5
+
+    def test_stats_attribute_and_callable_duality(self, random_graph):
+        oracle = DecrementalEmulatorOracle(random_graph, eps=0.1, rebuild_every=None)
+        oracle.delete_edges(sorted(random_graph.edges())[:2])
+        oracle.query(0, 1)
+        # Legacy attribute surface.
+        assert oracle.stats.deletions == 2
+        assert oracle.stats.amortized_rebuild_ratio >= 0.0
+        # Protocol callable surface: merged with the live engine's stats.
+        stats = oracle.stats()
+        assert stats["deletions"] == 2
+        assert stats["decremental_queries"] == 1
+        assert stats["live"]["applied_mutations"] == 2
+
+    def test_query_parity_with_the_serve_stack(self, small_random_graph):
+        """Zero deletions: the shim answers exactly like a non-live stack."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            oracle = DecrementalEmulatorOracle(small_random_graph, eps=0.1)
+        n = small_random_graph.num_vertices
+        plain = serve_load(
+            small_random_graph, ServeSpec.ultra_sparse(n, eps=0.1)
+        )
+        pairs = [(u, v) for u in range(0, n, 3) for v in range(n)]
+        assert oracle.query_batch(pairs) == plain.query_batch(pairs)
+        assert oracle.single_source(1) == plain.single_source(1)
+        assert oracle.alpha == plain.alpha
+        assert oracle.beta == plain.beta
+        assert oracle.space_in_edges == plain.space_in_edges
+        plain.close()
+        oracle.close()

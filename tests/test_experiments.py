@@ -147,7 +147,8 @@ class TestRunner:
     def test_available_experiments(self):
         ids = available_experiments()
         assert ids[:7] == ["E1", "E2", "E3", "E4", "E5", "E6", "E7"]
-        assert ids[7:] == ["E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"]
+        assert ids[7:] == ["E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16",
+                           "E17"]
 
     def test_unknown_experiment(self):
         with pytest.raises(ValueError):
