@@ -40,6 +40,13 @@ from typing import Optional, Union
 
 from repro.api.result import BuildResultAdapter
 from repro.api.spec import BuildSpec
+from repro.obs import inc as _obs_inc
+
+
+def _count(event: str) -> None:
+    """Mirror one ResultCache counter event into the obs registry."""
+    _obs_inc(f"repro_sweep_cache_{event}_total",
+             help=f"Sweep result-cache {event}")
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
@@ -218,16 +225,20 @@ class ResultCache:
                 result = pickle.load(handle)
         except FileNotFoundError:
             self.misses += 1
+            _count("misses")
             return None
         except Exception:
             self._evict(path)
             self.misses += 1
+            _count("misses")
             return None
         if not isinstance(result, BuildResultAdapter):
             self._evict(path)
             self.misses += 1
+            _count("misses")
             return None
         self.hits += 1
+        _count("hits")
         if self.max_entries is not None or self.max_bytes is not None:
             self._touch(path)
         return result
@@ -270,6 +281,7 @@ class ResultCache:
                 pass
             return False
         self.stores += 1
+        _count("stores")
         self._enforce_limits(
             keep=path, added_bytes=len(payload), replaced_bytes=replaced_bytes
         )
@@ -314,6 +326,7 @@ class ResultCache:
     # ------------------------------------------------------------------
     def _evict(self, path: Path, size: Optional[int] = None) -> None:
         self.evictions += 1
+        _count("evictions")
         if self._approx_count is not None:
             if size is None:
                 try:

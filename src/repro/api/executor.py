@@ -63,6 +63,7 @@ from repro.graphs.shortest_paths import (
     bfs_distances,
     shared_explorations,
 )
+from repro.obs import capture_spans, freeze_spans, merge_spans, span
 
 __all__ = ["GraphBaseline", "execute_sweep", "verify_with_baseline"]
 
@@ -91,7 +92,9 @@ def named_graphs(graphs: GraphsArg) -> List[Tuple[str, Graph]]:
 _Chunk = Tuple[Graph, List[Tuple[int, BuildSpec]], bool]
 
 
-def _execute_chunk(chunk: _Chunk) -> List[Tuple[int, int, Optional[bytes]]]:
+def _execute_chunk(
+    chunk: _Chunk,
+) -> Tuple[List[Tuple[int, int, Optional[bytes]]], List[Dict[str, Any]]]:
     """Build one chunk of specs on one graph (runs inside a worker process).
 
     Returns ``(index, worker pid, pickled result)`` triples — results are
@@ -103,19 +106,25 @@ def _execute_chunk(chunk: _Chunk) -> List[Tuple[int, int, Optional[bytes]]]:
     With ``share`` set, every spec of the chunk builds under one
     :class:`ExplorationCache`, so equal-radius center explorations run
     once per chunk rather than once per spec.
+
+    Telemetry spans recorded during the chunk ride back alongside the
+    results as frozen dicts; the parent merges them into its own trace
+    buffer (mirroring the ``on_build`` replay for worker results), so a
+    parallel sweep's trace matches a serial sweep's.
     """
     graph, pairs, share = chunk
     pid = os.getpid()
     out: List[Tuple[int, int, Optional[bytes]]] = []
-    with shared_explorations(ExplorationCache(graph) if share else None):
-        for index, spec in pairs:
-            result = build(graph, spec)
-            try:
-                payload: Optional[bytes] = pickle.dumps(result)
-            except Exception:
-                payload = None
-            out.append((index, pid, payload))
-    return out
+    with capture_spans() as captured:
+        with shared_explorations(ExplorationCache(graph) if share else None):
+            for index, spec in pairs:
+                result = build(graph, spec)
+                try:
+                    payload: Optional[bytes] = pickle.dumps(result)
+                except Exception:
+                    payload = None
+                out.append((index, pid, payload))
+    return out, freeze_spans(captured.spans)
 
 
 def _run_serial(
@@ -212,9 +221,10 @@ def _run_parallel(
             finished: set = set()
             try:
                 with pool:
-                    for chunk_results in pool.map(
+                    for chunk_results, chunk_spans in pool.map(
                         _execute_chunk, _chunk_tasks(parallelizable, workers, share)
                     ):
+                        merge_spans(chunk_spans)
                         for index, pid, payload in chunk_results:
                             finished.add(index)
                             if payload is None:
@@ -403,13 +413,16 @@ def execute_sweep(
         pending.append((task_index, graph, spec))
 
     if pending:
-        if workers > 1 and len(pending) > 1:
-            built = _run_parallel(
-                pending, workers,
-                share=share_explorations, exploration_caches=exploration_caches,
-            )
-        else:
-            built = _run_serial(pending, exploration_caches)
+        # Worker-recorded spans merge under this span, so serial and
+        # parallel sweeps produce the same span tree.
+        with span("sweep.build", tasks=len(pending), total=len(grid)):
+            if workers > 1 and len(pending) > 1:
+                built = _run_parallel(
+                    pending, workers,
+                    share=share_explorations, exploration_caches=exploration_caches,
+                )
+            else:
+                built = _run_serial(pending, exploration_caches)
         parent_pid = os.getpid()
         for task_index, worker_pid, result in built:
             if worker_pid != parent_pid:

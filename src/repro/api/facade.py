@@ -32,6 +32,7 @@ from repro.api.registry import get_builder
 from repro.api.result import BuildResultAdapter, adapt_result
 from repro.api.spec import BuildSpec
 from repro.graphs.graph import Graph
+from repro.obs import DEFAULT_SECONDS_BUCKETS, inc, observe, span
 
 __all__ = [
     "BuildEvent",
@@ -129,9 +130,17 @@ def build(graph: Graph, spec: Optional[BuildSpec] = None, **params: Any) -> Buil
         spec = spec.replace(**params)
     builder = get_builder(spec.product, spec.method)
     start = time.perf_counter()
-    raw = builder.fn(graph, spec)
+    with span("build", product=spec.product, method=spec.method) as build_span:
+        raw = builder.fn(graph, spec)
     elapsed = time.perf_counter() - start
     result = adapt_result(spec, raw, elapsed)
+    # The record is kept by reference, so attributes only known after the
+    # span closed still reach the exported trace.
+    build_span.set(edges=result.size)
+    inc("repro_build_total", product=spec.product, method=spec.method,
+        help="Facade builds completed")
+    observe("repro_build_seconds", elapsed, buckets=DEFAULT_SECONDS_BUCKETS,
+            help="Wall time of facade builds (seconds)")
     if spec.beta is not None and result.beta > spec.beta:
         raise ValueError(
             f"beta budget exceeded: spec requests beta <= {spec.beta:g} but "

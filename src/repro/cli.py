@@ -66,6 +66,14 @@ from repro.experiments.runner import available_experiments, run_all, run_experim
 from repro.experiments.workloads import workload_by_name
 from repro.graphs import io as graph_io
 from repro.graphs.graph import Graph
+from repro.obs import (
+    clear_spans,
+    export_trace,
+    format_trace_summary,
+    load_trace,
+    set_enabled,
+    summarize_trace,
+)
 from repro.serve import (
     DaemonConfig,
     OracleDaemon,
@@ -161,6 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
     build_cmd.add_argument("--rho", type=float, default=0.45,
                            help="rho parameter (fast/congest methods)")
     build_cmd.add_argument("--output", help="write the result as a (weighted) edge list")
+    _add_trace_argument(build_cmd)
 
     sweep = subparsers.add_parser(
         "sweep", help="run a product x method x parameter grid through the facade"
@@ -193,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="recompute center explorations per spec instead of "
                             "sharing them across the specs on one graph "
                             "(results are identical; for benchmarking only)")
+    _add_trace_argument(sweep)
 
     verify = subparsers.add_parser("verify", help="verify an emulator against its graph")
     verify.add_argument("--graph", required=True, help="edge-list file of the original graph")
@@ -267,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
                                   "daemon's default oracle)")
     bench_serve.add_argument("--concurrency", nargs="+", type=int, default=[1, 2, 4],
                              help="client-concurrency levels of the --url wire sweep")
+    _add_trace_argument(bench_serve)
 
     serve_daemon = subparsers.add_parser(
         "serve-daemon",
@@ -318,7 +329,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="kappa parameter (default: ultra-sparse omega(log n))")
     oracle.add_argument("--queries", nargs="+", default=[],
                         help="queries as 'u:v' pairs, e.g. 0:17 3:42")
+
+    obs_report = subparsers.add_parser(
+        "obs-report",
+        help="summarize a Chrome trace written by --trace as a per-span table",
+    )
+    obs_report.add_argument("trace", help="trace JSON file written by --trace")
     return parser
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default=None, metavar="OUT.JSON",
+                        help="write the run's telemetry spans as Chrome trace "
+                             "JSON (loadable in chrome://tracing / Perfetto)")
 
 
 def _load_graph(args: argparse.Namespace) -> Graph:
@@ -621,6 +644,16 @@ def _command_oracle(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_obs_report(args: argparse.Namespace) -> int:
+    try:
+        events = load_trace(args.trace)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_trace_summary(summarize_trace(events)))
+    return 0
+
+
 def _command_experiments(args: argparse.Namespace) -> int:
     quick = not args.full
     if args.only:
@@ -642,10 +675,7 @@ def _run_facade_command(command, args: argparse.Namespace) -> int:
         return 2
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     if args.command == "build":
         return _run_facade_command(_command_build, args)
     if args.command == "sweep":
@@ -666,8 +696,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_facade_command(_command_mutate, args)
     if args.command == "oracle":
         return _run_facade_command(_command_oracle, args)
+    if args.command == "obs-report":
+        return _command_obs_report(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None) if args.command != "obs-report" else None
+    if trace_path:
+        # --trace overrides REPRO_OBS=0: an explicit trace request means
+        # the user wants the spans.
+        set_enabled(True)
+        clear_spans()
+    try:
+        return _dispatch(parser, args)
+    finally:
+        if trace_path:
+            count = export_trace(trace_path)
+            print(f"wrote {trace_path} ({count} span(s))", file=sys.stderr)
 
 
 if __name__ == "__main__":

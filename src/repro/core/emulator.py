@@ -40,9 +40,11 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.charging import ChargeLedger, EdgeKind
 from repro.core.clusters import Cluster, Partition
 from repro.core.parameters import CentralizedSchedule
+from repro.core.phase_obs import annotate_phase_span
 from repro.graphs.graph import Graph
-from repro.graphs.shortest_paths import PhaseExplorer
+from repro.graphs.shortest_paths import PhaseExplorer, active_exploration_cache
 from repro.graphs.weighted_graph import WeightedGraph
+from repro.obs import span
 
 __all__ = ["PhaseStats", "EmulatorResult", "UltraSparseEmulatorBuilder", "build_emulator"]
 
@@ -167,7 +169,8 @@ class UltraSparseEmulatorBuilder:
         self.partitions = [current]
         for phase in range(self.schedule.num_phases):
             is_last = phase == self.schedule.ell
-            current = self._run_phase(phase, current, superclustering_allowed=not is_last)
+            with span("emulator.phase", phase=phase):
+                current = self._run_phase(phase, current, superclustering_allowed=not is_last)
             self.partitions.append(current)
         return EmulatorResult(
             emulator=self.emulator,
@@ -290,6 +293,7 @@ class UltraSparseEmulatorBuilder:
 
         self.unclustered[phase] = phase_unclustered
         self.phase_stats.append(stats)
+        annotate_phase_span(stats, explorer, active_exploration_cache(self.graph))
         return next_partition
 
     # ------------------------------------------------------------------

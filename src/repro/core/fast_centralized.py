@@ -28,9 +28,15 @@ from repro.core.charging import ChargeLedger, EdgeKind
 from repro.core.clusters import Cluster, Partition
 from repro.core.emulator import EmulatorResult, PhaseStats
 from repro.core.parameters import DistributedSchedule
+from repro.core.phase_obs import annotate_phase_span
 from repro.graphs.graph import Graph
-from repro.graphs.shortest_paths import PhaseExplorer, multi_source_bfs
+from repro.graphs.shortest_paths import (
+    PhaseExplorer,
+    active_exploration_cache,
+    multi_source_bfs,
+)
 from repro.graphs.weighted_graph import WeightedGraph
+from repro.obs import span
 
 __all__ = ["FastCentralizedBuilder", "build_emulator_fast"]
 
@@ -84,7 +90,8 @@ class FastCentralizedBuilder:
         self.partitions = [current]
         for phase in range(self.schedule.num_phases):
             is_last = phase == self.schedule.ell
-            current = self._run_phase(phase, current, superclustering_allowed=not is_last)
+            with span("emulator.phase", phase=phase):
+                current = self._run_phase(phase, current, superclustering_allowed=not is_last)
             self.partitions.append(current)
         return EmulatorResult(
             emulator=self.emulator,
@@ -183,6 +190,7 @@ class FastCentralizedBuilder:
 
         self.unclustered[phase] = phase_unclustered
         self.phase_stats.append(stats)
+        annotate_phase_span(stats, explorer, active_exploration_cache(self.graph))
         return next_partition
 
     # ------------------------------------------------------------------

@@ -22,9 +22,15 @@ from repro.congest.ruling_sets import greedy_ruling_set
 from repro.core.clusters import Cluster, Partition
 from repro.core.emulator import PhaseStats
 from repro.core.parameters import SpannerSchedule
+from repro.core.phase_obs import annotate_phase_span
 from repro.graphs.graph import Graph
-from repro.graphs.shortest_paths import PhaseExplorer, bfs_tree
+from repro.graphs.shortest_paths import (
+    PhaseExplorer,
+    active_exploration_cache,
+    bfs_tree,
+)
 from repro.graphs.weighted_graph import WeightedGraph
+from repro.obs import span
 
 __all__ = [
     "SpannerResult",
@@ -121,7 +127,8 @@ class NearAdditiveSpannerBuilder:
         current = Partition.singletons(n)
         for phase in range(self.schedule.num_phases):
             is_last = phase == self.schedule.ell
-            current = self._run_phase(phase, current, superclustering_allowed=not is_last)
+            with span("spanner.phase", phase=phase):
+                current = self._run_phase(phase, current, superclustering_allowed=not is_last)
         return SpannerResult(
             spanner=self.spanner,
             schedule=self.schedule,
@@ -208,6 +215,7 @@ class NearAdditiveSpannerBuilder:
                 self._interconnection_edges += added
 
         self.phase_stats.append(stats)
+        annotate_phase_span(stats, explorer, active_exploration_cache(self.graph))
         return next_partition
 
     # ------------------------------------------------------------------

@@ -49,6 +49,7 @@ from repro.experiments.ultrasparse_experiment import (
     run_ultrasparse_experiment,
 )
 from repro.experiments.workloads import scaling_workloads, standard_workloads, workload_by_name
+from repro.obs import span
 
 __all__ = ["run_all", "available_experiments", "run_experiment"]
 
@@ -68,6 +69,12 @@ def run_experiment(experiment_id: str, quick: bool = True,
     it.
     """
     experiment_id = experiment_id.upper()
+    with span("experiment", id=experiment_id, quick=quick):
+        return _dispatch_experiment(experiment_id, quick, workers)
+
+
+def _dispatch_experiment(experiment_id: str, quick: bool,
+                         workers: Optional[int]) -> str:
     small = standard_workloads(n=128 if quick else 256)
     if experiment_id == "E1":
         return format_size_table(run_size_experiment(small, kappas=(2, 4, 8), workers=workers))

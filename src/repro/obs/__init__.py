@@ -1,0 +1,91 @@
+"""``repro.obs`` — unified telemetry: metrics, spans, and exporters.
+
+The one instrumentation layer every subsystem reports through:
+
+* metrics registry (counters / gauges / histograms) — :func:`inc`,
+  :func:`set_gauge`, :func:`observe`, :class:`Histogram`;
+* hierarchical spans with a bounded trace buffer — :func:`span`,
+  :func:`capture_spans` / :func:`freeze_spans` / :func:`merge_spans` for
+  cross-process shipping;
+* exporters — :func:`prometheus_text` (the daemon's ``GET /metrics``)
+  and :func:`export_trace` (Chrome trace JSON for
+  ``chrome://tracing`` / Perfetto);
+* the shared latency-percentile math — :func:`latency_summary`,
+  :func:`nearest_rank_percentile`.
+
+Set ``REPRO_OBS=0`` to disable everything; the call sites then cost a
+flag check.  Metric and span naming conventions live in CONTRIBUTING.md
+(``repro_<subsystem>_<thing>_<unit>``).
+"""
+
+from repro.obs.export import (
+    export_trace,
+    format_trace_summary,
+    load_trace,
+    prometheus_text,
+    summarize_trace,
+)
+from repro.obs.percentiles import (
+    LatencySummary,
+    latency_summary,
+    nearest_rank_percentile,
+)
+from repro.obs.telemetry import (
+    DEFAULT_SECONDS_BUCKETS,
+    LATENCY_BUCKETS_MS,
+    Histogram,
+    SpanRecord,
+    capture_spans,
+    clear_spans,
+    current_span,
+    dropped_spans,
+    enabled,
+    freeze_spans,
+    get_metric,
+    inc,
+    merge_spans,
+    metrics_snapshot,
+    observe,
+    register_collector,
+    register_histogram,
+    remove_collector,
+    reset,
+    set_enabled,
+    set_gauge,
+    snapshot_spans,
+    span,
+)
+
+__all__ = [
+    "DEFAULT_SECONDS_BUCKETS",
+    "LATENCY_BUCKETS_MS",
+    "Histogram",
+    "LatencySummary",
+    "SpanRecord",
+    "capture_spans",
+    "clear_spans",
+    "current_span",
+    "dropped_spans",
+    "enabled",
+    "export_trace",
+    "format_trace_summary",
+    "freeze_spans",
+    "get_metric",
+    "inc",
+    "latency_summary",
+    "load_trace",
+    "merge_spans",
+    "metrics_snapshot",
+    "nearest_rank_percentile",
+    "observe",
+    "prometheus_text",
+    "register_collector",
+    "register_histogram",
+    "remove_collector",
+    "reset",
+    "set_enabled",
+    "set_gauge",
+    "snapshot_spans",
+    "span",
+    "summarize_trace",
+]

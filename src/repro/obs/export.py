@@ -1,0 +1,189 @@
+"""Telemetry exporters: Prometheus text exposition and Chrome trace JSON.
+
+* :func:`prometheus_text` renders every registered metric in the
+  Prometheus text exposition format (``# HELP`` / ``# TYPE`` comments,
+  ``name{labels} value`` samples, cumulative ``_bucket``/``_sum``/
+  ``_count`` lines for histograms) — the body of the daemon's
+  ``GET /metrics``.
+* :func:`export_trace` writes the span buffer as Chrome trace-event JSON
+  (``"ph": "X"`` complete events), loadable in ``chrome://tracing`` and
+  https://ui.perfetto.dev.
+* :func:`load_trace` / :func:`summarize_trace` /
+  :func:`format_trace_summary` read a trace back and aggregate it into
+  the per-span table the ``repro obs-report`` CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.telemetry import (
+    Histogram,
+    SpanRecord,
+    _families_view,
+    snapshot_spans,
+)
+
+__all__ = [
+    "export_trace",
+    "format_trace_summary",
+    "load_trace",
+    "prometheus_text",
+    "summarize_trace",
+]
+
+_INF = float("inf")
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(pairs: Iterable) -> str:
+    rendered = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in pairs
+    )
+    return f"{{{rendered}}}" if rendered else ""
+
+
+def _format_value(value: float) -> str:
+    if value == _INF:
+        return "+Inf"
+    if value == -_INF:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _histogram_lines(name: str, key, histogram: Histogram) -> List[str]:
+    lines = []
+    cumulative = 0
+    for bound, count in histogram.bucket_counts():
+        cumulative += count
+        labels = _format_labels(list(key) + [("le", _format_value(bound))])
+        lines.append(f"{name}_bucket{labels} {cumulative}")
+    labels = _format_labels(key)
+    lines.append(f"{name}_sum{labels} {_format_value(histogram.total)}")
+    lines.append(f"{name}_count{labels} {histogram.count}")
+    return lines
+
+
+def prometheus_text() -> str:
+    """Every registered metric in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, kind, help, samples in _families_view():
+        if help:
+            lines.append(f"# HELP {name} {help}")
+        lines.append(f"# TYPE {name} {kind}")
+        for key, value in samples:
+            if isinstance(value, Histogram):
+                lines.extend(_histogram_lines(name, key, value))
+            else:
+                lines.append(f"{name}{_format_labels(key)} {_format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def export_trace(path: str, spans: Optional[Iterable[SpanRecord]] = None) -> int:
+    """Write the span buffer (or ``spans``) as Chrome trace JSON; returns the count.
+
+    The output loads in ``chrome://tracing`` and Perfetto: one complete
+    (``"ph": "X"``) event per span, with attributes (plus span/parent
+    ids) under ``args``.  Timestamps are microseconds relative to the
+    earliest span, so multi-process traces (sweep workers) line up.
+    """
+    records = list(spans) if spans is not None else snapshot_spans()
+    base = min((record.start_unix for record in records), default=0.0)
+    events = []
+    for record in records:
+        args = dict(record.attrs)
+        args["span_id"] = record.span_id
+        if record.parent_id is not None:
+            args["parent_id"] = record.parent_id
+        args["thread_name"] = record.thread_name
+        events.append({
+            "name": record.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": (record.start_unix - base) * 1e6,
+            "dur": record.duration_s * 1e6,
+            "pid": record.pid,
+            "tid": record.thread_id,
+            "args": args,
+        })
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+        handle.write("\n")
+    return len(events)
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` list of a trace file written by :func:`export_trace`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if isinstance(payload, list):  # bare-array Chrome traces are legal too
+        return payload
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError(f"{path!r} is not a Chrome trace (no traceEvents list)")
+    return events
+
+
+# ----------------------------------------------------------------------
+# Aggregation (the obs-report table)
+# ----------------------------------------------------------------------
+def summarize_trace(events: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Aggregate trace events per span name (split per phase when tagged).
+
+    Returns rows ``{span, count, total_ms, mean_ms, min_ms, max_ms}``
+    sorted by total time descending.  Spans carrying a ``phase``
+    attribute aggregate per ``name[phase=i]`` so the per-phase profile of
+    a build stays visible.
+    """
+    buckets: Dict[str, List[float]] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        name = str(event.get("name", "?"))
+        args = event.get("args") or {}
+        if "phase" in args:
+            name = f"{name}[phase={args['phase']}]"
+        buckets.setdefault(name, []).append(float(event.get("dur", 0.0)) / 1000.0)
+    rows = []
+    for name, durations in buckets.items():
+        rows.append({
+            "span": name,
+            "count": len(durations),
+            "total_ms": sum(durations),
+            "mean_ms": sum(durations) / len(durations),
+            "min_ms": min(durations),
+            "max_ms": max(durations),
+        })
+    rows.sort(key=lambda row: (-row["total_ms"], row["span"]))
+    return rows
+
+
+def format_trace_summary(rows: List[Dict[str, Any]]) -> str:
+    """The aggregate rows as an aligned text table."""
+    if not rows:
+        return "no spans"
+    width = max(len("span"), max(len(row["span"]) for row in rows))
+    header = (
+        f"{'span':<{width}}  {'count':>7}  {'total_ms':>10}  "
+        f"{'mean_ms':>10}  {'min_ms':>10}  {'max_ms':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['span']:<{width}}  {row['count']:>7}  {row['total_ms']:>10.3f}  "
+            f"{row['mean_ms']:>10.3f}  {row['min_ms']:>10.3f}  {row['max_ms']:>10.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Shared latency-percentile math (the serving layer's reporting convention).
+
+Every latency report in the repo (the in-process load harness, the wire
+sweep, the churn sweep, the daemon's histogram) reduces a list of
+per-query latencies to the same five numbers: count, mean, p50, p95,
+p99.  This module is the one implementation of that reduction.
+
+:func:`nearest_rank_percentile` is distinct from
+:func:`repro.analysis.statistics.percentile`, which takes ``q`` in 0-100
+and linearly interpolates; this one is the latency-reporting convention
+(fraction in (0, 1], no interpolation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["LatencySummary", "latency_summary", "nearest_rank_percentile"]
+
+
+def nearest_rank_percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample (0 for empty)."""
+    if not sorted_values:
+        return 0.0
+    if not (0.0 < fraction <= 1.0):
+        raise ValueError(f"fraction must lie in (0, 1], got {fraction}")
+    rank = min(len(sorted_values) - 1,
+               max(0, math.ceil(fraction * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """The standard latency reduction: count, mean, and tail percentiles."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+
+
+def latency_summary(values: Sequence[float], *, presorted: bool = False) -> LatencySummary:
+    """Reduce per-query latencies to the standard report numbers.
+
+    ``values`` need not be sorted (``presorted=True`` skips the sort when
+    the caller already did it).  An empty sample reports all zeros, as
+    the harness always has.
+    """
+    ordered: List[float] = list(values)
+    if not presorted:
+        ordered.sort()
+    count = len(ordered)
+    return LatencySummary(
+        count=count,
+        mean=sum(ordered) / count if count else 0.0,
+        p50=nearest_rank_percentile(ordered, 0.50),
+        p95=nearest_rank_percentile(ordered, 0.95),
+        p99=nearest_rank_percentile(ordered, 0.99),
+    )

@@ -1,0 +1,581 @@
+"""Process-wide telemetry: a metrics registry and hierarchical spans.
+
+One instrumentation layer for every subsystem (build facade, core
+builders, sweep executor, serving engines, daemon):
+
+* **Metrics** — named counters, gauges, and fixed-bucket histograms with
+  optional labels, registered on first use and read back by the
+  Prometheus exporter (:func:`repro.obs.prometheus_text`) or as a plain
+  dict (:func:`metrics_snapshot`).
+* **Spans** — ``with span("name", **attrs):`` records wall time, thread,
+  and attributes into a bounded trace buffer, nested per thread (the
+  active span is the parent of spans opened under it).  The buffer feeds
+  the Chrome-trace exporter (:func:`repro.obs.export_trace`).
+* **Worker shipping** — :func:`capture_spans` collects the spans a chunk
+  of work records, :func:`freeze_spans` turns them into picklable dicts,
+  and :func:`merge_spans` replays them in another process under its
+  current span (the sweep executor's discipline, mirroring ``on_build``).
+
+The whole layer is disabled with ``REPRO_OBS=0``: spans become a shared
+no-op object, metric writes return immediately, and nothing is buffered
+— the instrumentation call sites cost a function call and a flag check.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_SECONDS_BUCKETS",
+    "LATENCY_BUCKETS_MS",
+    "Histogram",
+    "SpanRecord",
+    "capture_spans",
+    "clear_spans",
+    "current_span",
+    "dropped_spans",
+    "enabled",
+    "freeze_spans",
+    "get_metric",
+    "inc",
+    "merge_spans",
+    "metrics_snapshot",
+    "observe",
+    "register_collector",
+    "register_histogram",
+    "remove_collector",
+    "reset",
+    "set_enabled",
+    "set_gauge",
+    "snapshot_spans",
+    "span",
+]
+
+_INF = float("inf")
+
+#: Upper bucket bounds (milliseconds) of the request-latency histograms
+#: (generalized from the daemon's original private histogram).
+LATENCY_BUCKETS_MS = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, _INF,
+)
+
+#: Upper bucket bounds (seconds) for coarse durations (builds, rebuilds).
+DEFAULT_SECONDS_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, _INF,
+)
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_OBS", "1").strip().lower() not in (
+        "0", "false", "no", "off",
+    )
+
+
+def _env_buffer_size() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_OBS_BUFFER", "100000")))
+    except ValueError:
+        return 100000
+
+
+_ENABLED = _env_enabled()
+
+
+def enabled() -> bool:
+    """Whether telemetry is recording (``REPRO_OBS=0`` turns it off)."""
+    return _ENABLED
+
+
+def set_enabled(on: bool) -> bool:
+    """Turn telemetry on/off at runtime; returns the previous state."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(on)
+    return previous
+
+
+# ----------------------------------------------------------------------
+# Histogram (the daemon's latency histogram, generalized)
+# ----------------------------------------------------------------------
+class Histogram:
+    """Thread-safe fixed-bucket histogram.
+
+    The default buckets are the daemon's millisecond latency bounds;
+    pass :data:`DEFAULT_SECONDS_BUCKETS` (or any ascending tuple ending
+    in ``inf``) for other units.  :meth:`snapshot` keeps the exact JSON
+    shape the daemon's ``/stats`` has always reported.
+    """
+
+    def __init__(self, buckets: Tuple[float, ...] = LATENCY_BUCKETS_MS) -> None:
+        self._buckets = tuple(buckets)
+        self._counts = [0] * len(self._buckets)
+        self._total = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    @property
+    def buckets(self) -> Tuple[float, ...]:
+        return self._buckets
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._total += value
+            for index, bound in enumerate(self._buckets):
+                if value <= bound:
+                    self._counts[index] += 1
+                    break
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """``(upper bound, count)`` pairs (per-bucket, not cumulative)."""
+        with self._lock:
+            return list(zip(self._buckets, self._counts))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The histogram as JSON scalars (the open bucket's bound is ``"inf"``)."""
+        with self._lock:
+            return {
+                "count": self._count,
+                "total_ms": self._total,
+                "mean_ms": self._total / self._count if self._count else 0.0,
+                "buckets": [
+                    {"le_ms": bound if bound != _INF else "inf", "count": count}
+                    for bound, count in zip(self._buckets, self._counts)
+                ],
+            }
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+class _MetricFamily:
+    __slots__ = ("name", "kind", "help", "samples")
+
+    def __init__(self, name: str, kind: str, help: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.samples: Dict[_LabelKey, Any] = {}
+
+
+_REG_LOCK = threading.Lock()
+_FAMILIES: Dict[str, _MetricFamily] = {}
+_COLLECTORS: List[Callable[[], None]] = []
+
+
+def _label_key(labels: Dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def _family(name: str, kind: str, help: str) -> _MetricFamily:
+    family = _FAMILIES.get(name)
+    if family is None:
+        family = _FAMILIES[name] = _MetricFamily(name, kind, help)
+    elif family.kind != kind:
+        raise ValueError(
+            f"metric {name!r} is registered as a {family.kind}, not a {kind}"
+        )
+    return family
+
+
+def inc(name: str, value: float = 1.0, *, help: str = "", **labels: Any) -> None:
+    """Add ``value`` to the counter ``name`` (registered on first use)."""
+    if not _ENABLED:
+        return
+    key = _label_key(labels)
+    with _REG_LOCK:
+        family = _family(name, "counter", help)
+        family.samples[key] = family.samples.get(key, 0.0) + value
+
+
+def set_gauge(name: str, value: float, *, help: str = "", **labels: Any) -> None:
+    """Set the gauge ``name`` to ``value`` (registered on first use)."""
+    if not _ENABLED:
+        return
+    key = _label_key(labels)
+    with _REG_LOCK:
+        _family(name, "gauge", help).samples[key] = float(value)
+
+
+def observe(
+    name: str,
+    value: float,
+    *,
+    buckets: Optional[Tuple[float, ...]] = None,
+    help: str = "",
+    **labels: Any,
+) -> None:
+    """Record ``value`` into the histogram ``name`` (registered on first use)."""
+    if not _ENABLED:
+        return
+    key = _label_key(labels)
+    with _REG_LOCK:
+        family = _family(name, "histogram", help)
+        histogram = family.samples.get(key)
+        if histogram is None:
+            histogram = family.samples[key] = Histogram(
+                buckets if buckets is not None else LATENCY_BUCKETS_MS
+            )
+    histogram.observe(value)
+
+
+def register_histogram(name: str, histogram: Histogram, *, help: str = "") -> Histogram:
+    """Expose an existing :class:`Histogram` instance under ``name``.
+
+    The instance keeps working standalone (e.g. the daemon's ``/stats``
+    snapshot) whether or not telemetry is enabled; registration only
+    makes it scrapable.  Re-registering replaces the previous instance.
+    """
+    if _ENABLED:
+        with _REG_LOCK:
+            family = _family(name, "histogram", help)
+            family.samples[()] = histogram
+    return histogram
+
+
+def get_metric(name: str, **labels: Any) -> Optional[Any]:
+    """The current value of a metric sample (``None`` if absent).
+
+    Counters/gauges return a float; histograms return the
+    :class:`Histogram` instance.
+    """
+    with _REG_LOCK:
+        family = _FAMILIES.get(name)
+        if family is None:
+            return None
+        return family.samples.get(_label_key(labels))
+
+
+def register_collector(fn: Callable[[], None]) -> Callable[[], None]:
+    """Run ``fn`` before every metrics read (to refresh pull-style gauges)."""
+    with _REG_LOCK:
+        if fn not in _COLLECTORS:
+            _COLLECTORS.append(fn)
+    return fn
+
+
+def remove_collector(fn: Callable[[], None]) -> None:
+    """Unregister a collector previously added with :func:`register_collector`."""
+    with _REG_LOCK:
+        try:
+            _COLLECTORS.remove(fn)
+        except ValueError:
+            pass
+
+
+def _run_collectors() -> None:
+    with _REG_LOCK:
+        collectors = list(_COLLECTORS)
+    for fn in collectors:
+        try:
+            fn()
+        except Exception:
+            # A broken collector must never take /metrics down with it.
+            pass
+
+
+def metrics_snapshot() -> Dict[str, Dict[str, Any]]:
+    """Every registered metric as plain JSON-able dicts (collectors run first)."""
+    _run_collectors()
+    with _REG_LOCK:
+        snapshot: Dict[str, Dict[str, Any]] = {}
+        for name, family in _FAMILIES.items():
+            samples = []
+            for key, value in family.samples.items():
+                entry: Dict[str, Any] = {"labels": dict(key)}
+                if isinstance(value, Histogram):
+                    entry["histogram"] = value.snapshot()
+                else:
+                    entry["value"] = value
+                samples.append(entry)
+            snapshot[name] = {
+                "kind": family.kind, "help": family.help, "samples": samples,
+            }
+        return snapshot
+
+
+def _families_view() -> List[Tuple[str, str, str, List[Tuple[_LabelKey, Any]]]]:
+    """Exporter-facing view: ``(name, kind, help, samples)`` sorted by name."""
+    _run_collectors()
+    with _REG_LOCK:
+        return [
+            (name, family.kind, family.help, list(family.samples.items()))
+            for name, family in sorted(_FAMILIES.items())
+        ]
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+class SpanRecord:
+    """One completed (or active) span of the trace buffer."""
+
+    __slots__ = (
+        "name", "attrs", "span_id", "parent_id", "pid",
+        "thread_id", "thread_name", "start_unix", "duration_s", "_start_perf",
+    )
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self.pid = os.getpid()
+        self.thread_id = threading.get_ident()
+        self.thread_name = threading.current_thread().name
+        self.start_unix = 0.0
+        self.duration_s = 0.0
+        self._start_perf = 0.0
+
+    def set(self, **attrs: Any) -> "SpanRecord":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRecord({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, dur={self.duration_s * 1000.0:.3f}ms)"
+        )
+
+
+class _NoopSpan:
+    """What :func:`span` yields when telemetry is disabled."""
+
+    __slots__ = ()
+    name = ""
+    attrs: Dict[str, Any] = {}
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+
+_NOOP_SPAN = _NoopSpan()
+
+_SPAN_LOCK = threading.Lock()
+_SPAN_COUNTER = 0
+_TRACE: Deque[SpanRecord] = deque(maxlen=_env_buffer_size())
+_DROPPED = 0
+_SINKS: List[List[SpanRecord]] = []
+_STACKS = threading.local()
+
+
+def _stack() -> List[SpanRecord]:
+    stack = getattr(_STACKS, "stack", None)
+    if stack is None:
+        stack = _STACKS.stack = []
+    return stack
+
+
+def _next_span_id() -> int:
+    global _SPAN_COUNTER
+    _SPAN_COUNTER += 1
+    return _SPAN_COUNTER
+
+
+def _record(record: SpanRecord) -> None:
+    global _DROPPED
+    with _SPAN_LOCK:
+        if _TRACE.maxlen is not None and len(_TRACE) == _TRACE.maxlen:
+            _DROPPED += 1
+        _TRACE.append(record)
+        for sink in _SINKS:
+            sink.append(record)
+
+
+class _SpanContext:
+    """The ``with span(...)`` context (a plain class beats ``@contextmanager``
+    on the disabled fast path — no generator is created)."""
+
+    __slots__ = ("_record",)
+
+    def __init__(self, record: Optional[SpanRecord]) -> None:
+        self._record = record
+
+    def __enter__(self):
+        record = self._record
+        if record is None:
+            return _NOOP_SPAN
+        stack = _stack()
+        record.parent_id = stack[-1].span_id if stack else None
+        with _SPAN_LOCK:
+            record.span_id = _next_span_id()
+        stack.append(record)
+        record.start_unix = time.time()
+        record._start_perf = time.perf_counter()
+        return record
+
+    def __exit__(self, *exc_info: Any) -> None:
+        record = self._record
+        if record is None:
+            return
+        record.duration_s = time.perf_counter() - record._start_perf
+        stack = _stack()
+        if stack and stack[-1] is record:
+            stack.pop()
+        else:  # unbalanced exit (exception in a weird place); best effort
+            try:
+                stack.remove(record)
+            except ValueError:
+                pass
+        _record(record)
+
+
+def span(name: str, **attrs: Any) -> _SpanContext:
+    """Open a span: ``with span("build", product="emulator") as sp: ...``.
+
+    The yielded object supports ``sp.set(key=value)`` for attributes only
+    known mid-span.  Nested spans (same thread) form a tree via
+    ``parent_id``.  When telemetry is disabled this is a cheap no-op.
+    """
+    if not _ENABLED:
+        return _SpanContext(None)
+    return _SpanContext(SpanRecord(name, attrs))
+
+
+def current_span(name: Optional[str] = None) -> Optional[SpanRecord]:
+    """The innermost active span of this thread (``None`` if none).
+
+    With ``name``, only a span of exactly that name is returned — use it
+    from helper code that annotates a span its caller *may* have opened.
+    """
+    stack = getattr(_STACKS, "stack", None)
+    if not stack:
+        return None
+    record = stack[-1]
+    if name is not None and record.name != name:
+        return None
+    return record
+
+
+def snapshot_spans() -> List[SpanRecord]:
+    """The completed spans currently buffered, oldest first."""
+    with _SPAN_LOCK:
+        return list(_TRACE)
+
+
+def clear_spans() -> None:
+    """Empty the trace buffer (the dropped-span counter too)."""
+    global _DROPPED
+    with _SPAN_LOCK:
+        _TRACE.clear()
+        _DROPPED = 0
+
+
+def dropped_spans() -> int:
+    """Spans evicted from the bounded buffer since the last clear."""
+    with _SPAN_LOCK:
+        return _DROPPED
+
+
+class _Capture:
+    def __init__(self) -> None:
+        self.spans: List[SpanRecord] = []
+
+    def __enter__(self) -> "_Capture":
+        with _SPAN_LOCK:
+            _SINKS.append(self.spans)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        with _SPAN_LOCK:
+            try:
+                _SINKS.remove(self.spans)
+            except ValueError:
+                pass
+
+
+def capture_spans() -> _Capture:
+    """Collect every span completed inside the ``with`` block.
+
+    The spans still land in the global buffer; the capture is an
+    *additional* sink.  Used by sweep workers to ship their spans back to
+    the parent (see :func:`freeze_spans` / :func:`merge_spans`).
+    """
+    return _Capture()
+
+
+_FREEZE_FIELDS = (
+    "name", "span_id", "parent_id", "pid",
+    "thread_id", "thread_name", "start_unix", "duration_s",
+)
+
+
+def freeze_spans(records: Iterable[SpanRecord]) -> List[Dict[str, Any]]:
+    """Spans as plain picklable dicts (for cross-process shipping)."""
+    frozen = []
+    for record in records:
+        item = {field: getattr(record, field) for field in _FREEZE_FIELDS}
+        item["attrs"] = dict(record.attrs)
+        frozen.append(item)
+    return frozen
+
+
+def merge_spans(frozen: Iterable[Dict[str, Any]]) -> int:
+    """Replay frozen spans into this process's buffer; returns the count.
+
+    Span ids are remapped to fresh local ids (parent links inside the
+    shipment are preserved); shipment roots are re-parented under the
+    calling thread's current span, so worker-built spans nest exactly
+    where an in-process build's spans would.
+    """
+    if not _ENABLED:
+        return 0
+    items = list(frozen or ())
+    if not items:
+        return 0
+    current = current_span()
+    base_parent = current.span_id if current is not None else None
+    with _SPAN_LOCK:
+        id_map = {item["span_id"]: _next_span_id() for item in items}
+    count = 0
+    for item in items:
+        record = SpanRecord(item["name"], dict(item.get("attrs") or {}))
+        record.span_id = id_map[item["span_id"]]
+        parent = item.get("parent_id")
+        record.parent_id = (
+            id_map.get(parent, base_parent) if parent is not None else base_parent
+        )
+        record.pid = item.get("pid", record.pid)
+        record.thread_id = item.get("thread_id", record.thread_id)
+        record.thread_name = item.get("thread_name", record.thread_name)
+        record.start_unix = item.get("start_unix", 0.0)
+        record.duration_s = item.get("duration_s", 0.0)
+        _record(record)
+        count += 1
+    return count
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+def reset() -> None:
+    """Clear metrics, collectors, and spans (tests and worker startup).
+
+    The enabled flag is left as-is; span ids restart from 1 so seeded
+    runs are reproducible after a reset.
+    """
+    global _SPAN_COUNTER
+    with _REG_LOCK:
+        _FAMILIES.clear()
+        _COLLECTORS.clear()
+    clear_spans()
+    with _SPAN_LOCK:
+        _SPAN_COUNTER = 0

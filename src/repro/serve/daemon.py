@@ -60,6 +60,17 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.graphs.graph import Graph
+from repro.obs import (
+    LATENCY_BUCKETS_MS,
+    Histogram,
+    inc,
+    prometheus_text,
+    register_collector,
+    register_histogram,
+    remove_collector,
+    set_gauge,
+    span,
+)
 from repro.serve.engine import QueryEngine
 from repro.serve.service import load as serve_load
 from repro.serve.spec import ServeSpec
@@ -68,17 +79,12 @@ from repro.serve.workloads import WorkloadProfile
 __all__ = [
     "CoalescingEngine",
     "DaemonConfig",
+    "LATENCY_BUCKETS_MS",
     "OracleConfig",
     "OracleDaemon",
     "from_wire",
     "to_wire",
 ]
-
-#: Upper bucket bounds (milliseconds) of the daemon's latency histogram.
-LATENCY_BUCKETS_MS = (
-    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
-    100.0, 250.0, 500.0, 1000.0, float("inf"),
-)
 
 _INF = float("inf")
 
@@ -91,39 +97,6 @@ def to_wire(value: float) -> Optional[float]:
 def from_wire(value: Optional[float]) -> float:
     """Restore a wire distance: ``null``/``None`` means unreachable (``inf``)."""
     return _INF if value is None else float(value)
-
-
-class _LatencyHistogram:
-    """Thread-safe fixed-bucket latency histogram (milliseconds)."""
-
-    def __init__(self, buckets_ms: Tuple[float, ...] = LATENCY_BUCKETS_MS) -> None:
-        self._buckets = tuple(buckets_ms)
-        self._counts = [0] * len(self._buckets)
-        self._total_ms = 0.0
-        self._count = 0
-        self._lock = threading.Lock()
-
-    def observe(self, latency_ms: float) -> None:
-        with self._lock:
-            self._count += 1
-            self._total_ms += latency_ms
-            for index, bound in enumerate(self._buckets):
-                if latency_ms <= bound:
-                    self._counts[index] += 1
-                    break
-
-    def snapshot(self) -> Dict[str, Any]:
-        """The histogram as JSON scalars (the open bucket's bound is ``"inf"``)."""
-        with self._lock:
-            return {
-                "count": self._count,
-                "total_ms": self._total_ms,
-                "mean_ms": self._total_ms / self._count if self._count else 0.0,
-                "buckets": [
-                    {"le_ms": bound if bound != _INF else "inf", "count": count}
-                    for bound, count in zip(self._buckets, self._counts)
-                ],
-            }
 
 
 class _InFlight:
@@ -290,7 +263,8 @@ class CoalescingEngine:
         # Leader: the expensive backend call runs outside the lock, so
         # queries for other sources are answered meanwhile.
         try:
-            dist = self._oracle.single_source(source)
+            with span("serve.single_source", source=source):
+                dist = self._oracle.single_source(source)
         except BaseException as error:
             waiter.error = error
             with self._lock:
@@ -472,7 +446,15 @@ class OracleDaemon:
         self._counter_lock = threading.Lock()
         self._conn_lock = threading.Lock()
         self._connections: set = set()
-        self._histogram = _LatencyHistogram()
+        # The histogram instance works standalone (it feeds ``/stats``
+        # even with telemetry disabled); registering it only makes it
+        # scrapable at ``/metrics``.
+        self._histogram = Histogram(LATENCY_BUCKETS_MS)
+        register_histogram(
+            "repro_daemon_request_latency_ms", self._histogram,
+            help="Daemon request latency (milliseconds)",
+        )
+        register_collector(self._collect_engine_metrics)
         self.verbose = verbose
         self.requests = 0
         self.request_errors = 0
@@ -643,6 +625,31 @@ class OracleDaemon:
             },
         }
 
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` body (Prometheus text exposition)."""
+        return prometheus_text()
+
+    def _collect_engine_metrics(self) -> None:
+        """Scrape-time collector mirroring per-engine counters into gauges.
+
+        Registered at construction and run only when metrics are
+        rendered, so the query hot path carries no per-query metric
+        updates; ``/metrics`` still agrees with ``/stats`` because both
+        read the same engine counters.
+        """
+        for name, entry in self._entries.items():
+            stats = entry.engine.stats()
+            live = stats.pop("live", None)
+            for key, value in stats.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                set_gauge(f"repro_engine_{key}", float(value), oracle=name)
+            if isinstance(live, dict):
+                for key, value in live.items():
+                    if isinstance(value, bool) or not isinstance(value, (int, float)):
+                        continue
+                    set_gauge(f"repro_live_{key}", float(value), oracle=name)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -676,6 +683,7 @@ class OracleDaemon:
         if self._closed:
             return
         self._closed = True
+        remove_collector(self._collect_engine_metrics)
         if self._serving:
             self._server.shutdown()
             self._serving = False
@@ -711,12 +719,18 @@ class OracleDaemon:
     # ------------------------------------------------------------------
     # Request bookkeeping (called by the handler)
     # ------------------------------------------------------------------
-    def _record_request(self, latency_ms: float, ok: bool) -> None:
+    def _record_request(self, latency_ms: float, ok: bool, *,
+                        endpoint: str = "?", oracle: str = "") -> None:
         with self._counter_lock:
             self.requests += 1
             if not ok:
                 self.request_errors += 1
         self._histogram.observe(latency_ms)
+        inc("repro_daemon_requests_total", endpoint=endpoint, oracle=oracle,
+            help="Daemon HTTP requests handled")
+        if not ok:
+            inc("repro_daemon_request_errors_total", endpoint=endpoint, oracle=oracle,
+                help="Daemon HTTP requests answered with an error status")
 
     def _track_connection(self, connection: Any) -> None:
         with self._conn_lock:
@@ -812,16 +826,21 @@ class _DaemonHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:
         started = time.perf_counter()
-        try:
-            if self.path == "/healthz":
-                code, payload = 200, self.daemon.healthz()
-            elif self.path == "/stats":
-                code, payload = 200, self.daemon.stats()
-            else:
-                code, payload = 404, {"error": f"unknown path {self.path!r}"}
-        except Exception as error:  # pragma: no cover - defensive
-            code, payload = 500, {"error": str(error)}
-        self._respond(code, payload, started)
+        with span("daemon.request", endpoint=self.path):
+            if self.path == "/metrics":
+                # Prometheus scrape: text exposition, not the JSON frame.
+                self._respond_text(200, self.daemon.metrics_text(), started)
+                return
+            try:
+                if self.path == "/healthz":
+                    code, payload = 200, self.daemon.healthz()
+                elif self.path == "/stats":
+                    code, payload = 200, self.daemon.stats()
+                else:
+                    code, payload = 404, {"error": f"unknown path {self.path!r}"}
+            except Exception as error:  # pragma: no cover - defensive
+                code, payload = 500, {"error": str(error)}
+            self._respond(code, payload, started)
 
     def do_POST(self) -> None:
         started = time.perf_counter()
@@ -834,21 +853,25 @@ class _DaemonHandler(BaseHTTPRequestHandler):
         handler = handlers.get(self.path)
         if handler is None:
             code, payload = (405, {"error": f"{self.path!r} is not a POST endpoint"}) \
-                if self.path in ("/healthz", "/stats") \
+                if self.path in ("/healthz", "/stats", "/metrics") \
                 else (404, {"error": f"unknown path {self.path!r}"})
             self._respond(code, payload, started)
             return
-        try:
-            body = self._read_json_body()
-            engine = self.daemon.engine_for(body.get("oracle"))
-            code, payload = handler(engine, body)
-        except ValueError as error:
-            code, payload = 400, {"error": str(error)}
-        except KeyError as error:
-            code, payload = 404, {"error": error.args[0] if error.args else str(error)}
-        except Exception as error:  # pragma: no cover - defensive
-            code, payload = 500, {"error": str(error)}
-        self._respond(code, payload, started)
+        oracle = ""
+        with span("daemon.request", endpoint=self.path) as request_span:
+            try:
+                body = self._read_json_body()
+                oracle = body.get("oracle") or self.daemon.default_oracle_name or ""
+                request_span.set(oracle=oracle)
+                engine = self.daemon.engine_for(body.get("oracle"))
+                code, payload = handler(engine, body)
+            except ValueError as error:
+                code, payload = 400, {"error": str(error)}
+            except KeyError as error:
+                code, payload = 404, {"error": error.args[0] if error.args else str(error)}
+            except Exception as error:  # pragma: no cover - defensive
+                code, payload = 500, {"error": str(error)}
+            self._respond(code, payload, started, oracle=oracle)
 
     # Wrong-method probes on the query endpoints get 405, not a stack trace.
     def do_PUT(self) -> None:
@@ -955,15 +978,24 @@ class _DaemonHandler(BaseHTTPRequestHandler):
             raise ValueError(f"request body must be a JSON object, got {type(body).__name__}")
         return body
 
-    def _respond(self, code: int, payload: Dict[str, Any], started: float) -> None:
-        encoded = json.dumps(payload).encode("utf-8")
+    def _respond(self, code: int, payload: Dict[str, Any], started: float,
+                 *, oracle: str = "") -> None:
+        self._write_response(code, json.dumps(payload).encode("utf-8"),
+                             "application/json", started, oracle=oracle)
+
+    def _respond_text(self, code: int, body: str, started: float) -> None:
+        self._write_response(code, body.encode("utf-8"),
+                             "text/plain; version=0.0.4; charset=utf-8", started)
+
+    def _write_response(self, code: int, encoded: bytes, content_type: str,
+                        started: float, *, oracle: str = "") -> None:
         # Record before writing: a client that has read its response (and
         # immediately asks /stats) must already see this request counted.
         self.daemon._record_request((time.perf_counter() - started) * 1000.0,
-                                    ok=code < 400)
+                                    ok=code < 400, endpoint=self.path, oracle=oracle)
         try:
             self.send_response(code)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(encoded)))
             self.end_headers()
             self.wfile.write(encoded)

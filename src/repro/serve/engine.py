@@ -40,6 +40,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro.obs import span
 from repro.serve.oracles import DistanceOracle
 
 __all__ = ["QueryEngine"]
@@ -371,7 +372,10 @@ class QueryEngine:
             self._cache.move_to_end(source)
             return cached
         self.cache_misses += 1
-        dist = self._oracle.single_source(source)
+        # Only the miss path is spanned: a hit is a dict lookup and must
+        # stay one.
+        with span("serve.single_source", source=source):
+            dist = self._oracle.single_source(source)
         self._store(source, dist)
         return dist
 

@@ -20,33 +20,20 @@ round-trips through JSON (``to_json`` / ``from_json``) so CI jobs and the
 from __future__ import annotations
 
 import json
-import math
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.graphs.graph import Graph
 from repro.graphs.shortest_paths import bfs_distances
+# Re-exported: the latency-percentile convention lived here before it
+# moved to repro.obs; importers keep working.
+from repro.obs import latency_summary, nearest_rank_percentile
 from repro.serve.service import load
 from repro.serve.spec import ServeSpec
 from repro.serve.workloads import generate_queries
 
 __all__ = ["ServeReport", "run_load_test", "nearest_rank_percentile"]
-
-
-def nearest_rank_percentile(sorted_values: List[float], fraction: float) -> float:
-    """Nearest-rank percentile of an ascending-sorted sample (0 for empty).
-
-    Distinct from :func:`repro.analysis.statistics.percentile`, which
-    takes ``q`` in 0-100 and linearly interpolates; this one is the
-    latency-reporting convention (fraction in (0, 1], no interpolation).
-    """
-    if not sorted_values:
-        return 0.0
-    if not (0.0 < fraction <= 1.0):
-        raise ValueError(f"fraction must lie in (0, 1], got {fraction}")
-    rank = min(len(sorted_values) - 1, max(0, math.ceil(fraction * len(sorted_values)) - 1))
-    return sorted_values[rank]
 
 
 @dataclass(frozen=True)
@@ -253,7 +240,7 @@ def run_load_test(
             latencies, elapsed = _measure_batched(engine, queries, workers)
         else:
             latencies, elapsed = _measure_serial(engine, queries)
-        latencies.sort()
+        summary = latency_summary(latencies)
         # Counter deltas over the measured stream only: pre-stream traffic
         # on a caller-provided engine and the stretch re-check below are
         # both excluded.  Gauges (cached_sources, limits, oracle stats)
@@ -274,10 +261,10 @@ def run_load_test(
             build_seconds=build_seconds,
             elapsed_seconds=elapsed,
             throughput_qps=len(queries) / max(elapsed, 1e-9),
-            latency_mean_ms=sum(latencies) / len(latencies) if latencies else 0.0,
-            latency_p50_ms=nearest_rank_percentile(latencies, 0.50),
-            latency_p95_ms=nearest_rank_percentile(latencies, 0.95),
-            latency_p99_ms=nearest_rank_percentile(latencies, 0.99),
+            latency_mean_ms=summary.mean,
+            latency_p50_ms=summary.p50,
+            latency_p95_ms=summary.p95,
+            latency_p99_ms=summary.p99,
             stretch_pairs_checked=checked,
             stretch_violations=violations,
             stretch_ok=violations == 0,

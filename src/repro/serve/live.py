@@ -72,6 +72,7 @@ from typing import (
 )
 
 from repro.graphs.graph import Graph
+from repro.obs import set_gauge, span
 from repro.serve.daemon import CoalescingEngine
 from repro.serve.engine import QueryEngine
 from repro.serve.oracles import OracleBackend
@@ -684,6 +685,8 @@ class LiveEngine:
                 rebuilt, repaired, scheduled, forced = self._react(applied)
             gen, staleness, _ = self._snapshot_locked()
             assert gen.version is not None
+            set_gauge("repro_live_staleness", float(staleness),
+                      help="Mutations applied past the serving generation's watermark")
             return MutationReceipt(
                 applied=len(applied),
                 skipped=mutation.num_operations - len(applied),
@@ -815,7 +818,8 @@ class LiveEngine:
     def _build_generation(self, snapshot: Graph) -> _Generation:
         """Build a fresh generation for ``snapshot`` (runs outside the lock)."""
         started = time.perf_counter()
-        engine = self._loader(snapshot, self._base_spec)
+        with span("live.build", edges=snapshot.num_edges):
+            engine = self._loader(snapshot, self._base_spec)
         target: Any = CoalescingEngine(engine) if self._coalesce else engine
         return _Generation(engine, target, snapshot,
                            time.perf_counter() - started)
@@ -830,24 +834,30 @@ class LiveEngine:
         them here could break a pool mid-batch).
         """
         self._version_counter += 1
-        gen.version = OracleVersion(
-            version=self._version_counter,
-            watermark=watermark,
-            kind=kind,
-            alpha=float(gen.engine.alpha),
-            beta=float(gen.engine.beta),
-            space_in_edges=int(gen.engine.space_in_edges),
-            build_seconds=gen.build_seconds,
-            repairs=repairs,
-        )
-        if self._gen is not None:
-            self._retired.append(self._gen.engine)
-        self._gen = gen
-        self._history.append(gen.version)
-        if kind == "rebuild":
-            self.rebuilds += 1
-            if forced:
-                self.forced_rebuilds += 1
+        with span("live.swap", kind=kind, version=self._version_counter,
+                  watermark=watermark):
+            gen.version = OracleVersion(
+                version=self._version_counter,
+                watermark=watermark,
+                kind=kind,
+                alpha=float(gen.engine.alpha),
+                beta=float(gen.engine.beta),
+                space_in_edges=int(gen.engine.space_in_edges),
+                build_seconds=gen.build_seconds,
+                repairs=repairs,
+            )
+            if self._gen is not None:
+                self._retired.append(self._gen.engine)
+            self._gen = gen
+            self._history.append(gen.version)
+            if kind == "rebuild":
+                self.rebuilds += 1
+                if forced:
+                    self.forced_rebuilds += 1
+        set_gauge("repro_live_generation", float(self._version_counter),
+                  help="Version number of the serving generation")
+        set_gauge("repro_live_staleness", float(len(self._ops) - watermark),
+                  help="Mutations applied past the serving generation's watermark")
         self._cond.notify_all()
 
     def _react(self, applied: List[Tuple[str, int, int]]) -> Tuple[bool, bool, bool, bool]:
@@ -981,20 +991,21 @@ class LiveEngine:
                 return None
             plans.append((u, v, cluster))
         started = time.perf_counter()
-        patched = gen.emulator.copy()
-        for u, v, cluster in plans:
-            # The new graph edge is itself an exact-distance emulator edge.
-            patched.add_edge(u, v, 1.0)
-            # Phase-local re-exploration: distances inside the cluster may
-            # have shrunk; refresh the center-to-member weights from the
-            # current graph (``add_edge`` keeps the minimum weight, so
-            # this only ever lowers them — to exact current distances).
-            bound = max(1, int(math.ceil(cluster.radius)))
-            reachable = _bounded_bfs(self._graph, cluster.center, bound)
-            for member in cluster.members:
-                hops = reachable.get(member)
-                if member != cluster.center and hops:
-                    patched.add_edge(cluster.center, member, float(hops))
+        with span("live.repair", inserts=len(plans)):
+            patched = gen.emulator.copy()
+            for u, v, cluster in plans:
+                # The new graph edge is itself an exact-distance emulator edge.
+                patched.add_edge(u, v, 1.0)
+                # Phase-local re-exploration: distances inside the cluster may
+                # have shrunk; refresh the center-to-member weights from the
+                # current graph (``add_edge`` keeps the minimum weight, so
+                # this only ever lowers them — to exact current distances).
+                bound = max(1, int(math.ceil(cluster.radius)))
+                reachable = _bounded_bfs(self._graph, cluster.center, bound)
+                for member in cluster.members:
+                    hops = reachable.get(member)
+                    if member != cluster.center and hops:
+                        patched.add_edge(cluster.center, member, float(hops))
         repairs = gen.version.repairs + len(plans) if gen.version else len(plans)
         oracle = _RepairedEmulatorOracle(
             self._graph.copy(),

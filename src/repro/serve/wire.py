@@ -32,7 +32,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.graphs import kernels
 from repro.graphs.graph import Graph
-from repro.serve.harness import _check_stretch, nearest_rank_percentile
+from repro.obs import latency_summary
+from repro.serve.harness import _check_stretch
 from repro.serve.remote import RemoteOracle
 from repro.serve.workloads import generate_queries
 
@@ -163,16 +164,18 @@ def _drive_level(
     elapsed = time.perf_counter() - start
     if errors:
         raise errors[0]
-    latencies = sorted(latency for sink in per_thread_latencies for latency in sink)
+    summary = latency_summary(
+        [latency for sink in per_thread_latencies for latency in sink]
+    )
     return WireSweepLevel(
         concurrency=concurrency,
-        num_queries=len(latencies),
+        num_queries=summary.count,
         elapsed_seconds=elapsed,
-        throughput_qps=len(latencies) / max(elapsed, 1e-9),
-        latency_mean_ms=sum(latencies) / len(latencies) if latencies else 0.0,
-        latency_p50_ms=nearest_rank_percentile(latencies, 0.50),
-        latency_p95_ms=nearest_rank_percentile(latencies, 0.95),
-        latency_p99_ms=nearest_rank_percentile(latencies, 0.99),
+        throughput_qps=summary.count / max(elapsed, 1e-9),
+        latency_mean_ms=summary.mean,
+        latency_p50_ms=summary.p50,
+        latency_p95_ms=summary.p95,
+        latency_p99_ms=summary.p99,
     )
 
 
@@ -440,17 +443,19 @@ def _drive_churn_level(
         raise errors[0]
     batches, applied = mutation_result[0] if mutation_result else (0, 0)
     answers = [record for sink in per_thread_answers for record in sink]
-    latencies = sorted(latency for sink in per_thread_latencies for latency in sink)
+    summary = latency_summary(
+        [latency for sink in per_thread_latencies for latency in sink]
+    )
     staleness_values = [record[4] for record in answers]
     level = ChurnLevel(
         concurrency=concurrency,
-        num_queries=len(latencies),
+        num_queries=summary.count,
         elapsed_seconds=elapsed,
-        throughput_qps=len(latencies) / max(elapsed, 1e-9),
-        latency_mean_ms=sum(latencies) / len(latencies) if latencies else 0.0,
-        latency_p50_ms=nearest_rank_percentile(latencies, 0.50),
-        latency_p95_ms=nearest_rank_percentile(latencies, 0.95),
-        latency_p99_ms=nearest_rank_percentile(latencies, 0.99),
+        throughput_qps=summary.count / max(elapsed, 1e-9),
+        latency_mean_ms=summary.mean,
+        latency_p50_ms=summary.p50,
+        latency_p95_ms=summary.p95,
+        latency_p99_ms=summary.p99,
         mutation_batches=batches,
         mutations_applied=applied,
         versions_observed=len({record[3] for record in answers}),
