@@ -1,0 +1,94 @@
+"""Benchmarks for the fault-injection layer (:mod:`repro.faults`).
+
+Times a representative sweep with injection disabled and gates the
+acceptance bound: with no plan installed (``REPRO_FAULTS`` unset) the
+``fault_point`` call sites must cost **< 2%** of the workload.  As with
+the telemetry gate, the bound is the product of the number of fault-point
+hits an instrumented workload actually makes and the measured per-call
+cost of a disabled fault point — deterministic, not a race between two
+noisy end-to-end timings.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import faults
+from repro.api import GridSweep, run_sweep
+from repro.graphs import generators
+
+
+@pytest.fixture(autouse=True)
+def no_plan():
+    faults.clear_plan()
+    yield
+    faults.clear_plan()
+
+
+SWEEP = GridSweep(products=("emulator", "spanner"), methods=("centralized",),
+                  eps_values=(0.1,), kappas=(3.0,))
+
+
+def _workload_graph(tier_n, seed=3):
+    n = tier_n(512)
+    return generators.erdos_renyi(n, 8 / n, seed=seed)
+
+
+def test_bench_sweep_faults_disabled(benchmark, tier_n):
+    """The executor's sweep with injection disabled (the default)."""
+    graph = _workload_graph(tier_n)
+    records = benchmark.pedantic(
+        lambda: run_sweep({"g": graph}, SWEEP), iterations=1, rounds=3
+    )
+    assert records and all(not record.quarantined for record in records)
+
+
+def test_disabled_fault_points_overhead_under_2_percent(tier_n):
+    """The acceptance gate: disabled fault points cost < 2% of a sweep.
+
+    Never-firing probe rules (``probability: 0``) count how many
+    fault-point hits an instrumented sweep makes; the disabled per-call
+    cost is measured on a tight loop; their product — the total disabled
+    injection cost of that sweep — must be under 2% of the sweep's own
+    (plan-free) wall time.  Sites outside the sweep (daemon, live,
+    remote, ``corrupt_bytes``) are folded in via a 2x safety factor on
+    the call count.
+    """
+    graph = _workload_graph(tier_n)
+
+    probes = [{"site": f"{prefix}.*", "action": "raise", "probability": 0.0}
+              for prefix in ("sweep", "live", "daemon", "serve", "remote")]
+    with faults.fault_plan({"rules": probes}) as plan:
+        run_sweep({"g": graph}, SWEEP)
+        call_sites = 2 * max(
+            1, sum(entry["hits"] for entry in plan.stats().values())
+        )
+
+    rounds = 100_000
+    start = time.perf_counter()
+    for _ in range(rounds):
+        faults.fault_point("bench.noop", index=0)
+    per_call = (time.perf_counter() - start) / rounds
+
+    sweep_time = min(
+        _timed(lambda: run_sweep({"g": graph}, SWEEP)) for _ in range(3)
+    )
+
+    overhead = call_sites * per_call
+    fraction = overhead / sweep_time
+    print(f"\ndisabled fault-point overhead: {fraction * 100:.4f}% "
+          f"({call_sites} call sites x {per_call * 1e6:.3f}us vs "
+          f"{sweep_time:.4f}s sweep)")
+    assert fraction < 0.02, (
+        f"disabled fault points cost {fraction * 100:.2f}% of a sweep "
+        f"({call_sites} call sites x {per_call * 1e6:.3f}us, "
+        f"sweep {sweep_time:.4f}s)"
+    )
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""CI chaos smoke: drive a fault-injected daemon through overload and back.
+
+Usage: chaos_smoke.py URL [BURST]
+
+Expects a ``repro serve-daemon`` started with a small ``--max-inflight``
+under a ``REPRO_FAULTS`` plan that delays every ``/query`` (see
+.github/workflows/ci.yml).  Fires a concurrent burst past the admission
+bound and asserts the hardening contract end to end:
+
+* ``/healthz`` keeps answering mid-burst (GETs bypass admission) and
+  reports ``degraded`` while admission is saturated;
+* some requests still answer 200 and the rest shed with
+  ``503 + Retry-After`` (never hang, never 500);
+* the daemon reports ``healthy`` again once the burst passes, with
+  ``shed_requests`` matching the observed 503s.
+
+Exits non-zero on any violated assertion.
+"""
+
+import json
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+
+def _get(url, path, timeout=5.0):
+    with urllib.request.urlopen(url + path, timeout=timeout) as response:
+        return json.load(response)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    url = argv[1].rstrip("/")
+    burst = int(argv[2]) if len(argv) > 2 else 8
+
+    statuses = []
+    retry_after = []
+    lock = threading.Lock()
+
+    def client():
+        body = json.dumps({"u": 0, "v": 17}).encode()
+        request = urllib.request.Request(
+            url + "/query", data=body,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                status, header = response.status, None
+        except urllib.error.HTTPError as error:
+            status, header = error.code, error.headers.get("Retry-After")
+            error.read()
+        with lock:
+            statuses.append(status)
+            if status == 503:
+                retry_after.append(header)
+
+    threads = [threading.Thread(target=client) for _ in range(burst)]
+    for thread in threads:
+        thread.start()
+
+    # Mid-burst: /healthz still answers (GETs bypass admission) and grades
+    # the saturation as degraded while the injected delay holds slots.
+    saw_degraded = False
+    deadline = time.time() + 10.0
+    while time.time() < deadline:
+        health = _get(url, "/healthz")
+        assert health["ok"], health
+        if health["status"] == "degraded":
+            saw_degraded = True
+            break
+        if all(not thread.is_alive() for thread in threads):
+            break
+        time.sleep(0.01)
+    for thread in threads:
+        thread.join()
+    assert saw_degraded, "healthz never reported degraded during the burst"
+
+    answered = statuses.count(200)
+    shed = statuses.count(503)
+    assert answered >= 1, statuses
+    assert shed >= 1, statuses
+    assert answered + shed == len(statuses), statuses
+    assert all(value is not None for value in retry_after), retry_after
+
+    # Recovery: healthy again once the burst passes.
+    deadline = time.time() + 10.0
+    while _get(url, "/healthz")["status"] != "healthy":
+        assert time.time() < deadline, "daemon never recovered to healthy"
+        time.sleep(0.05)
+
+    counted = _get(url, "/stats")["daemon"]["shed_requests"]
+    assert counted >= shed, (counted, shed)
+    print(f"chaos smoke: {answered} answered, {shed} shed "
+          f"(daemon counted {counted}), recovered healthy")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -58,6 +58,7 @@ from repro.api.facade import build, clear_build_hooks, emit_build_event
 from repro.api.result import BuildResultAdapter
 from repro.api.spec import BuildSpec
 from repro.graphs.graph import Graph
+from repro.faults import fault_point
 from repro.graphs.shortest_paths import (
     ExplorationCache,
     bfs_distances,
@@ -69,6 +70,11 @@ __all__ = ["GraphBaseline", "execute_sweep", "verify_with_baseline"]
 
 #: A single unit of work: (task index, graph, spec).
 _Task = Tuple[int, Graph, BuildSpec]
+
+#: One task's outcome: (index, worker pid, result or None, retries used,
+#: error string or None).  ``result is None`` with an error set means the
+#: task failed past its retry budget.
+_Outcome = Tuple[int, int, Optional[BuildResultAdapter], int, Optional[str]]
 
 GraphsArg = Union[Graph, Mapping[str, Graph], Iterable[Tuple[str, Graph]]]
 
@@ -86,22 +92,49 @@ def named_graphs(graphs: GraphsArg) -> List[Tuple[str, Graph]]:
 # Worker-side execution
 # ----------------------------------------------------------------------
 #: One unit of worker shipment: a graph, the (index, spec) pairs to build
-#: on it, and whether to share explorations across those specs.  Chunking
-#: per graph means a k-spec sweep ships the graph once per chunk instead
-#: of once per spec — and gives the exploration cache its sharing scope.
-_Chunk = Tuple[Graph, List[Tuple[int, BuildSpec]], bool]
+#: on it, whether to share explorations across those specs, and the
+#: per-task retry budget.  Chunking per graph means a k-spec sweep ships
+#: the graph once per chunk instead of once per spec — and gives the
+#: exploration cache its sharing scope.
+_Chunk = Tuple[Graph, List[Tuple[int, BuildSpec]], bool, int]
+
+
+def _build_with_retry(
+    graph: Graph, spec: BuildSpec, index: int, retries: int,
+) -> Tuple[BuildResultAdapter, int]:
+    """Build one task, retrying in-process up to ``retries`` extra times.
+
+    Returns ``(result, retries used)``.  The ``sweep.task`` fault point
+    fires before every attempt, so an ``nth``/``times``-capped fault rule
+    exercises exactly the retry path.  The final failure propagates to
+    the caller.
+    """
+    attempt = 0
+    while True:
+        try:
+            fault_point("sweep.task", index=index, product=spec.product,
+                        method=spec.method, attempt=attempt)
+            return build(graph, spec), attempt
+        except Exception:
+            if attempt >= retries:
+                raise
+            attempt += 1
 
 
 def _execute_chunk(
     chunk: _Chunk,
-) -> Tuple[List[Tuple[int, int, Optional[bytes]]], List[Dict[str, Any]]]:
+) -> Tuple[List[Tuple[int, int, Optional[bytes], int, Optional[str]]], List[Dict[str, Any]]]:
     """Build one chunk of specs on one graph (runs inside a worker process).
 
-    Returns ``(index, worker pid, pickled result)`` triples — results are
-    serialized exactly once here and the parent unpickles them, instead
-    of a probe pickle plus a second pool-level pickle.  A payload slot is
-    ``None`` when the result cannot be pickled, in which case the parent
-    rebuilds that task serially rather than crashing the pool.
+    Returns ``(index, worker pid, pickled result, retries, error)``
+    tuples — results are serialized exactly once here and the parent
+    unpickles them, instead of a probe pickle plus a second pool-level
+    pickle.  A payload slot is ``None`` with no error when the result
+    cannot be pickled, in which case the parent rebuilds that task
+    serially rather than crashing the pool; a set ``error`` means the
+    task's build kept failing past its retry budget — the failure is
+    reported to the parent instead of poisoning ``pool.map`` (which
+    would discard every other result of the chunk).
 
     With ``share`` set, every spec of the chunk builds under one
     :class:`ExplorationCache`, so equal-radius center explorations run
@@ -112,40 +145,63 @@ def _execute_chunk(
     buffer (mirroring the ``on_build`` replay for worker results), so a
     parallel sweep's trace matches a serial sweep's.
     """
-    graph, pairs, share = chunk
+    graph, pairs, share, task_retries = chunk
     pid = os.getpid()
-    out: List[Tuple[int, int, Optional[bytes]]] = []
+    out: List[Tuple[int, int, Optional[bytes], int, Optional[str]]] = []
     with capture_spans() as captured:
         with shared_explorations(ExplorationCache(graph) if share else None):
             for index, spec in pairs:
-                result = build(graph, spec)
+                try:
+                    result, retries = _build_with_retry(
+                        graph, spec, index, task_retries
+                    )
+                except Exception as error:
+                    out.append((index, pid, None, task_retries,
+                                f"{type(error).__name__}: {error}"))
+                    continue
                 try:
                     payload: Optional[bytes] = pickle.dumps(result)
                 except Exception:
                     payload = None
-                out.append((index, pid, payload))
+                out.append((index, pid, payload, retries, None))
     return out, freeze_spans(captured.spans)
 
 
 def _run_serial(
     tasks: List[_Task],
     exploration_caches: Optional[Dict[int, ExplorationCache]] = None,
-) -> List[Tuple[int, int, BuildResultAdapter]]:
+    *,
+    task_retries: int = 1,
+    on_error: str = "raise",
+) -> List[_Outcome]:
     """Build every task in-process (facade hooks fire normally).
 
     ``exploration_caches`` maps ``id(graph)`` to the sweep-wide cache for
     that graph; when provided, each build runs under its graph's cache.
+    A task whose build keeps failing past ``task_retries`` either
+    re-raises the original exception (``on_error="raise"``) or is
+    reported as a failed outcome (``on_error="quarantine"``).
     """
     pid = os.getpid()
-    outcomes: List[Tuple[int, int, BuildResultAdapter]] = []
+    outcomes: List[_Outcome] = []
     for index, graph, spec in tasks:
         cache = exploration_caches.get(id(graph)) if exploration_caches else None
         with shared_explorations(cache):
-            outcomes.append((index, pid, build(graph, spec)))
+            try:
+                result, retries = _build_with_retry(graph, spec, index, task_retries)
+            except Exception as error:
+                if on_error == "raise":
+                    raise
+                outcomes.append((index, pid, None, task_retries,
+                                 f"{type(error).__name__}: {error}"))
+                continue
+        outcomes.append((index, pid, result, retries, None))
     return outcomes
 
 
-def _chunk_tasks(tasks: List[_Task], workers: int, share: bool) -> List[_Chunk]:
+def _chunk_tasks(
+    tasks: List[_Task], workers: int, share: bool, task_retries: int
+) -> List[_Chunk]:
     """Group tasks by graph, then split each group into at most ``workers`` chunks."""
     groups: Dict[int, Tuple[Graph, List[Tuple[int, BuildSpec]]]] = {}
     for index, graph, spec in tasks:
@@ -157,7 +213,7 @@ def _chunk_tasks(tasks: List[_Task], workers: int, share: bool) -> List[_Chunk]:
     for graph, pairs in groups.values():
         per_chunk = max(1, -(-len(pairs) // workers))  # ceil division
         for start in range(0, len(pairs), per_chunk):
-            chunks.append((graph, pairs[start:start + per_chunk], share))
+            chunks.append((graph, pairs[start:start + per_chunk], share, task_retries))
     return chunks
 
 
@@ -183,7 +239,9 @@ def _run_parallel(
     *,
     share: bool = True,
     exploration_caches: Optional[Dict[int, ExplorationCache]] = None,
-) -> List[Tuple[int, int, BuildResultAdapter]]:
+    task_retries: int = 1,
+    on_error: str = "raise",
+) -> List[_Outcome]:
     """Shard ``tasks`` across a process pool, falling back serially as needed."""
     parallelizable: List[_Task] = []
     serial: List[_Task] = []
@@ -197,7 +255,7 @@ def _run_parallel(
             picklable = _picklable(spec)
         (parallelizable if picklable else serial).append(task)
 
-    outcomes: List[Tuple[int, int, BuildResultAdapter]] = []
+    outcomes: List[_Outcome] = []
     if parallelizable:
         by_index = {task[0]: task for task in parallelizable}
         try:
@@ -222,15 +280,20 @@ def _run_parallel(
             try:
                 with pool:
                     for chunk_results, chunk_spans in pool.map(
-                        _execute_chunk, _chunk_tasks(parallelizable, workers, share)
+                        _execute_chunk,
+                        _chunk_tasks(parallelizable, workers, share, task_retries),
                     ):
                         merge_spans(chunk_spans)
-                        for index, pid, payload in chunk_results:
+                        for index, pid, payload, retries, error in chunk_results:
                             finished.add(index)
-                            if payload is None:
+                            if error is not None:
+                                outcomes.append((index, pid, None, retries, error))
+                            elif payload is None:
                                 serial.append(by_index[index])
                             else:
-                                outcomes.append((index, pid, pickle.loads(payload)))
+                                outcomes.append(
+                                    (index, pid, pickle.loads(payload), retries, None)
+                                )
             except BrokenProcessPool as error:
                 # A worker died mid-sweep (OOM kill, sandbox restriction).
                 # Parallelism is never a correctness requirement: rebuild
@@ -241,7 +304,10 @@ def _run_parallel(
                     stacklevel=3,
                 )
                 serial.extend(task for task in parallelizable if task[0] not in finished)
-    outcomes.extend(_run_serial(serial, exploration_caches))
+    outcomes.extend(
+        _run_serial(serial, exploration_caches,
+                    task_retries=task_retries, on_error=on_error)
+    )
     return outcomes
 
 
@@ -333,6 +399,8 @@ def execute_sweep(
     cache: Union[None, bool, str, "os.PathLike[str]", ResultCache] = None,
     verify: Union[None, bool, int] = None,
     share_explorations: bool = True,
+    task_retries: int = 1,
+    on_error: str = "raise",
 ):
     """Run every spec on every graph; return :class:`SweepRecord` objects.
 
@@ -359,14 +427,31 @@ def execute_sweep(
         radius)`` per chunk).  On by default; records are byte-identical
         either way, so turning it off is only useful for benchmarking
         the sharing itself.
+    task_retries:
+        How many extra in-process build attempts a failing task gets
+        before its failure is final (default ``1``).  Transient failures
+        — a flaky dependency, an injected fault — are absorbed without
+        collapsing the sweep; the retry count rides in each record's
+        ``stats["retries"]`` (``0`` for first-attempt successes and
+        cache hits), so fault-free and recovered sweeps are
+        distinguishable even though their results are byte-identical.
+    on_error:
+        What to do when a task fails past its retry budget:
+        ``"raise"`` (the default) propagates the failure —
+        the original exception from a serial build, a ``RuntimeError``
+        naming the task for a worker-side failure.  ``"quarantine"``
+        records the poisoned task (``result=None``, ``stats["error"]``,
+        ``stats["quarantined"]=True``) and lets every other task of the
+        sweep complete normally; quarantined tasks are never cached,
+        verified, or announced via ``on_build`` hooks.
 
     Returns
     -------
     list of SweepRecord
         In deterministic grid order (graphs outer, specs inner).  Each
         record's ``stats`` carry ``worker`` (builder pid, or ``None`` for
-        a cache hit), ``elapsed``, and — only when caching is enabled —
-        ``cache_hit``.
+        a cache hit), ``elapsed``, ``retries``, and — only when caching
+        is enabled — ``cache_hit``.
 
     Notes
     -----
@@ -377,6 +462,12 @@ def execute_sweep(
     """
     from repro.api.pipeline import SweepRecord
 
+    if task_retries < 0:
+        raise ValueError(f"task_retries must be >= 0, got {task_retries}")
+    if on_error not in ("raise", "quarantine"):
+        raise ValueError(
+            f"on_error must be 'raise' or 'quarantine', got {on_error!r}"
+        )
     named = named_graphs(graphs)
     spec_list = list(specs)
     store = resolve_cache(cache)
@@ -395,7 +486,7 @@ def execute_sweep(
             grid.append((index, name, graph, spec))
             index += 1
 
-    outcomes: Dict[int, Tuple[BuildResultAdapter, Dict[str, Any]]] = {}
+    outcomes: Dict[int, Tuple[Optional[BuildResultAdapter], Dict[str, Any]]] = {}
     keys: Dict[int, Optional[str]] = {}
     pending: List[_Task] = []
     graph_hashes: Dict[int, str] = {}
@@ -407,7 +498,9 @@ def execute_sweep(
             key = store.key(graph_hashes[graph_key], spec)
             cached = store.get(key)
             if cached is not None:
-                outcomes[task_index] = (cached, {"cache_hit": True, "worker": None})
+                outcomes[task_index] = (
+                    cached, {"cache_hit": True, "worker": None, "retries": 0}
+                )
                 continue
             keys[task_index] = key
         pending.append((task_index, graph, spec))
@@ -420,18 +513,35 @@ def execute_sweep(
                 built = _run_parallel(
                     pending, workers,
                     share=share_explorations, exploration_caches=exploration_caches,
+                    task_retries=task_retries, on_error=on_error,
                 )
             else:
-                built = _run_serial(pending, exploration_caches)
+                built = _run_serial(pending, exploration_caches,
+                                    task_retries=task_retries, on_error=on_error)
         parent_pid = os.getpid()
-        for task_index, worker_pid, result in built:
+        for task_index, worker_pid, result, retries, error in built:
+            if error is not None or result is None:
+                if on_error == "raise":
+                    # Serial failures re-raise in place; this path is a
+                    # worker-side failure reported back through the pool.
+                    _, name, _graph, spec = grid[task_index]
+                    raise RuntimeError(
+                        f"sweep task {task_index} ({name}: "
+                        f"{spec.product}/{spec.method}) failed after "
+                        f"{retries + 1} attempt(s): {error}"
+                    )
+                outcomes[task_index] = (None, {
+                    "worker": worker_pid, "retries": retries,
+                    "quarantined": True, "error": error,
+                })
+                continue
             if worker_pid != parent_pid:
                 # In-process builds fire hooks at the facade; replay the
                 # event in the parent for worker-built results so
                 # on_build instrumentation observes every build of the
                 # sweep regardless of which process ran it.
                 emit_build_event(result)
-            stats: Dict[str, Any] = {"worker": worker_pid}
+            stats: Dict[str, Any] = {"worker": worker_pid, "retries": retries}
             key = keys.get(task_index)
             if store is not None and key is not None:
                 # cache_hit is only meaningful when a cache was actually
@@ -447,7 +557,7 @@ def execute_sweep(
     for task_index, name, graph, spec in grid:
         result, stats = outcomes[task_index]
         verified: Optional[bool] = None
-        if verify is not None and verify is not False:
+        if result is not None and verify is not None and verify is not False:
             if id(graph) not in baselines:
                 explorations = (
                     exploration_caches.get(id(graph)) if exploration_caches else None
@@ -459,7 +569,8 @@ def execute_sweep(
                 verify_with_baseline(result, baseline, sample_pairs=pairs).valid
             )
         stats = dict(stats)
-        stats["elapsed"] = result.elapsed
+        if result is not None:
+            stats["elapsed"] = result.elapsed
         records.append(
             SweepRecord(
                 graph_name=name, spec=spec, result=result, verified=verified,

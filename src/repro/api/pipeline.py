@@ -88,14 +88,20 @@ class SweepRecord:
 
     ``stats`` carries execution provenance: ``worker`` (pid of the
     process that built the result, ``None`` for cache hits), ``elapsed``
-    (the build's wall-clock seconds), and — only when the sweep ran with
-    a cache — ``cache_hit`` (whether the result came out of the
-    content-addressed cache).
+    (the build's wall-clock seconds), ``retries`` (how many times the
+    task's build was retried before succeeding), and — only when the
+    sweep ran with a cache — ``cache_hit`` (whether the result came out
+    of the content-addressed cache).
+
+    A sweep run with ``on_error="quarantine"`` records a task whose
+    build kept failing past its retry budget as ``result=None`` with the
+    error string in ``stats["error"]`` — the rest of the sweep completes
+    normally (see :func:`repro.api.executor.execute_sweep`).
     """
 
     graph_name: str
     spec: BuildSpec
-    result: BuildResultAdapter
+    result: Optional[BuildResultAdapter]
     verified: Optional[bool] = None
     stats: Mapping[str, Any] = field(default_factory=dict)
 
@@ -105,8 +111,18 @@ class SweepRecord:
         return bool(self.stats.get("cache_hit"))
 
     @property
+    def quarantined(self) -> bool:
+        """Whether this task's build kept failing and was quarantined."""
+        return self.result is None
+
+    @property
     def row(self) -> List[Any]:
         """The record as a flat table row."""
+        if self.result is None:
+            return [
+                self.graph_name, self.spec.product, self.spec.method,
+                "-", "-", "-", "-", "-", "QUARANTINED",
+            ]
         return [
             self.graph_name,
             self.spec.product,
@@ -129,6 +145,8 @@ def run_sweep(
     cache: Union[None, bool, str, ResultCache] = None,
     verify: Union[None, bool, int] = None,
     share_explorations: bool = True,
+    task_retries: int = 1,
+    on_error: str = "raise",
 ) -> List[SweepRecord]:
     """Run every spec of ``sweep`` on every graph; return flat records.
 
@@ -163,6 +181,14 @@ def run_sweep(
         baselines) across the specs built on one graph; on by default
         and observationally transparent — records are byte-identical
         either way.
+    task_retries:
+        How many times one task's failed build is retried (in the same
+        process) before the failure is final; retry counts land in each
+        record's ``stats["retries"]``.
+    on_error:
+        ``"raise"`` (default) re-raises a task's final failure;
+        ``"quarantine"`` records it (``result=None``,
+        ``stats["error"]``) and lets every other task finish.
     """
     specs = list(sweep.specs())
     if not specs:
@@ -174,7 +200,8 @@ def run_sweep(
     if verify is None and verify_pairs is not None:
         verify = verify_pairs
     return execute_sweep(graphs, specs, workers=workers, cache=cache, verify=verify,
-                         share_explorations=share_explorations)
+                         share_explorations=share_explorations,
+                         task_retries=task_retries, on_error=on_error)
 
 
 def format_sweep_table(records: List[SweepRecord], title: str = "scenario sweep") -> str:
@@ -196,7 +223,8 @@ def format_sweep_table(records: List[SweepRecord], title: str = "scenario sweep"
         # Cache hits carry the *recorded* elapsed of the original build;
         # only time actually spent building in this run is summed.
         elapsed = sum(
-            record.result.elapsed for record in records if not record.cache_hit
+            record.result.elapsed for record in records
+            if record.result is not None and not record.cache_hit
         )
         summary = f"total build time: {elapsed:.3f}s"
         # Hit/miss counts are only meaningful for records that actually

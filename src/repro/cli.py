@@ -15,7 +15,7 @@ Sub-commands
 ``verify``
     Check a previously built emulator against its graph.
 ``experiments``
-    Run the experiment suite (E1-E17) and print the result tables.
+    Run the experiment suite (E1-E18) and print the result tables.
 ``sweep``
     Run a config-driven product x method x parameter grid through the
     facade and print one table row per build.
@@ -48,8 +48,10 @@ Sub-commands
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
-from typing import List, Optional, Tuple
+import threading
+from typing import Any, List, Optional, Tuple
 
 from repro.analysis.validation import verify_emulator
 from repro.api import (
@@ -213,7 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--sample-pairs", type=int, default=None,
                         help="check only this many sampled pairs (default: all pairs)")
 
-    experiments = subparsers.add_parser("experiments", help="run the E1-E17 experiment suite")
+    experiments = subparsers.add_parser("experiments", help="run the E1-E18 experiment suite")
     experiments.add_argument("--only", choices=available_experiments(), default=None,
                              help="run a single experiment")
     experiments.add_argument("--full", action="store_true",
@@ -300,6 +302,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve_daemon.add_argument("--warmup-sources", type=int, default=None,
                               help="how many profile sources to preload "
                                    "(default: up to the memo bound)")
+    serve_daemon.add_argument("--max-inflight", type=int, default=None,
+                              help="admission bound: past this many concurrent "
+                                   "requests new ones are shed with 503 + "
+                                   "Retry-After (default: unbounded)")
+    serve_daemon.add_argument("--deadline-ms", type=float, default=None,
+                              help="per-request deadline in milliseconds; overruns "
+                                   "answer 504 (clients may ask for less via the "
+                                   "'deadline_ms' request field)")
     serve_daemon.add_argument("--verbose", action="store_true",
                               help="log every HTTP request to stderr")
 
@@ -579,13 +589,18 @@ def _command_bench_serve(args: argparse.Namespace) -> int:
 
 
 def _command_serve_daemon(args: argparse.Namespace) -> int:
+    hardening = {
+        "max_inflight": args.max_inflight,
+        "default_deadline_ms": args.deadline_ms,
+    }
     if args.config:
         daemon = OracleDaemon.from_config(
             DaemonConfig.from_file(args.config),
-            host=args.host, port=args.port, verbose=args.verbose,
+            host=args.host, port=args.port, verbose=args.verbose, **hardening,
         )
     else:
-        daemon = OracleDaemon(host=args.host, port=args.port, verbose=args.verbose)
+        daemon = OracleDaemon(host=args.host, port=args.port, verbose=args.verbose,
+                              **hardening)
         profile = (WorkloadProfile.load(args.warmup_profile)
                    if args.warmup_profile else None)
         daemon.add_oracle(
@@ -595,18 +610,42 @@ def _command_serve_daemon(args: argparse.Namespace) -> int:
             warmup_profile=profile,
             warmup_sources=args.warmup_sources,
         )
-    with daemon:
-        for name, meta in daemon.healthz()["oracles"].items():
-            print(f"oracle {name!r}: {meta['backend']} "
-                  f"({meta['num_vertices']} vertices, "
-                  f"{meta['space_in_edges']} stored edges, "
-                  f"{meta['warmed_sources']} warmed source(s))")
-        # Scripts (the CI smoke step) scrape this line for the ephemeral port.
-        print(f"daemon listening on {daemon.url}", flush=True)
-        try:
-            daemon.serve_forever()
-        except KeyboardInterrupt:
-            print("interrupted; shutting down", file=sys.stderr)
+    # SIGTERM (the orchestrator's stop signal) drains gracefully: refuse
+    # new work, finish in-flight requests, then exit cleanly.  The drain
+    # runs on its own thread because ``drain()`` joins the serve thread,
+    # and a signal handler runs *on* the main thread only — the handler
+    # just kicks it off and lets ``serve_forever`` unblock.
+    drainer: List[threading.Thread] = []
+
+    def _on_sigterm(signum: int, frame: Any) -> None:
+        print("SIGTERM; draining", file=sys.stderr)
+        thread = threading.Thread(target=daemon.drain, name="daemon-drain")
+        drainer.append(thread)
+        thread.start()
+
+    previous_handler = None
+    try:
+        previous_handler = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # not on the main thread (embedded use): skip the hook
+        pass
+    try:
+        with daemon:
+            for name, meta in daemon.healthz()["oracles"].items():
+                print(f"oracle {name!r}: {meta['backend']} "
+                      f"({meta['num_vertices']} vertices, "
+                      f"{meta['space_in_edges']} stored edges, "
+                      f"{meta['warmed_sources']} warmed source(s))")
+            # Scripts (the CI smoke step) scrape this line for the ephemeral port.
+            print(f"daemon listening on {daemon.url}", flush=True)
+            try:
+                daemon.serve_forever()
+            except KeyboardInterrupt:
+                print("interrupted; shutting down", file=sys.stderr)
+            for thread in drainer:
+                thread.join(timeout=60.0)
+    finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGTERM, previous_handler)
     return 0
 
 

@@ -1,0 +1,231 @@
+"""Experiment E18 — availability under a deterministic fault schedule.
+
+E16/E17 measure the serving stack's cost and freshness when everything
+works; E18 measures what it *keeps delivering* when things break.  One
+seeded fault schedule (:mod:`repro.faults`) drives three phases against
+the hardened stack:
+
+* **baseline** — the daemon, fault-free: every request answers, every
+  answer is checked against BFS ground truth;
+* **overload** — a concurrent burst against a small admission bound
+  while every ``/query`` is slowed by an injected delay: admitted
+  requests still answer *correctly*, the rest shed with
+  ``503 + Retry-After``, and the daemon reports healthy again once the
+  burst passes (measured as the recovery time);
+* **rebuild-crash** — a live engine whose background rebuild is crashed
+  by the plan: tagged queries keep answering on the last good version
+  throughout, and the capped-backoff retry loop restores a fresh
+  version (measured as the recovery time).
+
+The table reports, per phase: requests, answered, shed, availability
+(answered / requests), wrong answers (always 0 — faults cost
+availability, never correctness), and recovery seconds.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.experiments.workloads import Workload, workload_by_name
+from repro.faults import fault_plan
+from repro.graphs.shortest_paths import bfs_distances
+from repro.serve import OracleDaemon, ServeSpec
+from repro.serve.live import LiveEngine
+
+__all__ = ["FaultsRow", "run_faults_experiment", "format_faults_table"]
+
+
+@dataclass
+class FaultsRow:
+    """One row of the E18 table (one phase of the fault schedule)."""
+
+    phase: str
+    requests: int
+    answered: int
+    shed: int
+    wrong_answers: int
+    availability: float
+    recovery_seconds: float
+
+
+def _post_query(host: str, port: int, u: int, v: int) -> Tuple[int, Optional[float]]:
+    """One raw ``/query`` round trip -> (status, answer or None)."""
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        connection.request("POST", "/query",
+                           body=json.dumps({"u": u, "v": v}).encode(),
+                           headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        body = json.loads(response.read())
+        if response.status != 200:
+            return response.status, None
+        answer = body["answer"]
+        return 200, float("inf") if answer is None else float(answer)
+    finally:
+        connection.close()
+
+
+def _exact(cache: Dict[int, Dict[int, int]], graph, u: int, v: int) -> float:
+    if u not in cache:
+        cache[u] = bfs_distances(graph, u)
+    return cache[u].get(v, float("inf"))
+
+
+def _baseline_phase(daemon: OracleDaemon, workload: Workload,
+                    pairs: List[Tuple[int, int]]) -> FaultsRow:
+    exact_cache: Dict[int, Dict[int, int]] = {}
+    answered = wrong = 0
+    for u, v in pairs:
+        status, answer = _post_query(daemon.host, daemon.port, u, v)
+        if status == 200:
+            answered += 1
+            if answer != _exact(exact_cache, workload.graph, u, v):
+                wrong += 1
+    return FaultsRow(
+        phase="baseline", requests=len(pairs), answered=answered,
+        shed=len(pairs) - answered, wrong_answers=wrong,
+        availability=answered / max(1, len(pairs)), recovery_seconds=0.0,
+    )
+
+
+def _overload_phase(daemon: OracleDaemon, workload: Workload,
+                    pairs: List[Tuple[int, int]], *, seed: int,
+                    threads: int) -> FaultsRow:
+    plan = {"seed": seed,
+            "rules": [{"site": "daemon.request", "action": "delay",
+                       "delay_seconds": 0.02, "where": {"endpoint": "/query"}}]}
+    exact_cache: Dict[int, Dict[int, int]] = {}
+    outcomes: List[Tuple[int, int, int, Optional[float]]] = []
+    lock = threading.Lock()
+
+    def client(worker: int) -> None:
+        for u, v in pairs[worker::threads]:
+            status, answer = _post_query(daemon.host, daemon.port, u, v)
+            with lock:
+                outcomes.append((u, v, status, answer))
+
+    with fault_plan(plan):
+        workers = [threading.Thread(target=client, args=(i,))
+                   for i in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        burst_over = time.perf_counter()
+        while daemon.healthz()["status"] != "healthy":
+            time.sleep(0.005)
+        recovery = time.perf_counter() - burst_over
+
+    answered = sum(1 for _, _, status, _ in outcomes if status == 200)
+    shed = sum(1 for _, _, status, _ in outcomes if status == 503)
+    wrong = sum(
+        1 for u, v, status, answer in outcomes
+        if status == 200 and answer != _exact(exact_cache, workload.graph, u, v)
+    )
+    return FaultsRow(
+        phase="overload", requests=len(outcomes), answered=answered,
+        shed=shed, wrong_answers=wrong,
+        availability=answered / max(1, len(outcomes)),
+        recovery_seconds=recovery,
+    )
+
+
+def _rebuild_crash_phase(workload: Workload, pairs: List[Tuple[int, int]], *,
+                         seed: int, crashes: int) -> FaultsRow:
+    plan = {"seed": seed,
+            "rules": [{"site": "live.rebuild", "action": "raise",
+                       "times": crashes}]}
+    spec = ServeSpec(live=True, live_rebuild_after=1, live_repair=False)
+    live = LiveEngine(workload.graph, spec,
+                      rebuild_retry_base=0.02, rebuild_retry_cap=0.1)
+    try:
+        emulator = live.raw_result.emulator
+        victim = next(edge for edge in sorted(workload.graph.edges())
+                      if not emulator.has_edge(*edge))
+        answered = wrong = 0
+        with fault_plan(plan):
+            crashed_at = time.perf_counter()
+            live.mutate(deletes=[victim])
+            by_version = {v.version: v for v in live.versions()}
+            graphs: Dict[int, object] = {}
+            exact_caches: Dict[int, Dict[int, Dict[int, int]]] = {}
+            for u, v in pairs:
+                answer = live.query_tagged(u, v)
+                answered += 1
+                if not answer.guaranteed:
+                    continue
+                version = by_version.get(answer.version)
+                if version is None:
+                    version = {v.version: v for v in live.versions()}[answer.version]
+                    by_version[answer.version] = version
+                if version.version not in graphs:
+                    graphs[version.version] = live.graph_at(version.watermark)
+                    exact_caches[version.version] = {}
+                exact = _exact(exact_caches[version.version],
+                               graphs[version.version], u, v)
+                if exact == float("inf"):
+                    ok = answer.value == float("inf")
+                else:
+                    ok = (answer.value >= exact - 1e-9
+                          and answer.value <= version.alpha * exact
+                          + version.beta + 1e-9)
+                if not ok:
+                    wrong += 1
+            live.quiesce(timeout=60.0)
+            recovery = time.perf_counter() - crashed_at
+        return FaultsRow(
+            phase="rebuild-crash", requests=len(pairs), answered=answered,
+            shed=0, wrong_answers=wrong,
+            availability=answered / max(1, len(pairs)),
+            recovery_seconds=recovery,
+        )
+    finally:
+        live.close()
+
+
+def run_faults_experiment(
+    workload: Optional[Workload] = None,
+    *,
+    num_queries: int = 200,
+    max_inflight: int = 4,
+    seed: int = 0,
+) -> Tuple[Workload, List[FaultsRow]]:
+    """Drive the three-phase fault schedule; return ``(workload, rows)``."""
+    if workload is None:
+        workload = workload_by_name("erdos-renyi", 96, seed=seed)
+    import random as _random
+    rng = _random.Random(seed)
+    n = workload.n
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(num_queries)]
+
+    rows: List[FaultsRow] = []
+    with OracleDaemon(port=0, max_inflight=max_inflight) as daemon:
+        daemon.add_oracle("default", workload.graph, ServeSpec(backend="exact"))
+        daemon.start()
+        rows.append(_baseline_phase(daemon, workload, pairs))
+        rows.append(_overload_phase(daemon, workload, pairs, seed=seed,
+                                    threads=4 * max_inflight))
+    rows.append(_rebuild_crash_phase(workload, pairs, seed=seed, crashes=2))
+    return workload, rows
+
+
+def format_faults_table(workload: Workload, rows: List[FaultsRow]) -> str:
+    """Render the E18 table."""
+    table = format_table(
+        ["phase", "requests", "answered", "shed", "wrong", "avail", "recovery_s"],
+        [[row.phase, row.requests, row.answered, row.shed, row.wrong_answers,
+          f"{row.availability:.3f}", f"{row.recovery_seconds:.3f}"]
+         for row in rows],
+        title=f"E18: availability under faults ({workload.name}, "
+              f"n={workload.n}, m={workload.m})",
+    )
+    return table + (
+        "\nfaults cost availability (shed requests, staleness), never "
+        "correctness: wrong answers stay 0 in every phase."
+    )

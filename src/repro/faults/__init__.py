@@ -1,0 +1,36 @@
+"""Deterministic fault injection (:mod:`repro.faults.injection`).
+
+Instrumented subsystems declare named fault points
+(``fault_point("live.rebuild")``); a seeded :class:`FaultPlan` — JSON,
+installed programmatically or via ``REPRO_FAULTS`` — decides which sites
+raise, delay, or corrupt bytes.  With no plan installed every call site
+is a zero-cost no-op.
+"""
+
+from repro.faults.injection import (
+    ENV_VAR,
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    clear_plan,
+    corrupt_bytes,
+    fault_plan,
+    fault_point,
+    install_plan,
+    plan_from_env,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "clear_plan",
+    "corrupt_bytes",
+    "fault_plan",
+    "fault_point",
+    "install_plan",
+    "plan_from_env",
+]

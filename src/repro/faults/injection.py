@@ -1,0 +1,394 @@
+"""Deterministic, seeded fault injection for the serving stack.
+
+The subsystems that must survive failure — the daemon, the live engine,
+the sweep executor, the remote client — are instrumented with named
+*fault points* (``fault_point("live.rebuild")``); a *fault plan* decides
+which of those sites misbehave, how, and when.  Plans are plain JSON
+(inline or in a file, installed programmatically or through the
+``REPRO_FAULTS`` environment variable), and every probabilistic decision
+is driven by a seeded per-rule RNG so a chaos run replays bit-for-bit.
+
+Disabled is the default and costs nothing: ``fault_point`` checks one
+module-level global and returns, mirroring the ``REPRO_OBS=0``
+discipline in :mod:`repro.obs.telemetry`.  With no plan installed the
+instrumented code paths are byte-identical to their un-instrumented
+behaviour.
+
+A plan looks like::
+
+    {
+      "seed": 7,
+      "rules": [
+        {"site": "live.rebuild", "action": "raise", "nth": 1, "times": 2},
+        {"site": "serve.single_source", "action": "delay",
+         "delay_seconds": 0.05, "probability": 0.25},
+        {"site": "sweep.cache.load", "action": "corrupt"},
+        {"site": "sweep.task", "action": "raise",
+         "where": {"product": "spanner"}}
+      ]
+    }
+
+Rule semantics:
+
+- ``site`` — exact fault-point name, or a prefix glob ``"live.*"``.
+- ``action`` — ``"raise"`` (raise :class:`FaultInjected`), ``"delay"``
+  (sleep ``delay_seconds`` then continue), or ``"corrupt"`` (flip bytes;
+  only fires at :func:`corrupt_bytes` call sites).
+- ``probability`` — per-hit trigger chance, decided by the rule's seeded
+  RNG (default 1.0).
+- ``nth`` — only trigger on the nth matching hit (1-based).
+- ``times`` — stop triggering after this many injections.
+- ``where`` — only hits whose call-site context matches every key
+  (compared as strings) are eligible; this is how a plan poisons one
+  spec of a sweep without touching its neighbours.
+
+Every injection increments ``repro_faults_injected_total{site=...}``
+through :mod:`repro.obs`, so chaos tests assert against the same
+``/metrics`` surface operators scrape.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro import obs
+
+__all__ = [
+    "FaultInjected",
+    "FaultRule",
+    "FaultPlan",
+    "fault_point",
+    "corrupt_bytes",
+    "install_plan",
+    "clear_plan",
+    "active_plan",
+    "fault_plan",
+    "plan_from_env",
+]
+
+ENV_VAR = "REPRO_FAULTS"
+
+_ACTIONS = ("raise", "delay", "corrupt")
+
+
+class FaultInjected(RuntimeError):
+    """Raised by a fault point whose plan says this hit fails.
+
+    Carries the site name so hardened layers (and tests) can tell an
+    injected failure apart from an organic one.
+    """
+
+    def __init__(self, site: str, message: str = ""):
+        self.site = site
+        super().__init__(message or f"injected fault at {site!r}")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One entry of a fault plan: which site fails, how, and when."""
+
+    site: str
+    action: str = "raise"
+    probability: float = 1.0
+    nth: Optional[int] = None
+    times: Optional[int] = None
+    delay_seconds: float = 0.0
+    message: str = ""
+    where: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise ValueError("fault rule needs a non-empty site")
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; expected one of {_ACTIONS}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.nth is not None and self.nth < 1:
+            raise ValueError(f"nth is 1-based, got {self.nth}")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+        if self.delay_seconds < 0:
+            raise ValueError(f"delay_seconds must be >= 0, got {self.delay_seconds}")
+        object.__setattr__(
+            self, "where", {str(k): str(v) for k, v in dict(self.where).items()}
+        )
+
+    def matches_site(self, site: str) -> bool:
+        if self.site.endswith(".*"):
+            return site.startswith(self.site[:-1]) or site == self.site[:-2]
+        return site == self.site
+
+    def matches_context(self, context: Mapping[str, Any]) -> bool:
+        for key, expected in self.where.items():
+            if key not in context or str(context[key]) != expected:
+                return False
+        return True
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultRule":
+        if not isinstance(data, Mapping):
+            raise ValueError(f"fault rule must be an object, got {type(data).__name__}")
+        known = {"site", "action", "probability", "nth", "times",
+                 "delay_seconds", "message", "where"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault rule key(s) {sorted(unknown)}; known: {sorted(known)}"
+            )
+        return cls(
+            site=str(data.get("site", "")),
+            action=str(data.get("action", "raise")),
+            probability=float(data.get("probability", 1.0)),
+            nth=None if data.get("nth") is None else int(data["nth"]),
+            times=None if data.get("times") is None else int(data["times"]),
+            delay_seconds=float(data.get("delay_seconds", 0.0)),
+            message=str(data.get("message", "")),
+            where=data.get("where") or {},
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"site": self.site, "action": self.action}
+        if self.probability != 1.0:
+            out["probability"] = self.probability
+        if self.nth is not None:
+            out["nth"] = self.nth
+        if self.times is not None:
+            out["times"] = self.times
+        if self.delay_seconds:
+            out["delay_seconds"] = self.delay_seconds
+        if self.message:
+            out["message"] = self.message
+        if self.where:
+            out["where"] = dict(self.where)
+        return out
+
+
+class _RuleState:
+    """Mutable per-rule runtime state: hit/injection counters and RNG.
+
+    The RNG is seeded from ``(plan seed, rule index, site)`` so the same
+    plan replays identically regardless of what other rules do.
+    """
+
+    __slots__ = ("rule", "hits", "injected", "rng")
+
+    def __init__(self, rule: FaultRule, seed: int, index: int):
+        self.rule = rule
+        self.hits = 0
+        self.injected = 0
+        self.rng = random.Random(f"{seed}:{index}:{rule.site}")
+
+    def decide(self) -> bool:
+        """Count one matching hit; return whether this hit injects."""
+        self.hits += 1
+        rule = self.rule
+        if rule.times is not None and self.injected >= rule.times:
+            return False
+        if rule.nth is not None and self.hits != rule.nth:
+            return False
+        if rule.probability < 1.0 and self.rng.random() >= rule.probability:
+            return False
+        self.injected += 1
+        return True
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultRule`\\ s plus their runtime state."""
+
+    def __init__(self, rules: Sequence[FaultRule] = (), seed: int = 0):
+        self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._states = [_RuleState(rule, self.seed, i)
+                        for i, rule in enumerate(self.rules)]
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Union[Mapping[str, Any], Sequence[Any]]) -> "FaultPlan":
+        """Build a plan from parsed JSON (an object, or a bare rule list)."""
+        if isinstance(data, Mapping):
+            known = {"seed", "rules"}
+            unknown = set(data) - known
+            if unknown:
+                raise ValueError(
+                    f"unknown fault plan key(s) {sorted(unknown)}; known: {sorted(known)}"
+                )
+            seed = int(data.get("seed", 0))
+            raw_rules = data.get("rules", [])
+        elif isinstance(data, Sequence) and not isinstance(data, (str, bytes)):
+            seed, raw_rules = 0, data
+        else:
+            raise ValueError(
+                f"fault plan must be an object or a rule list, got {type(data).__name__}"
+            )
+        return cls([FaultRule.from_dict(r) for r in raw_rules], seed=seed)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"fault plan is not valid JSON: {error}") from error
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path: Union[str, "os.PathLike[str]"]) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "rules": [r.to_dict() for r in self.rules]}
+
+    # -- runtime -------------------------------------------------------
+
+    def visit(self, site: str, context: Mapping[str, Any]) -> None:
+        """Run the raise/delay rules matching one fault-point hit."""
+        delay = 0.0
+        raised: Optional[FaultInjected] = None
+        with self._lock:
+            for state in self._states:
+                rule = state.rule
+                if rule.action == "corrupt":
+                    continue  # corrupt rules fire only through corrupt_bytes()
+                if not rule.matches_site(site) or not rule.matches_context(context):
+                    continue
+                if not state.decide():
+                    continue
+                obs.inc("repro_faults_injected_total",
+                        help="Faults injected by the active fault plan.", site=site)
+                if rule.action == "delay":
+                    delay += rule.delay_seconds
+                elif raised is None:
+                    raised = FaultInjected(site, rule.message)
+        if delay > 0:
+            time.sleep(delay)
+        if raised is not None:
+            raise raised
+
+    def corrupt(self, site: str, data: bytes, context: Mapping[str, Any]) -> bytes:
+        """Run the corrupt rules matching one byte-stream site."""
+        triggered = False
+        with self._lock:
+            for state in self._states:
+                rule = state.rule
+                if rule.action != "corrupt":
+                    continue
+                if not rule.matches_site(site) or not rule.matches_context(context):
+                    continue
+                if not state.decide():
+                    continue
+                obs.inc("repro_faults_injected_total",
+                        help="Faults injected by the active fault plan.", site=site)
+                triggered = True
+        if not triggered or not data:
+            return data
+        # Flip one bit in the middle of the payload: enough to break any
+        # checksum or unpickle, deterministic for a given payload length.
+        corrupted = bytearray(data)
+        corrupted[len(corrupted) // 2] ^= 0xFF
+        return bytes(corrupted)
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-site ``{"hits": ..., "injected": ...}`` counters."""
+        out: Dict[str, Dict[str, int]] = {}
+        with self._lock:
+            for state in self._states:
+                entry = out.setdefault(state.rule.site, {"hits": 0, "injected": 0})
+                entry["hits"] += state.hits
+                entry["injected"] += state.injected
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan(rules={len(self.rules)}, seed={self.seed})"
+
+
+# -- global installation ----------------------------------------------
+
+_PLAN: Optional[FaultPlan] = None
+
+
+def plan_from_env(value: Optional[str] = None) -> Optional[FaultPlan]:
+    """Parse ``REPRO_FAULTS``: inline JSON, ``@path``, or a bare path."""
+    raw = os.environ.get(ENV_VAR, "") if value is None else value
+    raw = raw.strip()
+    if not raw or raw == "0":
+        return None
+    if raw.startswith("@"):
+        return FaultPlan.from_file(raw[1:])
+    if raw[0] in "{[":
+        return FaultPlan.from_json(raw)
+    return FaultPlan.from_file(raw)
+
+
+def install_plan(plan: Optional[FaultPlan]) -> None:
+    """Install ``plan`` globally (``None`` disables injection)."""
+    global _PLAN
+    _PLAN = plan
+
+
+def clear_plan() -> None:
+    """Disable fault injection."""
+    install_plan(None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently installed plan, or ``None``."""
+    return _PLAN
+
+
+@contextmanager
+def fault_plan(plan: Union[FaultPlan, Mapping[str, Any], Sequence[Any], str, None]) -> Iterator[Optional[FaultPlan]]:
+    """Install a plan for the duration of a ``with`` block.
+
+    Accepts a :class:`FaultPlan`, parsed-JSON data, a JSON string, or
+    ``None``; restores the previous plan on exit.
+    """
+    if plan is None or isinstance(plan, FaultPlan):
+        resolved = plan
+    elif isinstance(plan, str):
+        resolved = FaultPlan.from_json(plan)
+    else:
+        resolved = FaultPlan.from_dict(plan)
+    previous = _PLAN
+    install_plan(resolved)
+    try:
+        yield resolved
+    finally:
+        install_plan(previous)
+
+
+def fault_point(site: str, **context: Any) -> None:
+    """Declare a named failure site; a no-op unless a plan targets it.
+
+    The disabled path is one global load and a falsy check — the same
+    discipline as ``REPRO_OBS=0`` telemetry call sites.
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    plan.visit(site, context)
+
+
+def corrupt_bytes(site: str, data: bytes, **context: Any) -> bytes:
+    """Pass a byte payload through the plan's corrupt rules for ``site``."""
+    plan = _PLAN
+    if plan is None:
+        return data
+    return plan.corrupt(site, data, context)
+
+
+# Honour REPRO_FAULTS at import so daemons / CI smokes / worker
+# processes pick the plan up without code changes.  A malformed value is
+# a loud configuration error, not something to swallow.
+if os.environ.get(ENV_VAR):
+    install_plan(plan_from_env())

@@ -55,10 +55,12 @@ import json
 import socket
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
+from repro.faults import fault_point
 from repro.graphs.graph import Graph
 from repro.obs import (
     LATENCY_BUCKETS_MS,
@@ -79,14 +81,58 @@ from repro.serve.workloads import WorkloadProfile
 __all__ = [
     "CoalescingEngine",
     "DaemonConfig",
+    "DeadlineExceeded",
     "LATENCY_BUCKETS_MS",
     "OracleConfig",
     "OracleDaemon",
+    "check_deadline",
+    "deadline_scope",
     "from_wire",
+    "remaining_time",
     "to_wire",
 ]
 
 _INF = float("inf")
+
+
+# ----------------------------------------------------------------------
+# Per-request deadlines
+# ----------------------------------------------------------------------
+class DeadlineExceeded(RuntimeError):
+    """A request overran its deadline (server default or client-supplied)."""
+
+
+_DEADLINE = threading.local()
+
+
+@contextmanager
+def deadline_scope(seconds: Optional[float]) -> Iterator[None]:
+    """Bound the calling thread's work to ``seconds`` (``None`` = unbounded).
+
+    The scope is thread-local: the daemon wraps each request handler in
+    one, and the engine's wait/loop points call :func:`check_deadline` /
+    :func:`remaining_time` so a request past its budget fails fast with
+    :class:`DeadlineExceeded` instead of holding a handler thread.
+    """
+    previous = getattr(_DEADLINE, "at", None)
+    _DEADLINE.at = None if seconds is None else time.monotonic() + seconds
+    try:
+        yield
+    finally:
+        _DEADLINE.at = previous
+
+
+def remaining_time() -> Optional[float]:
+    """Seconds left in the calling thread's deadline scope (``None`` = unbounded)."""
+    at = getattr(_DEADLINE, "at", None)
+    return None if at is None else at - time.monotonic()
+
+
+def check_deadline() -> None:
+    """Raise :class:`DeadlineExceeded` if the thread's deadline has passed."""
+    remaining = remaining_time()
+    if remaining is not None and remaining <= 0:
+        raise DeadlineExceeded("request deadline exceeded")
 
 
 def to_wire(value: float) -> Optional[float]:
@@ -228,6 +274,7 @@ class CoalescingEngine:
                 continue
             dist = maps.get(u)
             if dist is None:
+                check_deadline()
                 dist = self._distances_from(u)
                 maps[u] = dist
             answers.append(dist.get(v, _INF))
@@ -242,6 +289,7 @@ class CoalescingEngine:
     # Internal
     # ------------------------------------------------------------------
     def _distances_from(self, source: int) -> Dict[int, float]:
+        check_deadline()
         with self._lock:
             cached = self._engine.lookup(source)
             if cached is not None:
@@ -255,7 +303,12 @@ class CoalescingEngine:
                 waiter = self._inflight[source] = _InFlight()
                 is_leader = True
         if not is_leader:
-            waiter.done.wait()
+            # A follower with a deadline waits only as long as its budget
+            # allows — a wedged leader must not pile up handler threads.
+            if not waiter.done.wait(remaining_time()):
+                raise DeadlineExceeded(
+                    f"deadline expired waiting on in-flight source {source}"
+                )
             if waiter.error is not None:
                 raise waiter.error
             assert waiter.result is not None
@@ -263,6 +316,7 @@ class CoalescingEngine:
         # Leader: the expensive backend call runs outside the lock, so
         # queries for other sources are answered meanwhile.
         try:
+            fault_point("serve.single_source", source=source)
             with span("serve.single_source", source=source):
                 dist = self._oracle.single_source(source)
         except BaseException as error:
@@ -434,7 +488,15 @@ class OracleDaemon:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
-                 verbose: bool = False) -> None:
+                 verbose: bool = False, max_inflight: Optional[int] = None,
+                 default_deadline_ms: Optional[float] = None,
+                 retry_after_seconds: float = 1.0) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ValueError(
+                f"default_deadline_ms must be > 0, got {default_deadline_ms}"
+            )
         self._server = _DaemonServer((host, port), _DaemonHandler)
         self._server.repro_daemon = self  # type: ignore[attr-defined]
         self._entries: Dict[str, _OracleEntry] = {}
@@ -442,10 +504,19 @@ class OracleDaemon:
         self._thread: Optional[threading.Thread] = None
         self._serving = False
         self._closed = False
+        self._draining = False
         self._started_at = time.time()
         self._counter_lock = threading.Lock()
         self._conn_lock = threading.Lock()
         self._connections: set = set()
+        self._lifecycle_lock = threading.Lock()
+        self._max_inflight = max_inflight
+        self._default_deadline_ms = default_deadline_ms
+        self.retry_after_seconds = float(retry_after_seconds)
+        self._inflight_cond = threading.Condition()
+        self._inflight_requests = 0
+        self.shed_requests = 0
+        self.deadline_exceeded = 0
         # The histogram instance works standalone (it feeds ``/stats``
         # even with telemetry disabled); registering it only makes it
         # scrapable at ``/metrics``.
@@ -521,9 +592,15 @@ class OracleDaemon:
 
     @classmethod
     def from_config(cls, config: DaemonConfig, *, host: str = "127.0.0.1",
-                    port: int = 0, verbose: bool = False) -> "OracleDaemon":
+                    port: int = 0, verbose: bool = False,
+                    max_inflight: Optional[int] = None,
+                    default_deadline_ms: Optional[float] = None,
+                    retry_after_seconds: float = 1.0) -> "OracleDaemon":
         """Build a daemon with every oracle of ``config`` loaded and warmed."""
-        daemon = cls(host=host, port=port, verbose=verbose)
+        daemon = cls(host=host, port=port, verbose=verbose,
+                     max_inflight=max_inflight,
+                     default_deadline_ms=default_deadline_ms,
+                     retry_after_seconds=retry_after_seconds)
         try:
             for name, oracle_config in config.oracles.items():
                 profile = (WorkloadProfile.load(oracle_config.warmup_profile)
@@ -577,10 +654,32 @@ class OracleDaemon:
         return self._entries[name].engine
 
     def healthz(self) -> Dict[str, Any]:
-        """The ``GET /healthz`` payload (liveness + per-oracle metadata)."""
+        """The ``GET /healthz`` payload (liveness + health state + metadata).
+
+        ``ok`` is pure liveness (the daemon answered); ``status`` grades
+        it: ``"healthy"``, ``"degraded"`` (a live oracle's background
+        rebuild is failing, or admission is saturated and shedding), or
+        ``"draining"`` (graceful shutdown in progress).  Deployments page
+        on ``degraded`` and de-pool on ``draining``; ``ok`` alone only
+        feeds dumb TCP health checks.
+        """
+        with self._inflight_cond:
+            inflight = self._inflight_requests
+            draining = self._draining
+        saturated = (self._max_inflight is not None
+                     and inflight >= self._max_inflight)
+        degraded = saturated or any(
+            getattr(entry.engine, "degraded", False)
+            for entry in self._entries.values()
+        )
+        status = "draining" if draining else ("degraded" if degraded else "healthy")
         return {
             "ok": True,
+            "status": status,
             "uptime_seconds": time.time() - self._started_at,
+            "inflight_requests": inflight,
+            "max_inflight": self._max_inflight,
+            "shed_requests": self.shed_requests,
             "default_oracle": self._default_name,
             "oracles": {
                 name: self._oracle_healthz(entry)
@@ -605,6 +704,7 @@ class OracleDaemon:
             version = entry.engine.version
             info["version"] = version.version
             info["staleness"] = entry.engine.staleness
+            info["degraded"] = bool(getattr(entry.engine, "degraded", False))
         return info
 
     def stats(self) -> Dict[str, Any]:
@@ -613,6 +713,10 @@ class OracleDaemon:
             daemon_stats = {
                 "requests": self.requests,
                 "request_errors": self.request_errors,
+                "shed_requests": self.shed_requests,
+                "deadline_exceeded": self.deadline_exceeded,
+                "max_inflight": self._max_inflight,
+                "draining": self._draining,
                 "uptime_seconds": time.time() - self._started_at,
             }
         daemon_stats["latency_ms"] = self._histogram.snapshot()
@@ -679,18 +783,74 @@ class OracleDaemon:
             self._serving = False
 
     def close(self) -> None:
-        """Stop serving, release the socket, and close every engine."""
-        if self._closed:
-            return
-        self._closed = True
-        remove_collector(self._collect_engine_metrics)
-        if self._serving:
-            self._server.shutdown()
-            self._serving = False
-        # ``shutdown()`` only stops *accepting*; keep-alive clients hold
-        # open connections whose handler threads would keep answering.  A
-        # closed daemon must look dead to them, so sever every tracked
-        # connection (clients see a transport error, as with a real kill).
+        """Stop serving *abruptly*, release the socket, and close every engine.
+
+        In-flight requests are cut off mid-stream (clients see transport
+        errors, as with a real kill); :meth:`drain` is the graceful
+        SIGTERM-style alternative.
+        """
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+            remove_collector(self._collect_engine_metrics)
+            if self._serving:
+                self._server.shutdown()
+                self._serving = False
+            # ``shutdown()`` only stops *accepting*; keep-alive clients hold
+            # open connections whose handler threads would keep answering.  A
+            # closed daemon must look dead to them, so sever every tracked
+            # connection (clients see a transport error, as with a real kill).
+            self._sever_connections()
+            if self._thread is not None:
+                self._thread.join(timeout=5.0)
+                self._thread = None
+            self._server.server_close()
+            for entry in self._entries.values():
+                entry.engine.close()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Graceful shutdown: finish in-flight work, then close cleanly.
+
+        The SIGTERM path (the CLI wires it up): new connections are
+        refused immediately and new requests on existing keep-alive
+        connections get ``503``, while requests already admitted run to
+        completion (up to ``timeout`` seconds).  Idle keep-alive clients
+        then observe a clean EOF — a FIN after a fully delivered
+        response, never a mid-stream cut.  Returns ``True`` when every
+        in-flight request finished inside the timeout.
+        """
+        with self._lifecycle_lock:
+            if self._closed:
+                return True
+            with self._inflight_cond:
+                self._draining = True
+            if self._serving:
+                self._server.shutdown()
+                self._serving = False
+            # Refuse new connections while existing handlers finish.
+            self._server.server_close()
+            deadline = time.monotonic() + timeout
+            with self._inflight_cond:
+                while self._inflight_requests > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._inflight_cond.wait(remaining)
+                drained = self._inflight_requests == 0
+            self._closed = True
+            remove_collector(self._collect_engine_metrics)
+            # Every admitted response has been written (or the timeout
+            # hit): severing now sends idle keep-alive clients a clean FIN.
+            self._sever_connections()
+            if self._thread is not None:
+                self._thread.join(timeout=5.0)
+                self._thread = None
+            for entry in self._entries.values():
+                entry.engine.close()
+            return drained
+
+    def _sever_connections(self) -> None:
         with self._conn_lock:
             connections = list(self._connections)
             self._connections.clear()
@@ -703,12 +863,6 @@ class OracleDaemon:
                 connection.close()
             except OSError:
                 pass
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
-        self._server.server_close()
-        for entry in self._entries.values():
-            entry.engine.close()
 
     def __enter__(self) -> "OracleDaemon":
         return self
@@ -731,6 +885,60 @@ class OracleDaemon:
         if not ok:
             inc("repro_daemon_request_errors_total", endpoint=endpoint, oracle=oracle,
                 help="Daemon HTTP requests answered with an error status")
+
+    def _try_admit(self) -> Tuple[bool, str]:
+        """Admit one query/mutate request, or name the shed reason.
+
+        Admission is a hard bound, not a queue: past ``max_inflight``
+        concurrent requests (or while draining) the caller sheds with
+        ``503 + Retry-After`` instead of parking another handler thread.
+        ``GET`` endpoints bypass admission — ``/healthz`` and ``/metrics``
+        are exactly what an operator needs *during* an overload.
+        """
+        with self._inflight_cond:
+            if self._draining or self._closed:
+                reason = "draining"
+            elif (self._max_inflight is not None
+                    and self._inflight_requests >= self._max_inflight):
+                reason = "overload"
+            else:
+                self._inflight_requests += 1
+                return True, ""
+        with self._counter_lock:
+            self.shed_requests += 1
+        inc("repro_daemon_shed_total", reason=reason,
+            help="Requests shed with 503 by admission control")
+        return False, reason
+
+    def _begin_request(self) -> None:
+        """Track a non-admission-controlled (GET) request for drain."""
+        with self._inflight_cond:
+            self._inflight_requests += 1
+
+    def _end_request(self) -> None:
+        with self._inflight_cond:
+            self._inflight_requests -= 1
+            self._inflight_cond.notify_all()
+
+    def _record_deadline_exceeded(self, endpoint: str) -> None:
+        with self._counter_lock:
+            self.deadline_exceeded += 1
+        inc("repro_daemon_deadline_exceeded_total", endpoint=endpoint,
+            help="Requests that overran their deadline and were answered 504")
+
+    def _effective_deadline(self, requested_ms: Any) -> Optional[float]:
+        """The request's deadline in seconds: min(server default, client ask)."""
+        deadline_ms = self._default_deadline_ms
+        if requested_ms is not None:
+            if (isinstance(requested_ms, bool)
+                    or not isinstance(requested_ms, (int, float))
+                    or requested_ms <= 0):
+                raise ValueError(
+                    f"field 'deadline_ms' must be a positive number, got {requested_ms!r}"
+                )
+            deadline_ms = (float(requested_ms) if deadline_ms is None
+                           else min(deadline_ms, float(requested_ms)))
+        return None if deadline_ms is None else deadline_ms / 1000.0
 
     def _track_connection(self, connection: Any) -> None:
         with self._conn_lock:
@@ -826,21 +1034,25 @@ class _DaemonHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:
         started = time.perf_counter()
-        with span("daemon.request", endpoint=self.path):
-            if self.path == "/metrics":
-                # Prometheus scrape: text exposition, not the JSON frame.
-                self._respond_text(200, self.daemon.metrics_text(), started)
-                return
-            try:
-                if self.path == "/healthz":
-                    code, payload = 200, self.daemon.healthz()
-                elif self.path == "/stats":
-                    code, payload = 200, self.daemon.stats()
-                else:
-                    code, payload = 404, {"error": f"unknown path {self.path!r}"}
-            except Exception as error:  # pragma: no cover - defensive
-                code, payload = 500, {"error": str(error)}
-            self._respond(code, payload, started)
+        self.daemon._begin_request()
+        try:
+            with span("daemon.request", endpoint=self.path):
+                if self.path == "/metrics":
+                    # Prometheus scrape: text exposition, not the JSON frame.
+                    self._respond_text(200, self.daemon.metrics_text(), started)
+                    return
+                try:
+                    if self.path == "/healthz":
+                        code, payload = 200, self.daemon.healthz()
+                    elif self.path == "/stats":
+                        code, payload = 200, self.daemon.stats()
+                    else:
+                        code, payload = 404, {"error": f"unknown path {self.path!r}"}
+                except Exception as error:  # pragma: no cover - defensive
+                    code, payload = 500, {"error": str(error)}
+                self._respond(code, payload, started)
+        finally:
+            self.daemon._end_request()
 
     def do_POST(self) -> None:
         started = time.perf_counter()
@@ -857,21 +1069,49 @@ class _DaemonHandler(BaseHTTPRequestHandler):
                 else (404, {"error": f"unknown path {self.path!r}"})
             self._respond(code, payload, started)
             return
+        admitted, shed_reason = self.daemon._try_admit()
+        if not admitted:
+            # Drain the unread body so the keep-alive stream stays framed.
+            self._discard_body()
+            retry_after = self.daemon.retry_after_seconds
+            self._respond(
+                503,
+                {"error": f"request shed ({shed_reason})", "retry_after": retry_after},
+                started,
+                headers={"Retry-After": f"{retry_after:g}"},
+            )
+            # A draining daemon stops reading this connection after the 503.
+            if shed_reason == "draining":
+                self.close_connection = True
+            return
         oracle = ""
-        with span("daemon.request", endpoint=self.path) as request_span:
-            try:
-                body = self._read_json_body()
-                oracle = body.get("oracle") or self.daemon.default_oracle_name or ""
-                request_span.set(oracle=oracle)
-                engine = self.daemon.engine_for(body.get("oracle"))
-                code, payload = handler(engine, body)
-            except ValueError as error:
-                code, payload = 400, {"error": str(error)}
-            except KeyError as error:
-                code, payload = 404, {"error": error.args[0] if error.args else str(error)}
-            except Exception as error:  # pragma: no cover - defensive
-                code, payload = 500, {"error": str(error)}
-            self._respond(code, payload, started, oracle=oracle)
+        headers: Optional[Dict[str, str]] = None
+        try:
+            with span("daemon.request", endpoint=self.path) as request_span:
+                try:
+                    fault_point("daemon.request", endpoint=self.path)
+                    body = self._read_json_body()
+                    oracle = body.get("oracle") or self.daemon.default_oracle_name or ""
+                    request_span.set(oracle=oracle)
+                    engine = self.daemon.engine_for(body.get("oracle"))
+                    deadline = self.daemon._effective_deadline(body.get("deadline_ms"))
+                    with deadline_scope(deadline):
+                        code, payload = handler(engine, body)
+                except DeadlineExceeded as error:
+                    self.daemon._record_deadline_exceeded(self.path)
+                    retry_after = self.daemon.retry_after_seconds
+                    code, payload = 504, {"error": str(error),
+                                          "retry_after": retry_after}
+                    headers = {"Retry-After": f"{retry_after:g}"}
+                except ValueError as error:
+                    code, payload = 400, {"error": str(error)}
+                except KeyError as error:
+                    code, payload = 404, {"error": error.args[0] if error.args else str(error)}
+                except Exception as error:  # pragma: no cover - defensive
+                    code, payload = 500, {"error": str(error)}
+                self._respond(code, payload, started, oracle=oracle, headers=headers)
+        finally:
+            self.daemon._end_request()
 
     # Wrong-method probes on the query endpoints get 405, not a stack trace.
     def do_PUT(self) -> None:
@@ -932,11 +1172,11 @@ class _DaemonHandler(BaseHTTPRequestHandler):
                 "oracle is not live and accepts no mutations; serve it with "
                 "a live spec (ServeSpec(live=True) / `repro serve-daemon --live`)"
             )
-        unknown = set(body) - {"oracle", "inserts", "deletes", "wait"}
+        unknown = set(body) - {"oracle", "inserts", "deletes", "wait", "deadline_ms"}
         if unknown:
             raise ValueError(
                 f"unknown mutate keys {sorted(unknown)}; valid keys: "
-                "['deletes', 'inserts', 'oracle', 'wait']"
+                "['deadline_ms', 'deletes', 'inserts', 'oracle', 'wait']"
             )
         inserts = _pairs_field(body, "inserts", default=[])
         deletes = _pairs_field(body, "deletes", default=[])
@@ -958,6 +1198,17 @@ class _DaemonHandler(BaseHTTPRequestHandler):
         return 200, payload
 
     # ------------------------------------------------------------------
+    def _discard_body(self) -> None:
+        """Read and drop the request body (shed responses skip parsing)."""
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        if 0 < length <= self.MAX_BODY_BYTES:
+            self.rfile.read(length)
+        elif length > self.MAX_BODY_BYTES:
+            self.close_connection = True
+
     def _read_json_body(self) -> Dict[str, Any]:
         length = self.headers.get("Content-Length")
         try:
@@ -979,16 +1230,19 @@ class _DaemonHandler(BaseHTTPRequestHandler):
         return body
 
     def _respond(self, code: int, payload: Dict[str, Any], started: float,
-                 *, oracle: str = "") -> None:
+                 *, oracle: str = "",
+                 headers: Optional[Dict[str, str]] = None) -> None:
         self._write_response(code, json.dumps(payload).encode("utf-8"),
-                             "application/json", started, oracle=oracle)
+                             "application/json", started, oracle=oracle,
+                             headers=headers)
 
     def _respond_text(self, code: int, body: str, started: float) -> None:
         self._write_response(code, body.encode("utf-8"),
                              "text/plain; version=0.0.4; charset=utf-8", started)
 
     def _write_response(self, code: int, encoded: bytes, content_type: str,
-                        started: float, *, oracle: str = "") -> None:
+                        started: float, *, oracle: str = "",
+                        headers: Optional[Dict[str, str]] = None) -> None:
         # Record before writing: a client that has read its response (and
         # immediately asks /stats) must already see this request counted.
         self.daemon._record_request((time.perf_counter() - started) * 1000.0,
@@ -997,6 +1251,8 @@ class _DaemonHandler(BaseHTTPRequestHandler):
             self.send_response(code)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(encoded)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(encoded)
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover

@@ -71,8 +71,9 @@ from typing import (
     Tuple,
 )
 
+from repro.faults import fault_point
 from repro.graphs.graph import Graph
-from repro.obs import set_gauge, span
+from repro.obs import inc, set_gauge, span
 from repro.serve.daemon import CoalescingEngine
 from repro.serve.engine import QueryEngine
 from repro.serve.oracles import OracleBackend
@@ -421,6 +422,13 @@ class LiveEngine:
         The ``(graph, spec) -> QueryEngine`` factory each generation is
         built with; defaults to :func:`repro.serve.load`.  Tests inject a
         slowed loader to hold a rebuild open while queries run.
+    rebuild_retry_base, rebuild_retry_cap, rebuild_retry_limit:
+        Recovery policy for background rebuild failures: the engine keeps
+        serving the last good generation, re-arms the rebuild, and waits
+        ``min(cap, base * 2**(failures - 1))`` seconds before each retry.
+        After ``rebuild_retry_limit`` consecutive failures it stays
+        degraded (serving, ``stats()["live"]["degraded"]`` true) until a
+        new mutation or :meth:`quiesce` schedules a fresh attempt.
 
     With zero mutations the engine is a transparent wrapper: every query
     takes exactly the :class:`~repro.serve.engine.QueryEngine` path of a
@@ -429,6 +437,9 @@ class LiveEngine:
 
     def __init__(self, graph: Graph, spec: Optional[ServeSpec] = None, *,
                  coalesce: bool = False, loader: Optional[Any] = None,
+                 rebuild_retry_base: float = 0.05,
+                 rebuild_retry_cap: float = 2.0,
+                 rebuild_retry_limit: int = 4,
                  **params: Any) -> None:
         if spec is None:
             spec = ServeSpec(**dict(params, live=True))
@@ -452,6 +463,12 @@ class LiveEngine:
         self._rebuilding = False
         self._pending_forced = False
         self._rebuild_error: Optional[BaseException] = None
+        self._rebuild_retry_base = float(rebuild_retry_base)
+        self._rebuild_retry_cap = float(rebuild_retry_cap)
+        self._rebuild_retry_limit = int(rebuild_retry_limit)
+        self._consecutive_failures = 0
+        self._retry_delay = 0.0
+        self.rebuild_failures = 0
         self._version_counter = -1
         self._history: List[OracleVersion] = []
         self._retired: List[QueryEngine] = []
@@ -518,6 +535,12 @@ class LiveEngine:
         version = self._current().version
         assert version is not None
         return version
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the background rebuild is failing (the engine still serves)."""
+        with self._lock:
+            return self._rebuild_error is not None
 
     @property
     def applied_mutations(self) -> int:
@@ -591,6 +614,10 @@ class LiveEngine:
                 "rebuild_after": self._spec.live_rebuild_after,
                 "sync": self._spec.live_sync,
                 "repair_enabled": self._spec.live_repair,
+                "rebuild_failures": self.rebuild_failures,
+                "consecutive_rebuild_failures": self._consecutive_failures,
+                "degraded": self._rebuild_error is not None,
+                "retry_delay_seconds": self._retry_delay,
                 "rebuild_error": (None if self._rebuild_error is None
                                   else str(self._rebuild_error)),
                 "versions": [v.to_dict() for v in self._history],
@@ -721,15 +748,22 @@ class LiveEngine:
 
         If nothing is scheduled to absorb the backlog (staleness below the
         periodic threshold), a non-forced rebuild is scheduled so the wait
-        terminates.  Returns ``False`` on timeout; re-raises a background
-        rebuild failure as ``RuntimeError``.
+        terminates.  Returns ``False`` on timeout.  A background rebuild
+        failure with a retry still armed is waited through (the engine is
+        degraded but recovering); once retries are exhausted the failure
+        is re-raised here as ``RuntimeError``.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while True:
-                if self._rebuild_error is not None:
+                if (self._rebuild_error is not None
+                        and not self._rebuild_pending and not self._rebuilding):
                     error = self._rebuild_error
                     self._rebuild_error = None
+                    self._consecutive_failures = 0
+                    self._retry_delay = 0.0
+                    set_gauge("repro_live_degraded", 0.0,
+                              help="1 when the live engine's background rebuild is failing")
                     raise RuntimeError("background rebuild failed") from error
                 gen = self._gen
                 assert gen is not None and gen.version is not None
@@ -854,6 +888,14 @@ class LiveEngine:
                 self.rebuilds += 1
                 if forced:
                     self.forced_rebuilds += 1
+            if self._rebuild_error is not None or self._consecutive_failures:
+                # A successful install ends any failure streak: the engine
+                # is no longer degraded.
+                self._rebuild_error = None
+                self._consecutive_failures = 0
+                self._retry_delay = 0.0
+                set_gauge("repro_live_degraded", 0.0,
+                          help="1 when the live engine's background rebuild is failing")
         set_gauge("repro_live_generation", float(self._version_counter),
                   help="Version number of the serving generation")
         set_gauge("repro_live_staleness", float(len(self._ops) - watermark),
@@ -882,7 +924,12 @@ class LiveEngine:
                 and gen.version.repairs + len(inserts) <= MAX_STACKED_REPAIRS
             )
             if repairable:
-                repaired_gen = self._attempt_repair(gen, inserts)
+                try:
+                    repaired_gen = self._attempt_repair(gen, inserts)
+                except Exception:
+                    # A crashed repair (injected or organic) must not lose
+                    # the mutation: fall back to the forced-rebuild path.
+                    repaired_gen = None
                 if repaired_gen is not None:
                     self._install(
                         repaired_gen,
@@ -917,7 +964,15 @@ class LiveEngine:
         """Inline rebuild for sync mode (lock held; blocks the mutator only)."""
         snapshot = self._graph.copy()
         watermark = len(self._ops)
-        gen = self._build_generation(snapshot)
+        try:
+            fault_point("live.rebuild", watermark=watermark, sync=True)
+            gen = self._build_generation(snapshot)
+        except BaseException as error:
+            # Sync mode has no background thread to retry on: count the
+            # failure, mark the engine degraded, and let the mutator see
+            # the exception directly.
+            self._record_rebuild_failure(error, forced=forced, rearm=False)
+            raise
         self._install(gen, kind="rebuild", watermark=watermark,
                       forced=forced, repairs=0)
 
@@ -942,6 +997,13 @@ class LiveEngine:
                     self._cond.wait()
                 if self._closing:
                     return
+                if self._retry_delay > 0:
+                    # Capped exponential backoff before a retry; close()
+                    # and fresh mutations both interrupt the wait early.
+                    self._cond.wait(self._retry_delay)
+                    if self._closing:
+                        return
+                    self._retry_delay = 0.0
                 snapshot = self._graph.copy()
                 watermark = len(self._ops)
                 forced = self._pending_forced
@@ -949,12 +1011,12 @@ class LiveEngine:
                 self._pending_forced = False
                 self._rebuilding = True
             try:
+                fault_point("live.rebuild", watermark=watermark)
                 gen = self._build_generation(snapshot)
             except BaseException as error:
                 with self._cond:
                     self._rebuilding = False
-                    self._rebuild_error = error
-                    self._cond.notify_all()
+                    self._record_rebuild_failure(error, forced=forced, rearm=True)
                 continue
             with self._cond:
                 self._rebuilding = False
@@ -965,6 +1027,36 @@ class LiveEngine:
                               forced=forced, repairs=0)
                 # Mutations that arrived mid-build keep their own pending
                 # flag; nothing to re-arm here.
+
+    def _record_rebuild_failure(self, error: BaseException, *,
+                                forced: bool, rearm: bool) -> None:
+        """Count one rebuild failure and arm the retry (lock held).
+
+        The engine keeps serving the last good generation throughout; the
+        failure is visible immediately in ``stats()["live"]`` and on the
+        ``repro_live_degraded`` gauge — nobody has to call
+        :meth:`quiesce` to find out.  With ``rearm`` the pending flag is
+        set again so the background thread retries after a capped
+        exponential backoff; past ``rebuild_retry_limit`` consecutive
+        failures the engine stays degraded until new work arrives.
+        """
+        self.rebuild_failures += 1
+        self._consecutive_failures += 1
+        self._rebuild_error = error
+        inc("repro_live_rebuild_failures_total",
+            help="Background rebuild attempts that raised")
+        set_gauge("repro_live_degraded", 1.0,
+                  help="1 when the live engine's background rebuild is failing")
+        if rearm and self._consecutive_failures <= self._rebuild_retry_limit:
+            self._retry_delay = min(
+                self._rebuild_retry_cap,
+                self._rebuild_retry_base * (2 ** (self._consecutive_failures - 1)),
+            )
+            self._rebuild_pending = True
+            self._pending_forced = self._pending_forced or forced
+        else:
+            self._retry_delay = 0.0
+        self._cond.notify_all()
 
     def _attempt_repair(self, gen: _Generation,
                         inserts: List[Tuple[int, int]]) -> Optional[_Generation]:
@@ -991,6 +1083,7 @@ class LiveEngine:
                 return None
             plans.append((u, v, cluster))
         started = time.perf_counter()
+        fault_point("live.repair", inserts=len(plans))
         with span("live.repair", inserts=len(plans)):
             patched = gen.emulator.copy()
             for u, v, cluster in plans:

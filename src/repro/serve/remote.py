@@ -21,9 +21,18 @@ Transport behaviour:
   transport errors;
 * **timeouts and bounded retry** — every transport failure (connection
   refused, reset, timeout) is retried up to ``retries`` times with
-  exponential backoff (``backoff * 2**attempt`` seconds), after which a
-  typed :exc:`RemoteOracleError` is raised — a bare ``URLError`` or
+  *full-jitter* exponential backoff (attempt ``k`` sleeps a seeded-random
+  ``uniform(0, backoff * 2**(k-1))`` seconds, so a fleet of clients never
+  hammers a restarting daemon in lockstep), after which a typed
+  :exc:`RemoteOracleError` is raised — a bare ``URLError`` or
   ``ConnectionError`` never escapes a query;
+* **circuit breaker** — ``breaker_threshold`` consecutive *exhausted*
+  retry rounds open the breaker: further requests fail fast with
+  :exc:`CircuitOpenError` (no network, no sleep) until a jittered
+  ``breaker_reset`` window elapses, then one half-open probe either
+  closes it (success) or re-opens it (failure).  The state is exported on
+  the ``repro_remote_breaker_state`` gauge (0 closed / 1 open / 2
+  half-open);
 * **server-side errors stay typed** — a daemon 400 surfaces as
   :exc:`ValueError` and a 404 as :exc:`KeyError`, exactly what the
   in-process backends raise for the same mistakes, so protocol
@@ -38,28 +47,40 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import threading
 import time
 import urllib.parse
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro.faults import FaultInjected, fault_point
 from repro.graphs.graph import Graph
+from repro.obs import set_gauge
 from repro.serve.daemon import from_wire
 from repro.serve.live import GraphMutation, LiveAnswer
 from repro.serve.registry import register_oracle
 from repro.serve.spec import ServeSpec
 
-__all__ = ["RemoteOracle", "RemoteOracleError"]
+__all__ = ["CircuitOpenError", "RemoteOracle", "RemoteOracleError"]
 
 #: Transport-level failures worth retrying (the daemon may be restarting,
-#: the connection may have idled out).  HTTP-level errors are never here.
+#: the connection may have idled out).  HTTP-level errors are never here;
+#: injected ``remote.request`` faults are — they simulate exactly this class.
 _TRANSPORT_ERRORS = (ConnectionError, socket.timeout, socket.gaierror,
-                     http.client.HTTPException, TimeoutError, OSError)
+                     http.client.HTTPException, TimeoutError, OSError,
+                     FaultInjected)
+
+#: Numeric encoding of the breaker state on the Prometheus gauge.
+_BREAKER_GAUGE = {"closed": 0.0, "open": 1.0, "half_open": 2.0}
 
 
 class RemoteOracleError(RuntimeError):
     """A daemon could not be reached (or answered garbage) after bounded retries."""
+
+
+class CircuitOpenError(RemoteOracleError):
+    """Fast failure: the circuit breaker is open, no round trip was attempted."""
 
 
 class RemoteOracle:
@@ -78,8 +99,20 @@ class RemoteOracle:
         How many times a failed round trip is retried (so up to
         ``retries + 1`` attempts) before :exc:`RemoteOracleError`.
     backoff:
-        Base of the exponential retry backoff: attempt ``k`` sleeps
-        ``backoff * 2**k`` seconds first.
+        Base of the exponential retry backoff: attempt ``k`` sleeps a
+        seeded-random ``uniform(0, backoff * 2**(k-1))`` seconds first
+        (full jitter — a restarting daemon sees a spread-out herd).
+    seed:
+        Seeds the jitter RNG; ``None`` draws from the process RNG.  Tests
+        and chaos suites pin it for bit-for-bit replay.
+    breaker_threshold:
+        Consecutive *exhausted* retry rounds that open the circuit
+        breaker (``0`` disables it).  While open, requests raise
+        :exc:`CircuitOpenError` immediately — no connection attempt, no
+        backoff sleep — shielding both sides from a retry storm.
+    breaker_reset:
+        Seconds the breaker stays open (jittered to 50-100% of the value)
+        before one half-open probe is allowed through.
 
     The constructor performs one ``GET /healthz`` handshake (with the same
     retry policy) to validate the URL and cache the served oracle's
@@ -91,7 +124,9 @@ class RemoteOracle:
 
     def __init__(self, url: str, *, oracle: Optional[str] = None,
                  timeout: float = 10.0, retries: int = 3,
-                 backoff: float = 0.05) -> None:
+                 backoff: float = 0.05, seed: Optional[int] = None,
+                 breaker_threshold: int = 3,
+                 breaker_reset: float = 1.0) -> None:
         parsed = urllib.parse.urlsplit(url if "//" in url else f"http://{url}")
         if parsed.scheme not in ("http", ""):
             raise ValueError(f"remote oracle URLs must be http://, got {url!r}")
@@ -103,17 +138,31 @@ class RemoteOracle:
             raise ValueError(f"timeout must be positive, got {timeout}")
         if backoff < 0:
             raise ValueError(f"backoff must be non-negative, got {backoff}")
+        if breaker_threshold < 0:
+            raise ValueError(
+                f"breaker_threshold must be non-negative, got {breaker_threshold}"
+            )
+        if breaker_reset <= 0:
+            raise ValueError(f"breaker_reset must be positive, got {breaker_reset}")
         self._host = parsed.hostname
         self._port = parsed.port or 80
         self._oracle_name = oracle
         self._timeout = float(timeout)
         self._retries = int(retries)
         self._backoff = float(backoff)
+        self._rng = random.Random(seed)
+        self._breaker_threshold = int(breaker_threshold)
+        self._breaker_reset = float(breaker_reset)
+        self._breaker_state = "closed"
+        self._breaker_open_until = 0.0
+        self._consecutive_failures = 0
         self._lock = threading.Lock()
         self._connection: Optional[http.client.HTTPConnection] = None
         self.requests = 0
         self.retried_requests = 0
         self.reconnects = 0
+        self.breaker_opens = 0
+        self.fast_failures = 0
         self._metadata = self._handshake()
 
     # ------------------------------------------------------------------
@@ -173,6 +222,10 @@ class RemoteOracle:
             "requests": self.requests,
             "retried_requests": self.retried_requests,
             "reconnects": self.reconnects,
+            "breaker_state": self._breaker_state,
+            "breaker_opens": self.breaker_opens,
+            "fast_failures": self.fast_failures,
+            "consecutive_failures": self._consecutive_failures,
         }
 
     def daemon_stats(self) -> Dict[str, Any]:
@@ -336,23 +389,30 @@ class RemoteOracle:
 
     def _request(self, method: str, path: str,
                  body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-        """One JSON round trip with bounded exponential-backoff retries.
+        """One JSON round trip: breaker gate, jittered bounded retries.
 
         Transport failures retry; HTTP error statuses are mapped to the
         exception the equivalent local mistake raises (400 -> ValueError,
         404 -> KeyError) and are not retried — resending a malformed
-        request cannot fix it.
+        request cannot fix it.  Any HTTP answer counts as breaker success
+        (the daemon is reachable); only an exhausted retry round counts
+        as a breaker failure.
         """
         encoded = None if body is None else json.dumps(body).encode("utf-8")
         headers = {"Content-Type": "application/json"} if encoded else {}
         last_error: Optional[Exception] = None
         with self._lock:
             self.requests += 1
+            self._breaker_gate_locked(method, path)
             for attempt in range(self._retries + 1):
                 if attempt:
                     self.retried_requests += 1
-                    time.sleep(self._backoff * (2 ** (attempt - 1)))
+                    # Full jitter: sleep anywhere in [0, backoff * 2**(k-1)].
+                    time.sleep(self._rng.uniform(
+                        0.0, self._backoff * (2 ** (attempt - 1))
+                    ))
                 try:
+                    fault_point("remote.request", path=path, attempt=attempt)
                     connection = self._connection_locked()
                     connection.request(method, path, body=encoded, headers=headers)
                     response = connection.getresponse()
@@ -361,11 +421,57 @@ class RemoteOracle:
                     last_error = error
                     self._close_connection_locked()
                     continue
+                self._breaker_success_locked()
                 return self._decode_locked(response.status, raw, path)
+            self._breaker_failure_locked()
         raise RemoteOracleError(
             f"daemon at {self.url} unreachable after {self._retries + 1} attempt(s) "
             f"({method} {path}): {last_error!r}"
         ) from last_error
+
+    # ------------------------------------------------------------------
+    # Circuit breaker (all methods expect self._lock held)
+    # ------------------------------------------------------------------
+    def _breaker_gate_locked(self, method: str, path: str) -> None:
+        """Fast-fail while the breaker is open; admit one half-open probe."""
+        if self._breaker_threshold <= 0 or self._breaker_state == "closed":
+            return
+        if self._breaker_state == "open":
+            remaining = self._breaker_open_until - time.monotonic()
+            if remaining > 0:
+                self.fast_failures += 1
+                raise CircuitOpenError(
+                    f"circuit breaker open for daemon at {self.url} "
+                    f"({method} {path} rejected; retry in {remaining:.2f}s)"
+                )
+            # The reset window elapsed: this request is the half-open probe
+            # (the whole round trip runs under the lock, so exactly one).
+            self._set_breaker_locked("half_open")
+
+    def _breaker_success_locked(self) -> None:
+        self._consecutive_failures = 0
+        if self._breaker_state != "closed":
+            self._set_breaker_locked("closed")
+
+    def _breaker_failure_locked(self) -> None:
+        if self._breaker_threshold <= 0:
+            return
+        self._consecutive_failures += 1
+        if (self._breaker_state == "half_open"
+                or self._consecutive_failures >= self._breaker_threshold):
+            # Jitter the open window too (50-100% of breaker_reset): a
+            # fleet sharing one dead daemon must not probe in lockstep.
+            self._breaker_open_until = time.monotonic() + self._breaker_reset * (
+                0.5 + 0.5 * self._rng.random()
+            )
+            self.breaker_opens += 1
+            self._set_breaker_locked("open")
+
+    def _set_breaker_locked(self, state: str) -> None:
+        self._breaker_state = state
+        set_gauge("repro_remote_breaker_state", _BREAKER_GAUGE[state],
+                  url=self.url,
+                  help="Remote-oracle circuit breaker (0 closed, 1 open, 2 half-open)")
 
     def _decode_locked(self, status: int, raw: bytes, path: str) -> Dict[str, Any]:
         try:
@@ -397,9 +503,11 @@ def _make_remote_oracle(graph: Optional[Graph], spec: ServeSpec) -> RemoteOracle
     """Registry factory: ``ServeSpec(backend="remote", options={"url": ...})``.
 
     Options: ``url`` (required), ``oracle`` (served oracle name),
-    ``timeout`` / ``retries`` / ``backoff`` (transport policy).  The local
-    graph, when provided, is only checked for vertex-count agreement with
-    the daemon's oracle — answers come exclusively from the daemon.
+    ``timeout`` / ``retries`` / ``backoff`` / ``seed`` (transport policy)
+    and ``breaker_threshold`` / ``breaker_reset`` (circuit breaker).  The
+    local graph, when provided, is only checked for vertex-count
+    agreement with the daemon's oracle — answers come exclusively from
+    the daemon.
     """
     url = spec.options.get("url")
     if not url:
@@ -413,6 +521,9 @@ def _make_remote_oracle(graph: Optional[Graph], spec: ServeSpec) -> RemoteOracle
         timeout=spec.options.get("timeout", 10.0),
         retries=spec.options.get("retries", 3),
         backoff=spec.options.get("backoff", 0.05),
+        seed=spec.options.get("seed"),
+        breaker_threshold=spec.options.get("breaker_threshold", 3),
+        breaker_reset=spec.options.get("breaker_reset", 1.0),
     )
     if graph is not None and graph.num_vertices != oracle.num_vertices:
         raise ValueError(

@@ -407,3 +407,149 @@ class TestWireSweep:
             run_wire_sweep(daemon.url, GRAPH, num_queries=10, concurrency=())
         with pytest.raises(ValueError):
             run_wire_sweep(daemon.url, GRAPH, num_queries=10, concurrency=(0,))
+
+
+class TestGracefulDrain:
+    """SIGTERM-style shutdown: finish in-flight work, refuse new work."""
+
+    def _daemon(self):
+        d = OracleDaemon(port=0)
+        d.add_oracle("default", GRAPH, ServeSpec(backend="exact"))
+        d.start()
+        return d
+
+    def test_inflight_request_completes_during_drain(self):
+        from repro.faults import fault_plan
+
+        plan = {"rules": [{"site": "daemon.request", "action": "delay",
+                           "delay_seconds": 0.4}]}
+        with fault_plan(plan):
+            daemon = self._daemon()
+            outcome = {}
+
+            def client():
+                outcome["status"], outcome["payload"] = _post(
+                    daemon, "/query", {"u": 0, "v": 1}
+                )
+
+            thread = threading.Thread(target=client)
+            thread.start()
+            deadline = time.monotonic() + 5.0
+            while daemon._inflight_requests == 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert daemon._inflight_requests > 0
+
+            assert daemon.drain(timeout=5.0) is True
+            thread.join(timeout=5.0)
+            # The admitted request ran to a full 200, not a cut stream.
+            assert outcome["status"] == 200
+            assert isinstance(outcome["payload"]["answer"], (int, float))
+
+    def test_new_connections_are_refused_after_drain(self):
+        daemon = self._daemon()
+        host, port = daemon.host, daemon.port
+        assert daemon.drain(timeout=5.0) is True
+        connection = http.client.HTTPConnection(host, port, timeout=2)
+        try:
+            with pytest.raises(OSError):
+                connection.request("GET", "/healthz")
+                connection.getresponse()
+        finally:
+            connection.close()
+
+    def test_requests_during_drain_get_503_then_drain_finishes(self):
+        from repro.faults import fault_plan
+
+        # Only /single_source is slowed, so the keep-alive /query probe
+        # below stays fast.
+        plan = {"rules": [{"site": "daemon.request", "action": "delay",
+                           "delay_seconds": 0.6,
+                           "where": {"endpoint": "/single_source"}}]}
+        with fault_plan(plan) as installed:
+            daemon = self._daemon()
+            keepalive = http.client.HTTPConnection(daemon.host, daemon.port,
+                                                   timeout=5)
+            try:
+                keepalive.request(
+                    "POST", "/query", body=json.dumps({"u": 0, "v": 1}).encode(),
+                    headers={"Content-Type": "application/json"})
+                response = keepalive.getresponse()
+                assert response.status == 200
+                response.read()  # keep the connection reusable
+
+                slow = {}
+
+                def slow_client():
+                    slow["status"], slow["payload"] = _post(
+                        daemon, "/single_source", {"source": 0}
+                    )
+
+                slow_thread = threading.Thread(target=slow_client)
+                slow_thread.start()
+                # The delay rule only matches the slow /single_source
+                # request, and its injection is recorded before the sleep
+                # starts — so an injected count means the slow request is
+                # admitted and inflight (a bare inflight poll could be
+                # satisfied by the keepalive probe's not-yet-finished
+                # handler and let drain() close the listener before the
+                # slow client even connects).
+                deadline = time.monotonic() + 5.0
+                while (installed.stats().get("daemon.request", {}).get("injected", 0) == 0
+                       and time.monotonic() < deadline):
+                    time.sleep(0.005)
+                assert installed.stats()["daemon.request"]["injected"] >= 1
+
+                drained = {}
+                drain_thread = threading.Thread(
+                    target=lambda: drained.setdefault("ok", daemon.drain(10.0)))
+                drain_thread.start()
+                deadline = time.monotonic() + 5.0
+                while (daemon.healthz()["status"] != "draining"
+                       and time.monotonic() < deadline):
+                    time.sleep(0.005)
+                assert daemon.healthz()["status"] == "draining"
+
+                # A new request on the existing keep-alive connection is
+                # shed, with Retry-After, while the slow one still runs.
+                keepalive.request(
+                    "POST", "/query", body=json.dumps({"u": 0, "v": 1}).encode(),
+                    headers={"Content-Type": "application/json"})
+                shed = keepalive.getresponse()
+                shed_body = json.loads(shed.read())
+                assert shed.status == 503
+                assert shed.getheader("Retry-After") is not None
+                assert "draining" in shed_body["error"]
+
+                slow_thread.join(timeout=10.0)
+                drain_thread.join(timeout=10.0)
+                assert slow["status"] == 200
+                assert drained["ok"] is True
+                assert daemon.shed_requests >= 1
+            finally:
+                keepalive.close()
+
+    def test_idle_keepalive_client_sees_clean_eof(self):
+        daemon = self._daemon()
+        connection = http.client.HTTPConnection(daemon.host, daemon.port,
+                                                timeout=5)
+        try:
+            connection.request(
+                "POST", "/query", body=json.dumps({"u": 0, "v": 1}).encode(),
+                headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            assert response.status == 200
+            response.read()
+
+            assert daemon.drain(timeout=5.0) is True
+            # The fully-answered connection ends with a FIN, not a reset:
+            # the client reads a clean EOF.
+            sock = connection.sock
+            sock.settimeout(2.0)
+            assert sock.recv(1024) == b""
+        finally:
+            connection.close()
+
+    def test_drain_after_close_is_a_noop(self):
+        daemon = self._daemon()
+        daemon.close()
+        assert daemon.drain(timeout=1.0) is True

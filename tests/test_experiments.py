@@ -148,7 +148,7 @@ class TestRunner:
         ids = available_experiments()
         assert ids[:7] == ["E1", "E2", "E3", "E4", "E5", "E6", "E7"]
         assert ids[7:] == ["E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16",
-                           "E17"]
+                           "E17", "E18"]
 
     def test_unknown_experiment(self):
         with pytest.raises(ValueError):
@@ -157,3 +157,25 @@ class TestRunner:
     def test_run_single_experiment_quick(self):
         table = run_experiment("E2", quick=True)
         assert "E2" in table
+
+
+class TestFaultsExperiment:
+    def test_schedule_runs_and_faults_never_cost_correctness(self):
+        from repro.experiments.faults_experiment import (
+            format_faults_table,
+            run_faults_experiment,
+        )
+        from repro.experiments.workloads import workload_by_name
+
+        workload = workload_by_name("erdos-renyi", 48, seed=0)
+        served, rows = run_faults_experiment(
+            workload=workload, num_queries=30, max_inflight=2
+        )
+        by_phase = {row.phase: row for row in rows}
+        assert set(by_phase) == {"baseline", "overload", "rebuild-crash"}
+        assert by_phase["baseline"].availability == 1.0
+        assert by_phase["overload"].shed > 0
+        assert by_phase["rebuild-crash"].recovery_seconds > 0
+        assert all(row.wrong_answers == 0 for row in rows)
+        table = format_faults_table(served, rows)
+        assert "E18" in table and "overload" in table

@@ -1,0 +1,270 @@
+"""Unit tests for :mod:`repro.faults` — rules, plans, env wiring."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.faults import (
+    ENV_VAR,
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    clear_plan,
+    corrupt_bytes,
+    fault_plan,
+    fault_point,
+    install_plan,
+    plan_from_env,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_installed_plan():
+    """Each test starts with injection disabled and leaves it disabled."""
+    clear_plan()
+    previous = obs.set_enabled(True)
+    obs.reset()
+    yield
+    clear_plan()
+    obs.reset()
+    obs.set_enabled(previous)
+
+
+# ----------------------------------------------------------------------
+# FaultRule
+# ----------------------------------------------------------------------
+def test_rule_validation_rejects_bad_fields():
+    with pytest.raises(ValueError, match="non-empty site"):
+        FaultRule(site="")
+    with pytest.raises(ValueError, match="unknown fault action"):
+        FaultRule(site="x", action="explode")
+    with pytest.raises(ValueError, match="probability"):
+        FaultRule(site="x", probability=1.5)
+    with pytest.raises(ValueError, match="nth is 1-based"):
+        FaultRule(site="x", nth=0)
+    with pytest.raises(ValueError, match="times"):
+        FaultRule(site="x", times=0)
+    with pytest.raises(ValueError, match="delay_seconds"):
+        FaultRule(site="x", delay_seconds=-1.0)
+
+
+def test_rule_from_dict_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown fault rule key"):
+        FaultRule.from_dict({"site": "x", "acton": "raise"})
+    with pytest.raises(ValueError, match="must be an object"):
+        FaultRule.from_dict("live.rebuild")  # type: ignore[arg-type]
+
+
+def test_rule_dict_round_trip():
+    rule = FaultRule(site="sweep.task", action="raise", probability=0.5,
+                     nth=3, times=2, message="boom",
+                     where={"product": "spanner"})
+    again = FaultRule.from_dict(rule.to_dict())
+    assert again == rule
+    # Defaults are omitted from the compact form.
+    assert FaultRule(site="x").to_dict() == {"site": "x", "action": "raise"}
+
+
+def test_rule_site_matching_exact_and_prefix_glob():
+    exact = FaultRule(site="live.rebuild")
+    assert exact.matches_site("live.rebuild")
+    assert not exact.matches_site("live.rebuild.extra")
+    glob = FaultRule(site="live.*")
+    assert glob.matches_site("live.rebuild")
+    assert glob.matches_site("live.repair")
+    assert glob.matches_site("live")
+    assert not glob.matches_site("liveness.check")
+    assert not glob.matches_site("daemon.request")
+
+
+def test_rule_where_matches_context_as_strings():
+    rule = FaultRule(site="sweep.task", where={"product": "spanner", "index": 3})
+    assert rule.matches_context({"product": "spanner", "index": 3, "extra": 1})
+    assert rule.matches_context({"product": "spanner", "index": "3"})
+    assert not rule.matches_context({"product": "emulator", "index": 3})
+    assert not rule.matches_context({"product": "spanner"})
+
+
+# ----------------------------------------------------------------------
+# FaultPlan construction
+# ----------------------------------------------------------------------
+def test_plan_from_dict_object_and_bare_list():
+    plan = FaultPlan.from_dict(
+        {"seed": 7, "rules": [{"site": "a"}, {"site": "b", "action": "delay"}]}
+    )
+    assert plan.seed == 7
+    assert [r.site for r in plan.rules] == ["a", "b"]
+    bare = FaultPlan.from_dict([{"site": "a"}])
+    assert bare.seed == 0 and len(bare.rules) == 1
+
+
+def test_plan_from_dict_rejects_unknown_keys_and_scalars():
+    with pytest.raises(ValueError, match="unknown fault plan key"):
+        FaultPlan.from_dict({"seed": 1, "rule": []})
+    with pytest.raises(ValueError, match="object or a rule list"):
+        FaultPlan.from_dict("not-a-plan")  # type: ignore[arg-type]
+
+
+def test_plan_json_round_trip(tmp_path):
+    plan = FaultPlan.from_json(
+        '{"seed": 3, "rules": [{"site": "live.rebuild", "times": 1}]}'
+    )
+    assert FaultPlan.from_dict(plan.to_dict()).to_dict() == plan.to_dict()
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps(plan.to_dict()))
+    assert FaultPlan.from_file(path).to_dict() == plan.to_dict()
+    with pytest.raises(ValueError, match="not valid JSON"):
+        FaultPlan.from_json("{nope")
+
+
+# ----------------------------------------------------------------------
+# fault_point semantics
+# ----------------------------------------------------------------------
+def test_fault_point_is_noop_without_plan():
+    assert active_plan() is None
+    fault_point("anything.goes", key="value")  # must not raise
+    assert corrupt_bytes("anything.goes", b"payload") == b"payload"
+
+
+def test_raise_rule_raises_fault_injected_with_site():
+    with fault_plan({"rules": [{"site": "live.rebuild"}]}):
+        with pytest.raises(FaultInjected) as excinfo:
+            fault_point("live.rebuild")
+        assert excinfo.value.site == "live.rebuild"
+        fault_point("live.other")  # non-matching site unaffected
+
+
+def test_raise_rule_custom_message():
+    with fault_plan({"rules": [{"site": "x", "message": "kaboom"}]}):
+        with pytest.raises(FaultInjected, match="kaboom"):
+            fault_point("x")
+
+
+def test_delay_rule_sleeps_then_continues():
+    with fault_plan({"rules": [{"site": "slow", "action": "delay",
+                                "delay_seconds": 0.05}]}):
+        start = time.monotonic()
+        fault_point("slow")  # must not raise
+        assert time.monotonic() - start >= 0.04
+
+
+def test_nth_rule_triggers_only_on_nth_hit():
+    with fault_plan({"rules": [{"site": "x", "nth": 3}]}) as plan:
+        fault_point("x")
+        fault_point("x")
+        with pytest.raises(FaultInjected):
+            fault_point("x")
+        fault_point("x")  # 4th hit: nth already passed
+        assert plan.stats()["x"] == {"hits": 4, "injected": 1}
+
+
+def test_times_caps_total_injections():
+    with fault_plan({"rules": [{"site": "x", "times": 2}]}) as plan:
+        for _ in range(2):
+            with pytest.raises(FaultInjected):
+                fault_point("x")
+        fault_point("x")
+        fault_point("x")
+        assert plan.stats()["x"] == {"hits": 4, "injected": 2}
+
+
+def test_probability_is_seeded_and_deterministic():
+    spec = {"seed": 42, "rules": [{"site": "x", "probability": 0.5}]}
+
+    def pattern():
+        outcomes = []
+        with fault_plan(dict(spec)):
+            for _ in range(50):
+                try:
+                    fault_point("x")
+                    outcomes.append(False)
+                except FaultInjected:
+                    outcomes.append(True)
+        return outcomes
+
+    first, second = pattern(), pattern()
+    assert first == second
+    assert 5 < sum(first) < 45  # actually probabilistic, not all-or-nothing
+
+    spec["seed"] = 43
+    assert pattern() != first  # a different seed reshuffles the pattern
+
+
+def test_where_scopes_injection_to_matching_context():
+    rules = [{"site": "sweep.task", "where": {"product": "spanner"}}]
+    with fault_plan({"rules": rules}):
+        fault_point("sweep.task", product="emulator")
+        with pytest.raises(FaultInjected):
+            fault_point("sweep.task", product="spanner")
+
+
+def test_corrupt_rule_flips_a_middle_byte_only_via_corrupt_bytes():
+    with fault_plan({"rules": [{"site": "io.bytes", "action": "corrupt"}]}):
+        fault_point("io.bytes")  # corrupt rules never raise at fault points
+        data = bytes(range(10))
+        out = corrupt_bytes("io.bytes", data)
+        assert out != data and len(out) == len(data)
+        assert out[5] == data[5] ^ 0xFF
+        assert sum(a != b for a, b in zip(out, data)) == 1
+        assert corrupt_bytes("io.bytes", b"") == b""  # empty payload untouched
+        assert corrupt_bytes("io.other", data) == data
+
+
+def test_injections_count_in_obs_metrics():
+    with fault_plan({"rules": [{"site": "x", "times": 1},
+                               {"site": "y", "action": "delay"}]}):
+        with pytest.raises(FaultInjected):
+            fault_point("x")
+        fault_point("y")
+    assert obs.get_metric("repro_faults_injected_total", site="x") == 1
+    assert obs.get_metric("repro_faults_injected_total", site="y") == 1
+
+
+# ----------------------------------------------------------------------
+# Installation and the environment hook
+# ----------------------------------------------------------------------
+def test_install_clear_and_context_manager_restore():
+    outer = FaultPlan([FaultRule(site="outer")])
+    install_plan(outer)
+    assert active_plan() is outer
+    with fault_plan({"rules": [{"site": "inner"}]}) as inner:
+        assert active_plan() is inner
+        with fault_plan(None):
+            assert active_plan() is None
+        assert active_plan() is inner
+    assert active_plan() is outer
+    clear_plan()
+    assert active_plan() is None
+
+
+def test_fault_plan_accepts_json_string():
+    with fault_plan('{"rules": [{"site": "x"}]}'):
+        with pytest.raises(FaultInjected):
+            fault_point("x")
+
+
+def test_plan_from_env_inline_at_file_and_bare_path(tmp_path, monkeypatch):
+    assert plan_from_env("") is None
+    assert plan_from_env("0") is None
+    inline = plan_from_env('{"seed": 5, "rules": [{"site": "x"}]}')
+    assert inline is not None and inline.seed == 5
+
+    path = tmp_path / "plan.json"
+    path.write_text('{"rules": [{"site": "y"}]}')
+    for value in (f"@{path}", str(path)):
+        plan = plan_from_env(value)
+        assert plan is not None and plan.rules[0].site == "y"
+
+    monkeypatch.setenv(ENV_VAR, '{"rules": [{"site": "z"}]}')
+    from_env = plan_from_env()
+    assert from_env is not None and from_env.rules[0].site == "z"
+
+    with pytest.raises(ValueError):
+        plan_from_env("{broken")
+    with pytest.raises(OSError):
+        plan_from_env(str(tmp_path / "missing.json"))
