@@ -15,6 +15,12 @@ bound and asserts the hardening contract end to end:
 * the daemon reports ``healthy`` again once the burst passes, with
   ``shed_requests`` matching the observed 503s.
 
+Every wait is a deadline-bounded poll against a monotonic clock — no
+fixed sleeps, no wall-clock races: the script waits for ``/healthz`` to
+start answering (so callers need no startup sleep of their own), bounds
+the burst, and bounds the recovery wait, failing loudly with the last
+observed state when a deadline passes.
+
 Exits non-zero on any violated assertion.
 """
 
@@ -25,10 +31,36 @@ import time
 import urllib.error
 import urllib.request
 
+#: Upper bounds (seconds) on each deadline-bounded phase.
+STARTUP_DEADLINE = 30.0
+BURST_DEADLINE = 30.0
+RECOVERY_DEADLINE = 10.0
+
 
 def _get(url, path, timeout=5.0):
     with urllib.request.urlopen(url + path, timeout=timeout) as response:
         return json.load(response)
+
+
+def _wait_until_serving(url):
+    """Poll ``/healthz`` until the daemon answers; no fixed startup sleep.
+
+    Connection refusals and timeouts are the expected shape of "not up
+    yet" and are retried until the deadline; anything the daemon
+    *answers* is returned immediately.
+    """
+    deadline = time.monotonic() + STARTUP_DEADLINE
+    last_error = None
+    while time.monotonic() < deadline:
+        try:
+            return _get(url, "/healthz", timeout=2.0)
+        except (urllib.error.URLError, ConnectionError, OSError) as error:
+            last_error = error
+            time.sleep(0.05)
+    raise SystemExit(
+        f"daemon at {url} never started answering /healthz within "
+        f"{STARTUP_DEADLINE:.0f}s (last error: {last_error})"
+    )
 
 
 def main(argv):
@@ -37,6 +69,9 @@ def main(argv):
         return 2
     url = argv[1].rstrip("/")
     burst = int(argv[2]) if len(argv) > 2 else 8
+
+    health = _wait_until_serving(url)
+    assert health["ok"], health
 
     statuses = []
     retry_after = []
@@ -65,8 +100,8 @@ def main(argv):
     # Mid-burst: /healthz still answers (GETs bypass admission) and grades
     # the saturation as degraded while the injected delay holds slots.
     saw_degraded = False
-    deadline = time.time() + 10.0
-    while time.time() < deadline:
+    deadline = time.monotonic() + BURST_DEADLINE
+    while time.monotonic() < deadline:
         health = _get(url, "/healthz")
         assert health["ok"], health
         if health["status"] == "degraded":
@@ -76,7 +111,9 @@ def main(argv):
             break
         time.sleep(0.01)
     for thread in threads:
-        thread.join()
+        thread.join(timeout=max(0.0, deadline - time.monotonic()) + 30.0)
+    stuck = sum(1 for thread in threads if thread.is_alive())
+    assert not stuck, f"{stuck} burst request(s) never completed (hang)"
     assert saw_degraded, "healthz never reported degraded during the burst"
 
     answered = statuses.count(200)
@@ -87,9 +124,14 @@ def main(argv):
     assert all(value is not None for value in retry_after), retry_after
 
     # Recovery: healthy again once the burst passes.
-    deadline = time.time() + 10.0
-    while _get(url, "/healthz")["status"] != "healthy":
-        assert time.time() < deadline, "daemon never recovered to healthy"
+    deadline = time.monotonic() + RECOVERY_DEADLINE
+    while True:
+        status = _get(url, "/healthz")["status"]
+        if status == "healthy":
+            break
+        assert time.monotonic() < deadline, (
+            f"daemon never recovered to healthy (last status: {status})"
+        )
         time.sleep(0.05)
 
     counted = _get(url, "/stats")["daemon"]["shed_requests"]

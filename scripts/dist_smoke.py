@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""CI distributed-sweep smoke: kill a worker mid-sweep, lose nothing.
+
+Usage: dist_smoke.py [N]
+
+End-to-end drill of the lease-based work queue (:mod:`repro.dist`)
+across real process boundaries:
+
+1. run the reference sweep through the serial in-process executor;
+2. start an in-process ``DistCoordinator`` on an ephemeral port and two
+   ``repro dist-worker`` subprocesses sharing one result-cache
+   directory — the victim worker runs under a ``REPRO_FAULTS`` plan
+   that stalls every build, so it leases a task and sits on it;
+3. SIGKILL the victim once ``/status`` shows it holding a lease — from
+   the coordinator's side that is heartbeat silence, so the lease
+   expires and the reaper re-dispatches the task to the survivor;
+4. assert the contract over the wire: ``/status`` reports the lease
+   reassignment, every task lands ``DONE``, and the delivered records
+   are byte-identical to the serial executor's.
+
+Every wait is a deadline-bounded poll against a monotonic clock — no
+fixed sleeps.  Exits non-zero (with the last observed state) on any
+violated assertion.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import GridSweep, run_sweep  # noqa: E402
+from repro.api.cache import ResultCache  # noqa: E402
+from repro.dist import DistCoordinator, canonical_record  # noqa: E402
+from repro.experiments.workloads import workload_by_name  # noqa: E402
+
+#: Upper bounds (seconds) on each deadline-bounded phase.
+LEASE_DEADLINE = 30.0
+DRAIN_DEADLINE = 120.0
+
+SWEEP = GridSweep(products=("emulator", "spanner"), methods=("centralized",),
+                  eps_values=(None, 0.25), kappas=(None, 4.0))
+
+#: Stalls every build on the victim so it holds (never completes) a lease.
+VICTIM_FAULTS = json.dumps({
+    "seed": 0,
+    "rules": [{"site": "dist.task", "action": "delay",
+               "delay_seconds": 600.0, "where": {"worker": "victim"}}],
+})
+
+
+def _status(url):
+    with urllib.request.urlopen(url + "/status", timeout=5.0) as response:
+        return json.load(response)
+
+
+def _spawn_worker(url, cache_dir, worker_id, *, faults=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", "")
+    if faults is not None:
+        env["REPRO_FAULTS"] = faults
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "dist-worker", "--url", url,
+         "--cache-dir", str(cache_dir), "--worker-id", worker_id,
+         "--give-up-after", "15"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT,
+    )
+
+
+def _wait_for_victim_lease(url):
+    """Poll ``/status`` until the victim holds a lease; return the row."""
+    deadline = time.monotonic() + LEASE_DEADLINE
+    last = None
+    while time.monotonic() < deadline:
+        last = _status(url)
+        held = [row for row in last["rows"]
+                if row["state"] == "leased" and row["worker"] == "victim"]
+        if held:
+            return held[0]
+        time.sleep(0.05)
+    raise SystemExit(
+        f"victim never leased a task within {LEASE_DEADLINE:.0f}s; "
+        f"last status: {json.dumps(last)[:2000]}"
+    )
+
+
+def main(argv):
+    n = int(argv[1]) if len(argv) > 1 else 48
+    workload = workload_by_name("erdos-renyi", n, seed=0)
+    reference = [
+        canonical_record(record.result)
+        for record in run_sweep({workload.name: workload.graph}, SWEEP)
+    ]
+    print(f"serial reference: {len(reference)} record(s)")
+
+    tasks = [(index, workload.name, workload.graph, spec)
+             for index, spec in enumerate(SWEEP.specs())]
+    victim = survivor = None
+    with tempfile.TemporaryDirectory(prefix="repro-dist-smoke-") as tmp:
+        store = ResultCache(Path(tmp) / "cache")
+        coordinator = DistCoordinator(
+            tasks, store, lease_ttl=1.0, max_attempts=5
+        ).start()
+        try:
+            print(f"coordinator listening on {coordinator.url}")
+            victim = _spawn_worker(coordinator.url, store.directory, "victim",
+                                   faults=VICTIM_FAULTS)
+            held = _wait_for_victim_lease(coordinator.url)
+            print(f"victim leased task {held['task']} "
+                  f"({held['product']}/{held['method']}); killing it")
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=10.0)
+
+            survivor = _spawn_worker(coordinator.url, store.directory,
+                                     "survivor")
+            assert coordinator.wait(timeout=DRAIN_DEADLINE), (
+                f"sweep never drained within {DRAIN_DEADLINE:.0f}s; "
+                f"last status: {json.dumps(_status(coordinator.url))[:2000]}"
+            )
+
+            status = _status(coordinator.url)
+            outcomes = coordinator.outcomes()
+        finally:
+            coordinator.close()
+            for process in (victim, survivor):
+                if process is not None and process.poll() is None:
+                    process.terminate()
+                    process.wait(timeout=10.0)
+
+    # The contract, over the wire: the kill shows up as a reassignment,
+    # and costs neither completeness nor content.
+    assert status["reassignments"] >= 1, status
+    assert status["tasks"]["done"] == status["tasks"]["total"] == len(
+        reference), status["tasks"]
+    delivered = [canonical_record(result)
+                 for (_index, _worker, result, _retries, _error) in outcomes]
+    assert delivered == reference, "distributed records diverge from serial"
+    workers = {row["worker"] for row in status["rows"]}
+    assert "survivor" in workers, status["rows"]
+    print(f"dist smoke: {status['tasks']['done']} task(s) done, "
+          f"{status['reassignments']} reassignment(s) after worker kill, "
+          f"records byte-identical to the serial executor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

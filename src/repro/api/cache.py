@@ -40,6 +40,7 @@ from typing import Optional, Union
 
 from repro.api.result import BuildResultAdapter
 from repro.api.spec import BuildSpec
+from repro.faults import FaultInjected, corrupt_bytes, fault_point
 from repro.obs import inc as _obs_inc
 
 
@@ -58,6 +59,34 @@ __all__ = [
 
 #: Directory used when a cache is requested without naming one.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Entry-file header: magic + SHA-256 of the pickled payload.  The
+#: checksum turns silent on-disk rot (a flipped bit that still
+#: unpickles) into a detected corruption on the next read — load-bearing
+#: for the distributed executor, whose coordinator believes a delivery
+#: only if the shared store reads it back.
+_ENTRY_MAGIC = b"RPC1"
+_DIGEST_BYTES = 32
+
+
+def _frame(payload: bytes) -> bytes:
+    """Wrap a pickled payload with the magic + checksum header."""
+    return _ENTRY_MAGIC + hashlib.sha256(payload).digest() + payload
+
+
+def _unframe(raw: bytes) -> bytes:
+    """Strip and verify the entry header; raise ``ValueError`` on rot.
+
+    Entries written before the header existed (no magic) pass through
+    unchecked — their pickle parse is the only integrity check they get.
+    """
+    if not raw.startswith(_ENTRY_MAGIC):
+        return raw
+    header_end = len(_ENTRY_MAGIC) + _DIGEST_BYTES
+    digest, payload = raw[len(_ENTRY_MAGIC):header_end], raw[header_end:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise ValueError("cache entry checksum mismatch")
+    return payload
 
 
 def code_version() -> str:
@@ -216,13 +245,22 @@ class ResultCache:
 
         A corrupted entry (truncated pickle, wrong type, unreadable file)
         is evicted and reported as a miss — callers rebuild, never crash.
+
+        The ``cache.read`` fault point covers the whole read path: an
+        injected raise or byte corruption lands in the evict-and-rebuild
+        lane exactly like real disk rot, and an injected delay models an
+        I/O stall.
         """
         if key is None:
             return None
         path = self.path(key)
         try:
+            fault_point("cache.read", key=key)
             with open(path, "rb") as handle:
-                result = pickle.load(handle)
+                raw = handle.read()
+            result = pickle.loads(
+                _unframe(corrupt_bytes("cache.read", raw, key=key))
+            )
         except FileNotFoundError:
             self.misses += 1
             _count("misses")
@@ -251,14 +289,28 @@ class ResultCache:
         a correctness requirement.  Writes go through a temporary file and
         ``os.replace`` so a concurrent reader can never observe a torn
         entry.
+
+        The ``cache.write`` fault point models write-side disk trouble:
+        an injected raise degrades to "not stored" (the return value
+        callers already handle), an injected corruption rots the stored
+        payload so the *next* :meth:`get` exercises eviction, a delay
+        stalls the write.
         """
         if key is None:
             return False
         try:
-            payload = pickle.dumps(result)
+            payload = _frame(pickle.dumps(result))
         except Exception:
             return False
         path = self.path(key)
+        try:
+            fault_point("cache.write", key=key)
+        except FaultInjected:
+            return False
+        # Corruption injected *after* framing rots the checksum or the
+        # payload, so the next get detects it and evicts — real bit rot's
+        # failure mode, not a silently-different result.
+        payload = corrupt_bytes("cache.write", payload, key=key)
         path.parent.mkdir(parents=True, exist_ok=True)
         replaced_bytes: Optional[int] = None
         if self.max_entries is not None or self.max_bytes is not None:

@@ -395,12 +395,13 @@ def execute_sweep(
     graphs: GraphsArg,
     specs: Iterable[BuildSpec],
     *,
-    workers: Optional[int] = 1,
+    workers: Union[int, str, None] = 1,
     cache: Union[None, bool, str, "os.PathLike[str]", ResultCache] = None,
     verify: Union[None, bool, int] = None,
     share_explorations: bool = True,
     task_retries: int = 1,
     on_error: str = "raise",
+    dist: Union[None, bool, str, Mapping[str, Any], Any] = None,
 ):
     """Run every spec on every graph; return :class:`SweepRecord` objects.
 
@@ -412,7 +413,11 @@ def execute_sweep(
         The expanded grid (see :meth:`repro.api.pipeline.GridSweep.specs`).
     workers:
         Number of worker processes; ``1`` (the default) runs serially
-        in-process, ``None`` means ``os.cpu_count()``.
+        in-process, ``None`` means ``os.cpu_count()``.  The string form
+        ``"dist"`` / ``"dist:HOST:PORT"`` runs the sweep through the
+        fault-tolerant work-queue executor (:mod:`repro.dist`) instead:
+        an embedded coordinator leases tasks to workers over HTTP and
+        results travel through the shared content-addressed cache.
     cache:
         Result cache: ``None``/``False`` disables, ``True`` uses the
         default directory, a path selects a directory, or pass a
@@ -443,7 +448,24 @@ def execute_sweep(
         records the poisoned task (``result=None``, ``stats["error"]``,
         ``stats["quarantined"]=True``) and lets every other task of the
         sweep complete normally; quarantined tasks are never cached,
-        verified, or announced via ``on_build`` hooks.
+        verified, or announced via ``on_build`` hooks.  The distributed
+        executor has its own attempt cap (``max_attempts`` leases per
+        task) and feeds tasks past it into the same quarantine path.
+    dist:
+        Distributed-executor knobs; any truthy value engages
+        :mod:`repro.dist` (as does ``workers="dist..."``).  ``True``
+        uses the defaults (embedded coordinator on an ephemeral
+        127.0.0.1 port, two local worker subprocesses); a mapping or
+        :class:`~repro.dist.executor.DistConfig` sets ``host``,
+        ``port``, ``local_workers``, ``worker_mode``
+        (``"process"``/``"thread"``), ``lease_ttl``, ``max_attempts``,
+        ``journal`` (coordinator journal path, enabling restart
+        resume) and ``wait_timeout``.  With an integer ``workers > 1``
+        alongside, that count becomes the default ``local_workers``.
+        Tasks that cannot travel the wire (explicit schedules,
+        unpicklable graphs, non-scalar options) fall back to serial
+        in-process execution, like the process pool's picklability
+        fallback.
 
     Returns
     -------
@@ -468,6 +490,34 @@ def execute_sweep(
         raise ValueError(
             f"on_error must be 'raise' or 'quarantine', got {on_error!r}"
         )
+    bind = None
+    if isinstance(workers, str):
+        text = workers.strip()
+        if not (text == "dist" or text.startswith("dist:")):
+            raise ValueError(
+                "workers must be an int, None, or 'dist[:host][:port]', "
+                f"got {workers!r}"
+            )
+        from repro.dist.protocol import parse_bind
+
+        rest = text[len("dist"):].lstrip(":")
+        if rest:
+            bind = parse_bind(rest)
+        if dist is None or dist is False:
+            dist = True
+        workers = 1
+    dist_config = None
+    if dist is not None and dist is not False:
+        from repro.dist.executor import DistConfig
+
+        hint = workers if isinstance(workers, int) and workers > 1 else None
+        dist_config = DistConfig.from_value(
+            True if dist is True else dist, workers_hint=hint
+        )
+        if bind is not None and not (
+            isinstance(dist, Mapping) and ("host" in dist or "port" in dist)
+        ):
+            dist_config.host, dist_config.port = bind
     named = named_graphs(graphs)
     spec_list = list(specs)
     store = resolve_cache(cache)
@@ -509,7 +559,16 @@ def execute_sweep(
         # Worker-recorded spans merge under this span, so serial and
         # parallel sweeps produce the same span tree.
         with span("sweep.build", tasks=len(pending), total=len(grid)):
-            if workers > 1 and len(pending) > 1:
+            if dist_config is not None:
+                from repro.dist.executor import run_distributed
+
+                names = {index: name for index, name, _graph, _spec in grid}
+                built = run_distributed(
+                    pending, names, store, dist_config,
+                    task_retries=task_retries, on_error=on_error,
+                    exploration_caches=exploration_caches,
+                )
+            elif workers > 1 and len(pending) > 1:
                 built = _run_parallel(
                     pending, workers,
                     share=share_explorations, exploration_caches=exploration_caches,

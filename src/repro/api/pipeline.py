@@ -141,12 +141,13 @@ def run_sweep(
     sweep: GridSweep,
     *,
     verify_pairs: Optional[int] = None,
-    workers: Optional[int] = 1,
+    workers: Union[int, str, None] = 1,
     cache: Union[None, bool, str, ResultCache] = None,
     verify: Union[None, bool, int] = None,
     share_explorations: bool = True,
     task_retries: int = 1,
     on_error: str = "raise",
+    dist: Union[None, bool, str, Mapping[str, Any], Any] = None,
 ) -> List[SweepRecord]:
     """Run every spec of ``sweep`` on every graph; return flat records.
 
@@ -168,6 +169,9 @@ def run_sweep(
     workers:
         Number of worker processes to shard the grid across; ``1`` (the
         default) runs serially in-process, ``None`` uses every CPU.
+        ``"dist"`` / ``"dist:HOST:PORT"`` selects the fault-tolerant
+        distributed executor (:mod:`repro.dist`) instead of the
+        process pool.
     cache:
         Content-addressed result cache: ``None``/``False`` disables,
         ``True`` uses the default directory, a path selects a directory,
@@ -189,6 +193,11 @@ def run_sweep(
         ``"raise"`` (default) re-raises a task's final failure;
         ``"quarantine"`` records it (``result=None``,
         ``stats["error"]``) and lets every other task finish.
+    dist:
+        Distributed-executor knobs (host/port, local workers, lease
+        TTL, attempt cap, journal path); any truthy value engages
+        :mod:`repro.dist`.  See
+        :func:`repro.api.executor.execute_sweep`.
     """
     specs = list(sweep.specs())
     if not specs:
@@ -201,7 +210,7 @@ def run_sweep(
         verify = verify_pairs
     return execute_sweep(graphs, specs, workers=workers, cache=cache, verify=verify,
                          share_explorations=share_explorations,
-                         task_retries=task_retries, on_error=on_error)
+                         task_retries=task_retries, on_error=on_error, dist=dist)
 
 
 def format_sweep_table(records: List[SweepRecord], title: str = "scenario sweep") -> str:

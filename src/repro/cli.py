@@ -15,10 +15,22 @@ Sub-commands
 ``verify``
     Check a previously built emulator against its graph.
 ``experiments``
-    Run the experiment suite (E1-E18) and print the result tables.
+    Run the experiment suite (E1-E19) and print the result tables.
 ``sweep``
     Run a config-driven product x method x parameter grid through the
-    facade and print one table row per build.
+    facade and print one table row per build.  With ``--coordinator``
+    the grid runs on the fault-tolerant distributed executor: an
+    embedded work-queue coordinator leases tasks to workers (local ones
+    spawned via ``--dist-workers``, remote ones joining with
+    ``repro dist-worker``).
+``dist-coordinator``
+    Run a sweep as a standalone work-queue coordinator: bind the lease
+    protocol at ``--bind``, journal task state for restart resume, and
+    wait for ``repro dist-worker`` processes to drain the grid through
+    a shared ``--cache-dir``.
+``dist-worker``
+    Join a running coordinator, lease tasks, build them, and deliver
+    results through the shared content-addressed cache directory.
 ``hopset``
     Build an emulator-derived hopset (any emulator method) and report its
     size and measured hopbound.
@@ -204,7 +216,72 @@ def build_parser() -> argparse.ArgumentParser:
                        help="recompute center explorations per spec instead of "
                             "sharing them across the specs on one graph "
                             "(results are identical; for benchmarking only)")
+    sweep.add_argument("--coordinator", default=None, metavar="[HOST:]PORT",
+                       help="run the grid on the distributed work-queue "
+                            "executor, binding the coordinator here "
+                            "(port 0 = ephemeral); prints 'coordinator "
+                            "listening on URL' once the socket accepts")
+    sweep.add_argument("--dist-workers", type=int, default=2,
+                       help="local worker processes to spawn when "
+                            "--coordinator is given (0 = wait for external "
+                            "'repro dist-worker' processes)")
+    sweep.add_argument("--journal", default=None,
+                       help="--coordinator only: journal task state to this "
+                            "file so a restarted coordinator resumes the sweep")
     _add_trace_argument(sweep)
+
+    dist_coordinator = subparsers.add_parser(
+        "dist-coordinator",
+        help="serve a sweep's task queue to distributed workers",
+    )
+    _add_graph_arguments(dist_coordinator, default_n=128)
+    dist_coordinator.add_argument("--products", nargs="+", choices=list(PRODUCTS),
+                                  default=list(PRODUCTS), help="products to sweep")
+    dist_coordinator.add_argument("--methods", nargs="+", choices=list(METHODS),
+                                  default=list(METHODS), help="methods to sweep")
+    dist_coordinator.add_argument("--eps-values", nargs="+", type=float, default=None,
+                                  help="epsilon grid (default: builder defaults)")
+    dist_coordinator.add_argument("--kappas", nargs="+", type=float, default=None,
+                                  help="kappa grid (default: builder defaults)")
+    dist_coordinator.add_argument("--rhos", nargs="+", type=float, default=None,
+                                  help="rho grid (default: builder defaults)")
+    dist_coordinator.add_argument("--verify-pairs", type=int, default=None,
+                                  help="verify each result on this many sampled pairs")
+    dist_coordinator.add_argument("--bind", default="127.0.0.1:0", metavar="[HOST:]PORT",
+                                  help="lease-protocol bind address "
+                                       "(default: ephemeral port on 127.0.0.1)")
+    dist_coordinator.add_argument("--cache-dir", default=".repro-dist-cache",
+                                  help="shared content-addressed cache directory "
+                                       "(the result transport; workers must see "
+                                       "the same files)")
+    dist_coordinator.add_argument("--journal", default=None,
+                                  help="journal task state to this file so a "
+                                       "restarted coordinator resumes the sweep")
+    dist_coordinator.add_argument("--lease-ttl", type=float, default=5.0,
+                                  help="seconds a task lease lives between heartbeats")
+    dist_coordinator.add_argument("--max-attempts", type=int, default=3,
+                                  help="leases a task may burn before quarantine")
+    dist_coordinator.add_argument("--dist-workers", type=int, default=0,
+                                  help="local worker processes to spawn "
+                                       "(default 0: external workers only)")
+
+    dist_worker = subparsers.add_parser(
+        "dist-worker", help="lease and build tasks from a running coordinator"
+    )
+    dist_worker.add_argument("--url", required=True,
+                             help="coordinator base URL (http://host:port)")
+    dist_worker.add_argument("--cache-dir", required=True,
+                             help="shared cache directory results are delivered to")
+    dist_worker.add_argument("--worker-id", default=None,
+                             help="stable worker name (default: hostname-pid)")
+    dist_worker.add_argument("--max-tasks", type=int, default=None,
+                             help="exit after completing this many tasks")
+    dist_worker.add_argument("--stay", action="store_true",
+                             help="keep polling after the sweep completes "
+                                  "(serve successive sweeps at the same URL)")
+    dist_worker.add_argument("--give-up-after", type=float, default=30.0,
+                             help="seconds of consecutive coordinator "
+                                  "unreachability before exiting")
 
     verify = subparsers.add_parser("verify", help="verify an emulator against its graph")
     verify.add_argument("--graph", required=True, help="edge-list file of the original graph")
@@ -215,7 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--sample-pairs", type=int, default=None,
                         help="check only this many sampled pairs (default: all pairs)")
 
-    experiments = subparsers.add_parser("experiments", help="run the E1-E18 experiment suite")
+    experiments = subparsers.add_parser("experiments", help="run the E1-E19 experiment suite")
     experiments.add_argument("--only", choices=available_experiments(), default=None,
                              help="run a single experiment")
     experiments.add_argument("--full", action="store_true",
@@ -470,12 +547,88 @@ def _command_sweep(args: argparse.Namespace) -> int:
         rhos=tuple(args.rhos) if args.rhos else (None,),
         seed=args.seed,
     )
+    dist = None
+    if args.coordinator is not None:
+        from repro.dist.protocol import parse_bind
+
+        host, port = parse_bind(args.coordinator)
+        dist = {
+            "host": host, "port": port,
+            "local_workers": args.dist_workers,
+            "journal": args.journal,
+            # Scripts scrape this line for the ephemeral port, like the
+            # daemon's "daemon listening on ..." line.
+            "announce": lambda url: print(
+                f"coordinator listening on {url}", flush=True
+            ),
+        }
+    elif args.journal is not None:
+        raise ValueError("--journal requires --coordinator")
     records = run_sweep(
         {name: graph}, sweep, verify_pairs=args.verify_pairs,
         workers=args.workers, cache=cache,
         share_explorations=not args.no_shared_explorations,
+        dist=dist,
     )
     print(format_sweep_table(records))
+    return 0
+
+
+def _command_dist_coordinator(args: argparse.Namespace) -> int:
+    from repro.dist.protocol import parse_bind
+
+    host, port = parse_bind(args.bind)
+    graph = _load_graph(args)
+    name = args.input or (args.family or "erdos-renyi")
+    sweep = GridSweep(
+        products=tuple(args.products),
+        methods=tuple(args.methods),
+        eps_values=tuple(args.eps_values) if args.eps_values else (None,),
+        kappas=tuple(args.kappas) if args.kappas else (None,),
+        rhos=tuple(args.rhos) if args.rhos else (None,),
+        seed=args.seed,
+    )
+    records = run_sweep(
+        {name: graph}, sweep, verify_pairs=args.verify_pairs,
+        cache=args.cache_dir,
+        dist={
+            "host": host, "port": port,
+            "local_workers": args.dist_workers,
+            "lease_ttl": args.lease_ttl,
+            "max_attempts": args.max_attempts,
+            "journal": args.journal,
+            "announce": lambda url: print(
+                f"coordinator listening on {url}", flush=True
+            ),
+        },
+        on_error="quarantine",
+    )
+    print(format_sweep_table(records, title="distributed sweep"))
+    return 0
+
+
+def _command_dist_worker(args: argparse.Namespace) -> int:
+    from repro.dist import DistWorker
+
+    url = args.url if args.url.startswith("http") else f"http://{args.url}"
+    worker = DistWorker(
+        url,
+        ResultCache(args.cache_dir),
+        worker_id=args.worker_id,
+        exit_when_done=not args.stay,
+        max_tasks=args.max_tasks,
+        give_up_after=args.give_up_after,
+    )
+    summary = worker.run()
+    if summary["unreachable"] and not summary["leases"]:
+        # Never got a single lease before giving up: almost certainly a
+        # wrong --url or dead coordinator, not a drained sweep.
+        raise ValueError(
+            f"coordinator at {url} was never reachable "
+            f"(gave up after {args.give_up_after:.0f}s)"
+        )
+    print(f"worker {summary['worker']}: {summary['completed']} completed, "
+          f"{summary['failed']} failed, {summary['leases']} lease(s)")
     return 0
 
 
@@ -719,6 +872,10 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         return _run_facade_command(_command_build, args)
     if args.command == "sweep":
         return _run_facade_command(_command_sweep, args)
+    if args.command == "dist-coordinator":
+        return _run_facade_command(_command_dist_coordinator, args)
+    if args.command == "dist-worker":
+        return _run_facade_command(_command_dist_worker, args)
     if args.command == "verify":
         return _command_verify(args)
     if args.command == "experiments":

@@ -1,0 +1,178 @@
+"""Append-only on-disk journal of coordinator task state.
+
+The coordinator is the only process that knows which tasks of a sweep
+already finished; if it dies, that knowledge must survive so a restarted
+coordinator resumes the sweep instead of re-running completed work.  The
+journal is the usual crash-safe shape for that:
+
+* **Append-only JSONL.**  Every terminal transition (``done``,
+  ``quarantined``) is one JSON line, flushed immediately.  A coordinator
+  killed mid-write leaves at most one truncated final line, which replay
+  skips — everything before it is intact.
+* **Self-identifying.**  The first line names the sweep (a fingerprint
+  over the task keys) and the task count; replay ignores a journal
+  written for a different sweep rather than mis-applying it.
+* **Atomic rotation.**  Past :attr:`SweepJournal.rotate_bytes` the
+  journal is compacted — one line per terminal task — into a temporary
+  file and ``os.replace``d over the old one, so the journal stays
+  bounded by the sweep size and rotation can never lose the log to a
+  crash (readers see either the old file or the new one, never a
+  partial).
+
+Every disk touch runs under the ``dist.journal`` fault point; an
+injected (or real) I/O failure degrades resumability — the coordinator
+counts the error and carries on — but never the sweep itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.faults import fault_point
+
+__all__ = ["SweepJournal"]
+
+
+class SweepJournal:
+    """Crash-safe record of a sweep's terminal task transitions.
+
+    Parameters
+    ----------
+    path:
+        Journal file location (created on first append).
+    sweep_id:
+        Fingerprint of the task list (see
+        :meth:`repro.dist.coordinator.DistCoordinator.sweep_id`); written
+        in the header line and required to match on replay.
+    rotate_bytes:
+        Compact the journal once it grows past this size.
+
+    Attributes
+    ----------
+    errors:
+        Failed journal writes (injected via ``dist.journal`` or real
+        I/O errors).  The journal disables nothing on error — the next
+        append tries again — but a non-zero count warns that a restart
+        may re-run work.
+    rotations:
+        Completed compactions.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        sweep_id: str,
+        *,
+        rotate_bytes: int = 256 * 1024,
+    ) -> None:
+        self.path = Path(path)
+        self.sweep_id = sweep_id
+        self.rotate_bytes = rotate_bytes
+        self.errors = 0
+        self.rotations = 0
+        self._header_written = self.path.exists()
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def record(self, event: Dict[str, Any]) -> bool:
+        """Append one event line; returns whether it reached the disk."""
+        try:
+            fault_point("dist.journal", op="append", event=event.get("event"))
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                if not self._header_written:
+                    handle.write(json.dumps(self._header()) + "\n")
+                    self._header_written = True
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+                handle.flush()
+        except Exception:
+            self.errors += 1
+            return False
+        return True
+
+    def maybe_rotate(self, terminal_events: Iterable[Dict[str, Any]]) -> bool:
+        """Compact the journal if it outgrew ``rotate_bytes``.
+
+        ``terminal_events`` is the authoritative in-memory list of
+        terminal transitions (one per finished task); the compacted
+        journal is exactly the header plus those lines, atomically
+        swapped into place.
+        """
+        try:
+            if self.path.stat().st_size <= self.rotate_bytes:
+                return False
+        except OSError:
+            return False
+        events = list(terminal_events)
+        try:
+            fault_point("dist.journal", op="rotate", events=len(events))
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.path.parent), suffix=".journal.tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(json.dumps(self._header()) + "\n")
+                    for event in events:
+                        handle.write(json.dumps(event, sort_keys=True) + "\n")
+                os.replace(tmp_name, self.path)
+            except Exception:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            self.errors += 1
+            return False
+        self._header_written = True
+        self.rotations += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(self) -> List[Dict[str, Any]]:
+        """Read back this sweep's terminal events (empty if none apply).
+
+        Tolerates a missing file, a truncated final line (coordinator
+        killed mid-append) and stray malformed lines; a journal whose
+        header names a *different* sweep is ignored wholesale — stale
+        state must never masquerade as progress.
+        """
+        try:
+            fault_point("dist.journal", op="replay")
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except FileNotFoundError:
+            return []
+        except Exception:
+            self.errors += 1
+            return []
+        events: List[Dict[str, Any]] = []
+        header: Optional[Dict[str, Any]] = None
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue  # truncated tail or garbage: skip, keep the rest
+            if not isinstance(event, dict):
+                continue
+            if event.get("event") == "sweep":
+                header = event
+                continue
+            events.append(event)
+        if header is None or header.get("sweep") != self.sweep_id:
+            return []
+        return events
+
+    # ------------------------------------------------------------------
+    def _header(self) -> Dict[str, Any]:
+        return {"event": "sweep", "sweep": self.sweep_id}

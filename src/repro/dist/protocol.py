@@ -1,0 +1,136 @@
+"""Wire-level vocabulary of the distributed sweep work queue.
+
+The coordinator/worker protocol is deliberately tiny: four JSON-over-HTTP
+endpoints (``POST /lease``, ``POST /heartbeat``, ``POST /complete``,
+``GET /status``) plus ``GET /graph`` for shipping graph payloads and the
+usual ``GET /healthz`` / ``GET /metrics`` observability pair.  This
+module holds the pieces both sides must agree on:
+
+* the :class:`BuildSpec` wire codec (:func:`spec_to_wire` /
+  :func:`spec_from_wire`) — JSON scalars only, so a spec round-trips
+  bit-exactly and the worker rebuilds exactly the task the coordinator
+  fingerprinted;
+* task state names (:data:`PENDING` & friends) shared by the
+  coordinator's state machine, the journal, and ``/status`` consumers;
+* :func:`parse_bind` for the CLI's ``--coordinator HOST:PORT`` forms;
+* :func:`canonical_record`, the timing-free projection of a build result
+  used by tests / E19 / CI smokes to assert that distributed records are
+  byte-identical to the serial executor's.
+
+See CONTRIBUTING.md ("Distributed sweep wire protocol") for the request
+and response shapes of each endpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.api.spec import BuildSpec
+
+__all__ = [
+    "PENDING",
+    "LEASED",
+    "DONE",
+    "QUARANTINED",
+    "TERMINAL_STATES",
+    "canonical_record",
+    "parse_bind",
+    "spec_from_wire",
+    "spec_to_wire",
+]
+
+#: Task states of the coordinator's state machine, as they appear in
+#: ``/status`` rows and journal events.
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+QUARANTINED = "quarantined"
+
+#: States a task never leaves.
+TERMINAL_STATES = (DONE, QUARANTINED)
+
+#: Scalar spec fields shipped verbatim (``schedule`` is deliberately
+#: absent: pre-built schedule objects have no canonical wire form, the
+#: same policy that makes them uncacheable — such tasks run locally).
+_SPEC_FIELDS = ("product", "method", "eps", "kappa", "rho", "beta", "seed")
+
+
+def spec_to_wire(spec: BuildSpec) -> Dict[str, Any]:
+    """A spec as a JSON-safe dict, or raise ``ValueError`` if unwireable.
+
+    Only schedule-free specs whose options are JSON scalars ship; the
+    executor routes everything else to its local serial fallback, so this
+    raising is a programming error, not a user-facing failure.
+    """
+    if spec.schedule is not None:
+        raise ValueError("specs with an explicit schedule have no wire form")
+    options = dict(spec.options)
+    for key, value in options.items():
+        if not (value is None or isinstance(value, (bool, int, float, str))):
+            raise ValueError(
+                f"option {key!r}={value!r} is not a JSON scalar; "
+                "the task must run locally"
+            )
+    wire = {name: getattr(spec, name) for name in _SPEC_FIELDS}
+    wire["options"] = options
+    return wire
+
+
+def spec_from_wire(data: Mapping[str, Any]) -> BuildSpec:
+    """Rebuild the spec a coordinator shipped (inverse of :func:`spec_to_wire`)."""
+    kwargs = {name: data.get(name) for name in _SPEC_FIELDS}
+    kwargs["seed"] = int(data.get("seed", 0) or 0)
+    return BuildSpec(options=dict(data.get("options") or {}), **kwargs)
+
+
+def wireable(spec: BuildSpec) -> bool:
+    """Whether :func:`spec_to_wire` accepts ``spec``."""
+    try:
+        spec_to_wire(spec)
+    except ValueError:
+        return False
+    return True
+
+
+def parse_bind(value: str, *, default_host: str = "127.0.0.1") -> Tuple[str, int]:
+    """Parse the CLI's coordinator bind address into ``(host, port)``.
+
+    Accepts ``PORT``, ``HOST:PORT`` and ``http://HOST:PORT`` (port ``0``
+    asks the OS for an ephemeral port, like ``serve-daemon --port 0``).
+    """
+    text = value.strip()
+    for prefix in ("http://", "https://"):
+        if text.startswith(prefix):
+            text = text[len(prefix):]
+    text = text.rstrip("/")
+    host, _, port_text = text.rpartition(":")
+    if not host:
+        host, port_text = default_host, text
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"coordinator address {value!r} is not PORT or HOST:PORT"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"coordinator port {port} out of range")
+    return host or default_host, port
+
+
+def canonical_record(result: Optional[Any]) -> Optional[Tuple[Any, ...]]:
+    """The timing-free content of a build result, for byte-identity checks.
+
+    Two runs of the same ``(graph, spec)`` task are deterministic in
+    everything but timing / provenance; this tuple covers exactly the
+    deterministic part (edge list *in order*, size, stretch guarantees),
+    so equality here is the "byte-identical records" contract of the
+    distributed executor.  ``None`` (a quarantined task) passes through.
+    """
+    if result is None:
+        return None
+    return (
+        tuple(tuple(edge) for edge in result.edges),
+        result.size,
+        result.alpha,
+        result.beta,
+    )

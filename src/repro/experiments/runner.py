@@ -1,6 +1,6 @@
 """Run every experiment and collect the tables (used by the CLI and docs).
 
-``run_all()`` executes E1-E18 with small default workloads (a few seconds
+``run_all()`` executes E1-E19 with small default workloads (a few seconds
 of wall-clock on a laptop) and returns the rendered tables keyed by
 experiment id; ``python -m repro experiments`` prints them.
 
@@ -28,6 +28,7 @@ from repro.experiments.beta_tradeoff_experiment import (
 )
 from repro.experiments.congest_experiment import format_congest_table, run_congest_experiment
 from repro.experiments.daemon_experiment import format_daemon_table, run_daemon_experiment
+from repro.experiments.dist_experiment import format_dist_table, run_dist_experiment
 from repro.experiments.faults_experiment import format_faults_table, run_faults_experiment
 from repro.experiments.hopset_experiment import format_hopset_table, run_hopset_experiment
 from repro.experiments.live_experiment import format_live_table, run_live_experiment
@@ -58,7 +59,7 @@ __all__ = ["run_all", "available_experiments", "run_experiment"]
 def available_experiments() -> List[str]:
     """The experiment ids accepted by :func:`run_experiment`."""
     return ["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15", "E16", "E17", "E18"]
+            "E14", "E15", "E16", "E17", "E18", "E19"]
 
 
 def run_experiment(experiment_id: str, quick: bool = True,
@@ -168,6 +169,14 @@ def _dispatch_experiment(experiment_id: str, quick: bool,
             workload=workload, num_queries=80 if quick else 300
         )
         return format_faults_table(served, rows)
+    if experiment_id == "E19":
+        # Distributed sweep availability: the lease-based work queue
+        # under worker kills, stragglers and a coordinator restart
+        # (repro.dist) — records must stay byte-identical to the serial
+        # executor in every phase.
+        workload = workload_by_name("erdos-renyi", 48 if quick else 96, seed=0)
+        served, rows = run_dist_experiment(workload=workload)
+        return format_dist_table(served, rows)
     raise ValueError(f"unknown experiment id {experiment_id!r}")
 
 

@@ -1,0 +1,136 @@
+"""Concurrency tests for :class:`repro.api.cache.ResultCache`.
+
+The cache is the result transport of the distributed executor: several
+worker *processes* (plus the coordinator) hammer one directory, often
+writing the same content-addressed key at once (at-least-once execution
+makes same-key races routine, not exceptional).  The guarantees under
+test:
+
+* a reader racing any number of writers never observes a torn entry —
+  every ``get`` is a full, checksum-valid result or a miss;
+* same-key writers through ``mkstemp`` + ``os.replace`` leave exactly
+  one entry per key and no orphaned ``*.tmp`` files;
+* the bounded cache's incremental ``(count, bytes)`` accounting agrees
+  with the directory after a rescan, even when other processes wrote
+  entries behind this process's back.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+
+from repro.api.cache import ResultCache
+from repro.api.facade import build
+from repro.api.result import BuildResultAdapter
+from repro.api.spec import BuildSpec
+from repro.graphs import generators
+
+GRAPH = generators.grid_graph(3, 3)
+SPECS = [BuildSpec(product="emulator", method="centralized", seed=seed)
+         for seed in range(3)]
+
+#: One writer process: put every spec's result ROUNDS times.
+WRITER_SCRIPT = """
+import sys
+from repro.api.cache import ResultCache
+from repro.api.facade import build
+from repro.api.spec import BuildSpec
+from repro.graphs import generators
+
+directory, rounds = sys.argv[1], int(sys.argv[2])
+graph = generators.grid_graph(3, 3)
+cache = ResultCache(directory)
+jobs = []
+for seed in range(3):
+    spec = BuildSpec(product="emulator", method="centralized", seed=seed)
+    jobs.append((cache.key(graph.content_hash(), spec), build(graph, spec)))
+for _ in range(rounds):
+    for key, result in jobs:
+        assert cache.put(key, result)
+"""
+
+
+def _spawn_writer(directory: str, rounds: int) -> subprocess.Popen:
+    env = os.environ.copy()
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return subprocess.Popen(
+        [sys.executable, "-c", WRITER_SCRIPT, directory, str(rounds)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+    )
+
+
+class TestMultiProcessWriters:
+    def test_same_key_races_never_tear_entries(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory)
+        keys = [cache.key(GRAPH.content_hash(), spec) for spec in SPECS]
+        expected = {key: frozenset(build(GRAPH, spec).edges)
+                    for key, spec in zip(keys, SPECS)}
+
+        writers = [_spawn_writer(directory, rounds=20) for _ in range(3)]
+        torn = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            # Race the writers: every observed value must be complete.
+            while not stop.is_set():
+                for key in keys:
+                    result = cache.get(key)
+                    if result is None:
+                        continue
+                    if not isinstance(result, BuildResultAdapter) or \
+                            frozenset(result.edges) != expected[key]:
+                        torn.append(key)
+                        return
+
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        try:
+            for writer in writers:
+                stdout, stderr = writer.communicate(timeout=120)
+                assert writer.returncode == 0, stderr.decode()
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+
+        assert not torn, f"reader observed torn entries for {torn}"
+        assert cache.evictions == 0  # nothing ever failed integrity
+        # Exactly one entry per key, every one readable, no tmp orphans.
+        assert len(cache) == len(keys)
+        for key in keys:
+            result = cache.get(key)
+            assert result is not None
+            assert frozenset(result.edges) == expected[key]
+        assert not list((tmp_path / "cache").rglob("*.tmp"))
+
+    def test_bounded_accounting_stays_consistent_across_processes(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        # Other processes fill the directory behind this handle's back...
+        writers = [_spawn_writer(directory, rounds=5) for _ in range(2)]
+        for writer in writers:
+            stdout, stderr = writer.communicate(timeout=120)
+            assert writer.returncode == 0, stderr.decode()
+
+        # ...then a bounded handle opens cold and must reconcile reality.
+        bounded = ResultCache(directory, max_entries=2)
+        spec = BuildSpec(product="spanner", method="centralized")
+        key = bounded.key(GRAPH.content_hash(), spec)
+        assert bounded.put(key, build(GRAPH, spec))
+        assert len(bounded) <= 2
+        assert bounded.evictions >= 2  # 3 foreign entries + ours, bound 2
+        # The rescan synchronized the approximation with the directory.
+        actual_count = len(bounded)
+        actual_bytes = sum(
+            path.stat().st_size
+            for path in (tmp_path / "cache").glob("??/*.pkl")
+        )
+        assert bounded._approx_count == actual_count
+        assert bounded._approx_bytes == actual_bytes
+        # Our fresh entry survived (puts never evict what they just wrote).
+        assert bounded.get(key) is not None

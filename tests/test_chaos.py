@@ -20,7 +20,9 @@ import pytest
 
 from repro import obs
 from repro.api import GridSweep, run_sweep
-from repro.faults import FaultInjected, clear_plan, fault_plan
+from repro.api.cache import ResultCache
+from repro.dist import DistCoordinator, DistWorker, canonical_record
+from repro.faults import FaultInjected, active_plan, clear_plan, fault_plan
 from repro.graphs import generators
 from repro.graphs.shortest_paths import bfs_distances
 from repro.serve import LiveEngine, OracleDaemon, RemoteOracle, ServeSpec
@@ -376,3 +378,154 @@ class TestRemoteBreakerChaos:
             assert remote.stats()["breaker_state"] == "closed"
             assert obs.get_metric("repro_remote_breaker_state",
                                   url=remote.url) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Distributed sweeps: worker kills, stragglers, coordinator restarts
+# ----------------------------------------------------------------------
+class TestDistChaos:
+    """The distributed executor under seeded ``dist.*`` fault plans.
+
+    The invariant matches the rest of this suite: faults cost
+    availability (reassigned leases, burned attempts, degraded
+    resumability) — never correctness.  Every phase must end with
+    records byte-identical to the serial executor: zero lost, zero
+    duplicated, zero wrong.
+    """
+
+    DIST_SWEEP = GridSweep(products=("emulator", "spanner"),
+                           methods=("centralized",), eps_values=(None, 0.25))
+
+    def _baseline(self):
+        return [_record_key(r) for r in run_sweep({"grid": GRID},
+                                                  self.DIST_SWEEP)]
+
+    def _dist_tasks(self):
+        return [(index, "grid", GRID, spec)
+                for index, spec in enumerate(self.DIST_SWEEP.specs())]
+
+    def test_worker_crash_mid_sweep_loses_and_duplicates_nothing(self):
+        baseline = self._baseline()
+        # local-0 dies (silently, SIGKILL-style) on its first lease: no
+        # /complete, no more heartbeats.  The lease TTL expires, the
+        # reaper re-dispatches, local-1 finishes the sweep.
+        plan = {"seed": 19,
+                "rules": [{"site": "dist.worker", "action": "raise",
+                           "nth": 1, "where": {"worker": "local-0"}}]}
+        with fault_plan(plan):
+            records = run_sweep(
+                {"grid": GRID}, self.DIST_SWEEP,
+                dist={"worker_mode": "thread", "local_workers": 2,
+                      "lease_ttl": 0.4})
+            crashes = active_plan().stats()["dist.worker"]["injected"]
+        assert crashes == 1
+        assert [_record_key(r) for r in records] == baseline
+        assert obs.get_metric("repro_dist_reassignments_total") >= 1
+        # The dead worker's lease burned one attempt; nothing quarantined.
+        assert all(not r.quarantined for r in records)
+
+    def test_straggler_past_ttl_is_reassigned_and_its_late_delivery_ignored(self):
+        baseline = self._baseline()
+        # local-0's first build stalls past the TTL *and* its heartbeats
+        # fail: the coordinator reaps the lease and re-dispatches.  The
+        # straggler eventually delivers on its dead lease — idempotent
+        # completion discards or accepts it without changing the records.
+        plan = {"seed": 23,
+                "rules": [
+                    {"site": "dist.task", "action": "delay",
+                     "delay_seconds": 1.0, "nth": 1,
+                     "where": {"worker": "local-0"}},
+                    {"site": "dist.heartbeat", "action": "raise",
+                     "where": {"worker": "local-0"}},
+                ]}
+        with fault_plan(plan):
+            records = run_sweep(
+                {"grid": GRID}, self.DIST_SWEEP,
+                dist={"worker_mode": "thread", "local_workers": 2,
+                      "lease_ttl": 0.3})
+            stalls = active_plan().stats()["dist.task"]["injected"]
+        assert stalls == 1
+        assert [_record_key(r) for r in records] == baseline
+        assert len(records) == len(baseline)  # zero lost, zero duplicated
+        assert obs.get_metric("repro_dist_reassignments_total") >= 1
+
+    def test_transient_coordinator_faults_are_retried_to_identical_records(self):
+        baseline = self._baseline()
+        # Every protocol endpoint hiccups (503 + Retry-After) a bounded
+        # number of times; workers ride it out with backoff.  The slowed
+        # builds guarantee heartbeats actually fire mid-build.
+        plan = {"seed": 29,
+                "rules": [
+                    {"site": "dist.lease", "action": "raise", "times": 2},
+                    {"site": "dist.complete", "action": "raise", "times": 2},
+                    {"site": "dist.heartbeat", "action": "raise", "times": 2},
+                    {"site": "dist.task", "action": "delay",
+                     "delay_seconds": 0.3},
+                ]}
+        with fault_plan(plan):
+            records = run_sweep(
+                {"grid": GRID}, self.DIST_SWEEP,
+                dist={"worker_mode": "thread", "local_workers": 2,
+                      "lease_ttl": 0.9})
+            stats = active_plan().stats()
+        assert [_record_key(r) for r in records] == baseline
+        assert stats["dist.lease"]["injected"] >= 1
+        assert stats["dist.complete"]["injected"] >= 1
+        assert stats["dist.heartbeat"]["injected"] >= 1
+
+    def test_journal_faults_degrade_resumability_never_the_sweep(self, tmp_path):
+        store = ResultCache(tmp_path / "cache")
+        journal_path = str(tmp_path / "sweep.journal")
+        # Every journal write fails: the sweep must still complete, the
+        # coordinator just loses its restart insurance.
+        plan = {"rules": [{"site": "dist.journal", "action": "raise"}]}
+        with fault_plan(plan):
+            coordinator = DistCoordinator(
+                self._dist_tasks(), store, journal=journal_path).start()
+            try:
+                worker = DistWorker(coordinator.url, store, worker_id="w1",
+                                    give_up_after=5.0)
+                worker.run()
+                assert coordinator.done
+                assert coordinator.journal.errors >= len(self._dist_tasks())
+            finally:
+                coordinator.close()
+        # A restart finds no usable journal: honest re-run, not a crash.
+        fresh = DistCoordinator(self._dist_tasks(), store,
+                                journal=journal_path)
+        try:
+            assert fresh.replayed == 0
+        finally:
+            fresh.close()
+
+    def test_coordinator_restart_mid_sweep_resumes_and_stays_byte_identical(
+            self, tmp_path):
+        serial = run_sweep({"grid": GRID}, self.DIST_SWEEP)
+        store = ResultCache(tmp_path / "cache")
+        journal_path = str(tmp_path / "sweep.journal")
+        # Phase 1: the first coordinator dies after two completions.
+        first = DistCoordinator(self._dist_tasks(), store,
+                                journal=journal_path).start()
+        try:
+            DistWorker(first.url, store, worker_id="w1", max_tasks=2,
+                       give_up_after=5.0).run()
+            assert first.completions == 2
+        finally:
+            first.close()
+        # Phase 2: a restarted coordinator replays the journal and only
+        # serves the remainder; provenance of replayed tasks survives.
+        second = DistCoordinator(self._dist_tasks(), store,
+                                 journal=journal_path).start()
+        try:
+            assert second.replayed == 2
+            DistWorker(second.url, store, worker_id="w2",
+                       give_up_after=5.0).run()
+            assert second.done
+            outcomes = second.outcomes()
+        finally:
+            second.close()
+        got = [canonical_record(result) for _, _, result, _, _ in outcomes]
+        assert got == [canonical_record(r.result) for r in serial]
+        workers = [worker for _, worker, _, _, _ in outcomes]
+        assert workers.count("w1") == 2 and workers.count("w2") == 2
+        assert obs.get_metric("repro_dist_journal_replays_total") == 2

@@ -148,7 +148,7 @@ class TestRunner:
         ids = available_experiments()
         assert ids[:7] == ["E1", "E2", "E3", "E4", "E5", "E6", "E7"]
         assert ids[7:] == ["E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16",
-                           "E17", "E18"]
+                           "E17", "E18", "E19"]
 
     def test_unknown_experiment(self):
         with pytest.raises(ValueError):
@@ -179,3 +179,28 @@ class TestFaultsExperiment:
         assert all(row.wrong_answers == 0 for row in rows)
         table = format_faults_table(served, rows)
         assert "E18" in table and "overload" in table
+
+
+class TestDistExperiment:
+    def test_chaos_phases_lose_and_corrupt_nothing(self):
+        from repro.experiments.dist_experiment import (
+            format_dist_table,
+            run_dist_experiment,
+        )
+        from repro.experiments.workloads import workload_by_name
+
+        workload = workload_by_name("erdos-renyi", 40, seed=0)
+        served, rows = run_dist_experiment(workload=workload)
+        by_phase = {row.phase: row for row in rows}
+        assert set(by_phase) == {"baseline", "worker-kill", "straggler",
+                                 "coordinator-restart"}
+        assert by_phase["worker-kill"].reassignments >= 1
+        assert by_phase["straggler"].reassignments >= 1
+        assert by_phase["coordinator-restart"].replayed >= 1
+        # The availability contract: every phase delivers every record,
+        # byte-identical to the serial executor.
+        assert all(row.completed == row.tasks for row in rows)
+        assert all(row.wrong == 0 and row.lost == 0 for row in rows)
+        assert all(row.makespan_seconds > 0 for row in rows)
+        table = format_dist_table(served, rows)
+        assert "E19" in table and "coordinator-restart" in table

@@ -268,3 +268,92 @@ def test_plan_from_env_inline_at_file_and_bare_path(tmp_path, monkeypatch):
         plan_from_env("{broken")
     with pytest.raises(OSError):
         plan_from_env(str(tmp_path / "missing.json"))
+
+
+# ----------------------------------------------------------------------
+# Result-cache fault points (cache.read / cache.write)
+# ----------------------------------------------------------------------
+class TestResultCacheFaults:
+    """Injected disk rot inside :class:`repro.api.cache.ResultCache`.
+
+    The contract under faults is evict-and-rebuild: a read-side failure
+    (exception or corrupted bytes) evicts the entry and reports a miss,
+    a write-side failure degrades to "not stored" — callers rebuild,
+    never crash, and a later healthy put/get round-trips again.
+    """
+
+    def _cache_and_entry(self, tmp_path):
+        from repro.api import BuildSpec, build
+        from repro.api.cache import ResultCache
+        from repro.graphs import generators
+
+        graph = generators.grid_graph(3, 3)
+        spec = BuildSpec(product="emulator", method="centralized")
+        cache = ResultCache(tmp_path / "cache")
+        key = cache.key(graph.content_hash(), spec)
+        result = build(graph, spec)
+        return cache, key, result
+
+    def test_read_fault_evicts_the_entry_and_reports_a_miss(self, tmp_path):
+        cache, key, result = self._cache_and_entry(tmp_path)
+        assert cache.put(key, result)
+        plan = {"rules": [{"site": "cache.read", "action": "raise",
+                           "times": 1}]}
+        with fault_plan(plan):
+            assert cache.get(key) is None
+        assert cache.evictions == 1
+        assert not cache.path(key).exists()
+        # Rebuild lane: a fresh put round-trips again.
+        assert cache.put(key, result)
+        assert cache.get(key) is not None
+
+    def test_read_corruption_lands_in_the_same_evict_lane(self, tmp_path):
+        cache, key, result = self._cache_and_entry(tmp_path)
+        assert cache.put(key, result)
+        plan = {"rules": [{"site": "cache.read", "action": "corrupt",
+                           "times": 1}]}
+        with fault_plan(plan):
+            assert cache.get(key) is None
+        assert cache.evictions == 1
+        assert not cache.path(key).exists()
+
+    def test_write_fault_degrades_to_not_stored(self, tmp_path):
+        cache, key, result = self._cache_and_entry(tmp_path)
+        plan = {"rules": [{"site": "cache.write", "action": "raise",
+                           "times": 1}]}
+        with fault_plan(plan):
+            assert cache.put(key, result) is False
+            assert cache.get(key) is None  # nothing half-written
+            assert cache.put(key, result) is True
+            assert cache.get(key) is not None
+
+    def test_write_corruption_rots_the_entry_for_the_next_reader(self, tmp_path):
+        cache, key, result = self._cache_and_entry(tmp_path)
+        plan = {"rules": [{"site": "cache.write", "action": "corrupt",
+                           "times": 1}]}
+        with fault_plan(plan):
+            assert cache.put(key, result) is True  # the write "succeeds"
+        # The rot is discovered on read: evict, miss, rebuild.
+        assert cache.get(key) is None
+        assert cache.evictions == 1
+        assert cache.put(key, result)
+        assert cache.get(key) is not None
+
+    def test_sweep_completes_when_every_cache_write_fails(self, tmp_path):
+        from repro.api import GridSweep, run_sweep
+        from repro.graphs import generators
+
+        grid = generators.grid_graph(3, 3)
+        sweep = GridSweep(products=("emulator",), methods=("centralized",))
+        baseline = run_sweep({"grid": grid}, sweep)
+        plan = {"rules": [{"site": "cache.write", "action": "raise"}]}
+        with fault_plan(plan):
+            records = run_sweep({"grid": grid}, sweep,
+                                cache=str(tmp_path / "cache"))
+        assert [frozenset(r.result.edges) for r in records] == \
+            [frozenset(r.result.edges) for r in baseline]
+        # Caching degraded to a no-op: the second run misses again.
+        with fault_plan(plan):
+            again = run_sweep({"grid": grid}, sweep,
+                              cache=str(tmp_path / "cache"))
+        assert not any(r.cache_hit for r in again)
